@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one module here.  The problem scale is
+controlled with the ``REPRO_BENCH_SCALE`` environment variable (default 0.2,
+i.e. a few thousand to a few tens of thousands of tasks per benchmark);
+``REPRO_BENCH_SCALE=1.0`` reproduces the full Table I configurations and takes
+on the order of an hour.
+
+Each module prints the regenerated table (visible with ``pytest -s``) and also
+writes it to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote it.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def bench_scale() -> float:
+    """The benchmark problem scale (1.0 = Table I sizes)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Session-wide problem scale."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory the rendered tables are written to."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: str, name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")

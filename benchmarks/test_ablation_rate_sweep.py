@@ -1,0 +1,47 @@
+"""Ablation B — sensitivity of App_FIT to the error-rate multiplier and to the
+residual-FIT model.
+
+Sweeps the exascale multiplier from 1x to 20x on three benchmarks of different
+granularity and also charges a 10% residual FIT to replicated tasks (modelling
+imperfect coverage).  The paper's Takeaway-1 says the amount of replication
+shrinks with more modest rate increases; this quantifies that curve.
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import ablation_rate_sweep
+
+
+def test_ablation_rate_sweep(benchmark, scale, results_dir):
+    """Replication demanded by App_FIT as error rates grow (1x..20x)."""
+    texts = []
+
+    def run_all():
+        results = []
+        for bench in ("cholesky", "stream", "matmul"):
+            results.append(
+                ablation_rate_sweep(
+                    bench,
+                    scale=scale,
+                    multipliers=(1.0, 2.0, 5.0, 10.0, 20.0),
+                    residual_factors=(0.0, 0.1),
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for result in results:
+        texts.append(result.render())
+    record(results_dir, "ablation_rate_sweep", "\n\n".join(texts))
+
+    for result in results:
+        no_residual = [r for r in result.rows if r["residual_fit_factor"] == 0.0]
+        fracs = [r["task_fraction"] for r in no_residual]
+        # Monotone in the rate multiplier, and far below 100% at modest rates.
+        assert fracs == sorted(fracs)
+        assert fracs[0] <= 0.05
+        assert fracs[-1] < 1.0
+        # Charging a residual to replicated tasks can only increase replication.
+        with_residual = [r for r in result.rows if r["residual_fit_factor"] == 0.1]
+        for a, b in zip(no_residual, with_residual):
+            assert b["task_fraction"] >= a["task_fraction"] - 1e-9

@@ -1,0 +1,28 @@
+"""Figure 4 — fault-free overhead of complete task replication.
+
+The paper reports very low overheads (2.5% on average) because replicas run on
+spare cores and only the checkpoint/compare work lands on the task completion
+path.  The harness simulates every benchmark with and without complete
+replication and reports the per-benchmark and average overhead.
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import figure4_overheads
+from repro.analysis.report import PAPER_REFERENCE, qualitative_checks
+
+
+def test_fig4_replication_overheads(benchmark, scale, results_dir):
+    """Fault-free makespan overhead of complete replication for all benchmarks."""
+    result = benchmark.pedantic(
+        figure4_overheads, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    summary = result.render() + (
+        f"\npaper reference: {PAPER_REFERENCE['fig4_average_overhead_percent']:.1f}% average overhead"
+    )
+    record(results_dir, "fig4_overheads", summary)
+
+    assert qualitative_checks(fig4=result) == []
+    assert result.average_overhead_percent < 10.0
+    for row in result.rows:
+        assert row["overhead_percent"] > -1.0

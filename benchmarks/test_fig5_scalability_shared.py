@@ -1,0 +1,40 @@
+"""Figure 5 — scalability of complete replication, shared-memory benchmarks.
+
+Speedup over 1 core for 1..16 cores, with per-task fixed fault rates (each
+fault rate uses its own 1-core baseline, as in the paper).  The expected shape:
+everything except Stream scales close to linearly; Stream is memory-bound and
+does not scale even without replication.
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import figure5_scalability_shared
+from repro.analysis.report import qualitative_checks
+
+
+def test_fig5_shared_memory_scalability(benchmark, scale, results_dir):
+    """Speedup curves for the shared-memory group under complete replication."""
+    result = benchmark.pedantic(
+        figure5_scalability_shared,
+        kwargs={
+            # Scalability needs enough parallelism in the graph: never go below
+            # half the Table I problem size for this figure.
+            "scale": max(scale, 0.5),
+            "core_counts": (1, 2, 4, 8, 16),
+            "fault_rates": (0.0, 0.01, 0.05),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "fig5_scalability_shared", result.render())
+
+    assert qualitative_checks(fig5=result) == []
+    # Compute-bound benchmarks keep scaling; Stream does not.
+    assert result.curve("cholesky", 0.0)[-1]["speedup"] > 8.0
+    assert result.curve("stream", 0.0)[-1]["speedup"] < 3.0
+    # Fault injection does not destroy scalability (the paper attributes curve
+    # differences to experimental noise).
+    for bench in ("cholesky", "sparselu", "perlin"):
+        clean = result.curve(bench, 0.0)[-1]["speedup"]
+        faulty = result.curve(bench, 0.05)[-1]["speedup"]
+        assert faulty > 0.6 * clean

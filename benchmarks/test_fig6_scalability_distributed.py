@@ -1,0 +1,37 @@
+"""Figure 6 — scalability of complete replication, distributed benchmarks.
+
+Speedup over 64 cores (4 nodes x 16 cores) up to 1024 cores (64 nodes), with
+per-task fixed fault rates, complete replication and the simulated
+Marenostrum-like cluster.
+"""
+
+from conftest import record
+
+from repro.analysis.experiments import figure6_scalability_distributed
+
+
+def test_fig6_distributed_scalability(benchmark, scale, results_dir):
+    """Speedup curves for the distributed group under complete replication."""
+    result = benchmark.pedantic(
+        figure6_scalability_distributed,
+        kwargs={
+            "scale": scale,
+            "node_counts": (4, 16, 64),
+            "fault_rates": (0.0, 0.01),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "fig6_scalability_distributed", result.render())
+
+    # Every distributed benchmark gains from more nodes; nbody and linpack
+    # scale the furthest, pingpong is latency-bound (weak scaler).
+    for bench in ("nbody", "linpack", "matmul"):
+        curve = result.curve(bench, 0.0)
+        assert curve[-1]["speedup"] > curve[0]["speedup"]
+        assert curve[-1]["speedup"] > 2.0
+    # Replication under faults keeps the curves close to the fault-free ones.
+    for bench in ("nbody", "linpack"):
+        clean = result.curve(bench, 0.0)[-1]["speedup"]
+        faulty = result.curve(bench, 0.01)[-1]["speedup"]
+        assert faulty > 0.6 * clean

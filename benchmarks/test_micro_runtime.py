@@ -1,0 +1,120 @@
+"""Micro-benchmarks of the runtime primitives the heuristic relies on.
+
+The paper argues App_FIT's overhead is negligible because the decision is "a
+single condition and about 50 multiplication and addition instructions".
+These benchmarks measure the Python equivalents: the per-task decision cost,
+dependency registration, scheduler throughput and the output comparators.
+"""
+
+import numpy as np
+
+from repro.core.comparator import BitwiseComparator, ChecksumComparator, ToleranceComparator
+from repro.core.estimator import ArgumentSizeEstimator
+from repro.core.fit import FitAccount
+from repro.core.heuristic import AppFit
+from repro.faults.rates import FitRateSpec
+from repro.runtime.dependencies import DependencyTracker
+from repro.runtime.scheduler import ReadyScheduler
+from repro.runtime.task import DataHandle, TaskDescriptor, arg_inout
+from repro.runtime.graph import TaskGraph
+
+
+def _task(i, size_bytes=1 << 20):
+    handle = DataHandle(f"d{i}", size_bytes=size_bytes)
+    return TaskDescriptor(task_id=i, task_type="work", args=[arg_inout(handle.whole())])
+
+
+def test_appfit_decision_cost(benchmark):
+    """Cost of one App_FIT decision (Equation 1 + rate estimation)."""
+    policy = AppFit(1000.0, 1_000_000, ArgumentSizeEstimator(FitRateSpec(multiplier=10.0)))
+    tasks = [_task(i) for i in range(512)]
+    counter = iter(range(10**9))
+
+    def decide_one():
+        policy.decide(tasks[next(counter) % 512])
+
+    benchmark(decide_one)
+
+
+def test_fit_account_raw_decision_cost(benchmark):
+    """Cost of the bare atomic budget check (no estimation)."""
+    account = FitAccount(threshold=1e6, total_tasks=10_000_000)
+    benchmark(lambda: account.decide(0.01))
+
+
+def test_dependency_registration_throughput(benchmark):
+    """Registering a task and inferring its dependencies (inout chain)."""
+    handle = DataHandle("x", size_bytes=1 << 20)
+    tracker = DependencyTracker()
+    counter = iter(range(10**9))
+
+    def register_one():
+        i = next(counter)
+        task = TaskDescriptor(task_id=i, task_type="t", args=[arg_inout(handle.whole())])
+        tracker.register(task)
+
+    benchmark(register_one)
+
+
+def test_scheduler_throughput(benchmark):
+    """Pop + complete cycles through the ready scheduler."""
+
+    def run_graph():
+        graph = TaskGraph()
+        for i in range(2000):
+            graph.add_task(_task(i))
+        sched = ReadyScheduler(graph)
+        while not sched.is_done():
+            sched.mark_complete(sched.pop_ready())
+
+    benchmark.pedantic(run_graph, rounds=3, iterations=1)
+
+
+def test_bitwise_comparator_throughput(benchmark):
+    """Bitwise comparison of two 4 MiB outputs (the end-of-task check)."""
+    a = np.random.default_rng(0).random(512 * 1024)
+    b = a.copy()
+    comparator = BitwiseComparator()
+    benchmark(lambda: comparator.equal(a, b))
+
+
+def test_checksum_comparator_throughput(benchmark):
+    """CRC32 residue comparison of two 4 MiB outputs."""
+    a = np.random.default_rng(0).random(512 * 1024)
+    b = a.copy()
+    comparator = ChecksumComparator()
+    benchmark(lambda: comparator.equal(a, b))
+
+
+def test_tolerance_comparator_throughput(benchmark):
+    """Tolerance-based comparison of two 4 MiB outputs."""
+    a = np.random.default_rng(0).random(512 * 1024)
+    b = a.copy()
+    comparator = ToleranceComparator()
+    benchmark(lambda: comparator.equal(a, b))
+
+
+def test_graph_generation_cholesky(benchmark):
+    """Building the (scaled) Cholesky task graph through the runtime front-end."""
+    from repro.apps.cholesky import CholeskyBenchmark
+
+    def build():
+        CholeskyBenchmark.from_scale(0.2).build_graph(use_cache=False)
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_simulation_throughput(benchmark):
+    """Discrete-event simulation of a 5k-task graph on a 16-core node."""
+    from repro.apps.cholesky import CholeskyBenchmark
+    from repro.simulator.execution import SimulationConfig, simulate_graph
+    from repro.simulator.machine import shared_memory_node
+
+    graph = CholeskyBenchmark.from_scale(0.4).build_graph()
+    machine = shared_memory_node(16)
+
+    benchmark.pedantic(
+        lambda: simulate_graph(graph, machine, SimulationConfig(replicate_all=True)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,15 @@
+"""Table I — regenerate the benchmark inventory (problem sizes, blocks, task counts)."""
+
+from conftest import record
+
+from repro.analysis.experiments import table1_benchmark_inventory
+
+
+def test_table1_inventory(benchmark, scale, results_dir):
+    """Generate every Table I benchmark graph and report its configuration."""
+    result = benchmark.pedantic(
+        table1_benchmark_inventory, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    record(results_dir, "table1_inventory", result.render())
+    assert len(result.rows) == 9
+    assert all(r["n_tasks"] > 0 for r in result.rows)

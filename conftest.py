@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. on offline machines where ``pip install -e .`` cannot resolve build
+dependencies); an installed copy takes precedence if present.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

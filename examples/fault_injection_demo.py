@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fault-injection demo: what replication actually recovers from.
+
+Runs the same small tiled Cholesky three times through the runtime:
+
+1. unprotected, fault-free                      (the reference result),
+2. unprotected, with injected SDCs and crashes  (shows silent corruption),
+3. fully replicated, same fault rates           (shows detection + recovery).
+
+Run with:  python examples/fault_injection_demo.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+import numpy as np
+
+from repro.apps.cholesky import CholeskyBenchmark
+from repro.core import CompleteReplication, NoReplication, ReplicationConfig, SelectiveReplicationEngine, TaskReplicator
+from repro.faults import FaultInjector, FaultPlan, InjectionConfig
+from repro.faults.errors import ErrorClass
+
+
+def build_engine(policy, sdc_p=0.0, crash_p=0.0, seed=11, plan=None):
+    from repro.util.rng import RngStream
+
+    config = ReplicationConfig()
+    injector = FaultInjector(
+        config=InjectionConfig(fixed_sdc_probability=sdc_p, fixed_crash_probability=crash_p),
+        rng=RngStream(seed),
+        plan=plan,
+    )
+    return SelectiveReplicationEngine(
+        policy=policy,
+        replicator=TaskReplicator(injector=injector, config=config),
+        config=config,
+    )
+
+
+def run(policy, sdc_p, crash_p, label, seed=11, plan=None):
+    engine = build_engine(policy, sdc_p, crash_p, seed, plan)
+    result, blocks, reference = CholeskyBenchmark().functional_run(
+        n_workers=2, hook=engine, matrix_size=96, block_size=32
+    )
+    # Reassemble L and check the factorisation.
+    n, bs = 96, 32
+    lower = np.zeros((n, n))
+    for (i, j), blk in blocks.items():
+        lower[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs] = blk
+    lower = np.tril(lower)
+    correct = np.allclose(lower @ lower.T, reference, rtol=1e-8, atol=1e-8)
+
+    counts = engine.recovery_counts()
+    print(f"--- {label}")
+    print(f"    tasks: {counts['tasks']}, protected: {counts['protected']}")
+    print(f"    SDC detected: {counts['sdc_detected']}, corrected: {counts['sdc_corrected']}, "
+          f"escaped silently: {counts['sdc_escaped']}")
+    print(f"    crashes recovered: {counts['crash_recovered']}, fatal: {counts['fatal_crashes']}")
+    print(f"    factorisation correct: {correct}")
+    print()
+    return correct
+
+
+def main() -> None:
+    print("Tiled Cholesky (96x96, 32x32 tiles) under fault injection\n")
+    run(NoReplication(), sdc_p=0.0, crash_p=0.0, label="unprotected, fault-free")
+    run(NoReplication(), sdc_p=0.25, crash_p=0.0, label="unprotected, 25% SDC rate")
+    # Deterministically inject one silent corruption into the original execution
+    # of task 2, one into the replica of task 5, and crash the original of task 7.
+    plan = (
+        FaultPlan()
+        .add(2, 0, ErrorClass.SDC)
+        .add(5, 1, ErrorClass.SDC)
+        .add(7, 0, ErrorClass.DUE)
+    )
+    run(CompleteReplication(), sdc_p=0.0, crash_p=0.0, plan=plan,
+        label="complete replication, injected SDCs (tasks 2 and 5) + crash (task 7)")
+    print("Replication detects every corruption at the task boundary, recovers via")
+    print("checkpoint restore + re-execution + majority vote, and survives crashes")
+    print("of individual replicas.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — selective task replication for application-specific reliability targets.
+
+A reproduction of Subasi et al., "A Runtime Heuristic to Selectively Replicate
+Tasks for Application-Specific Reliability Targets" (IEEE CLUSTER 2016).
+
+The package provides:
+
+* a task-parallel dataflow runtime substrate (:mod:`repro.runtime`),
+* a failure model and fault injector (:mod:`repro.faults`),
+* the task replication protocol and the **App_FIT** selection heuristic
+  (:mod:`repro.core`),
+* a discrete-event machine simulator for overhead/scalability studies
+  (:mod:`repro.simulator`) and a simulated cluster (:mod:`repro.distributed`),
+* generators for the paper's nine benchmarks (:mod:`repro.apps`),
+* experiment drivers that regenerate every table and figure of the paper's
+  evaluation (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import quickstart_appfit
+    report = quickstart_appfit()
+    print(report)
+"""
+
+from repro.core import (
+    AppFit,
+    CompleteReplication,
+    NoReplication,
+    ReplicationConfig,
+    SelectiveReplicationEngine,
+    decide_for_graph,
+)
+from repro.faults import FailureModel, FaultInjector, FitRateSpec, exascale_scenario
+from repro.runtime import TaskRuntime, TaskGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppFit",
+    "CompleteReplication",
+    "FailureModel",
+    "FaultInjector",
+    "FitRateSpec",
+    "NoReplication",
+    "ReplicationConfig",
+    "SelectiveReplicationEngine",
+    "TaskGraph",
+    "TaskRuntime",
+    "decide_for_graph",
+    "exascale_scenario",
+    "quickstart_appfit",
+    "__version__",
+]
+
+
+def quickstart_appfit(multiplier: float = 10.0, benchmark: str = "cholesky"):
+    """Run App_FIT on one scaled-down benchmark and return a short text report.
+
+    Convenience entry point used by the README and ``examples/quickstart.py``.
+    """
+    from repro.analysis.experiments import appfit_single_benchmark
+
+    return appfit_single_benchmark(benchmark_name=benchmark, multiplier=multiplier)

@@ -1,0 +1,54 @@
+"""Metrics and experiment drivers that regenerate the paper's tables and figures."""
+
+from repro.analysis.metrics import (
+    AggregateReplication,
+    OverheadMeasurement,
+    ScalabilityCurve,
+    aggregate_replication,
+    overhead_percent,
+    speedup_series,
+)
+from repro.analysis.experiments import (
+    ExperimentRow,
+    Figure3Result,
+    Figure4Result,
+    ScalabilityResult,
+    Table1Result,
+    AblationPoliciesResult,
+    RateSweepResult,
+    appfit_single_benchmark,
+    ablation_policies,
+    ablation_rate_sweep,
+    figure3_appfit,
+    figure4_overheads,
+    figure5_scalability_shared,
+    figure6_scalability_distributed,
+    table1_benchmark_inventory,
+)
+from repro.analysis.report import PAPER_REFERENCE, qualitative_checks
+
+__all__ = [
+    "AblationPoliciesResult",
+    "AggregateReplication",
+    "ExperimentRow",
+    "Figure3Result",
+    "Figure4Result",
+    "OverheadMeasurement",
+    "PAPER_REFERENCE",
+    "RateSweepResult",
+    "ScalabilityCurve",
+    "ScalabilityResult",
+    "Table1Result",
+    "ablation_policies",
+    "ablation_rate_sweep",
+    "aggregate_replication",
+    "appfit_single_benchmark",
+    "figure3_appfit",
+    "figure4_overheads",
+    "figure5_scalability_shared",
+    "figure6_scalability_distributed",
+    "overhead_percent",
+    "qualitative_checks",
+    "speedup_series",
+    "table1_benchmark_inventory",
+]

@@ -1,0 +1,627 @@
+"""Experiment drivers: one function per paper table/figure plus ablations.
+
+Every driver returns a result object carrying structured ``rows`` (dictionaries
+with plain-Python values, easy to assert on in tests) and a ``render()`` method
+producing the text table the benchmark harness prints.  ``scale=1.0``
+reproduces the Table I problem sizes; the benchmark harness uses smaller scales
+by default so the full suite completes in minutes (replication *percentages*
+and speedup *shapes* are insensitive to the scale, which the tests verify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import aggregate_replication
+from repro.apps import create_benchmark
+from repro.apps.base import Benchmark
+from repro.apps.linpack import LinpackBenchmark
+from repro.apps.matmul import MatmulBenchmark
+from repro.apps.nbody import NbodyBenchmark
+from repro.apps.pingpong import PingpongBenchmark
+from repro.apps.registry import (
+    all_benchmark_names,
+    distributed_benchmark_names,
+    shared_memory_benchmark_names,
+)
+from repro.core.engine import ReplicationDecisions, decide_for_graph
+from repro.core.estimator import ArgumentSizeEstimator
+from repro.core.heuristic import AppFit
+from repro.core.knapsack import KnapsackOracle
+from repro.core.policies import (
+    CompleteReplication,
+    RandomReplication,
+    TopFitReplication,
+)
+from repro.faults.model import FailureModel
+from repro.faults.rates import FitRateSpec
+from repro.runtime.graph import TaskGraph
+from repro.simulator.execution import SimulationConfig, simulate_graph
+from repro.simulator.machine import MachineSpec, marenostrum_cluster, shared_memory_node
+from repro.util.tables import TextTable
+
+#: Alias used throughout: every experiment row is a flat dict.
+ExperimentRow = Dict[str, object]
+
+
+# ---------------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------------
+
+
+def _machine_for(benchmark: Benchmark, cores_per_node: int = 16) -> MachineSpec:
+    """The machine a benchmark is evaluated on (1 node shared / 64-node cluster)."""
+    if benchmark.distributed:
+        n_nodes = getattr(benchmark, "n_nodes", 64)
+        return marenostrum_cluster(n_nodes=n_nodes, cores_per_node=cores_per_node)
+    return shared_memory_node(cores=cores_per_node)
+
+
+def _appfit_threshold(graph: TaskGraph, rate_spec: FitRateSpec) -> float:
+    """The benchmark's current (1x) FIT — the Figure 3 threshold.
+
+    Per DESIGN.md this is the unprotected application FIT the runtime's own
+    bookkeeping reports at today's error rates; dividing the exascale rates by
+    the multiplier (the paper's framing) is numerically identical.
+    """
+    return FailureModel(rate_spec.at_todays_rates()).graph_total_fit(graph)
+
+
+def _unprotected_fit(graph: TaskGraph, replicated_ids, rate_spec: FitRateSpec) -> float:
+    """Summed FIT of the tasks left unprotected, under ``rate_spec``."""
+    model = FailureModel(rate_spec)
+    return sum(
+        model.task_total_fit(t) for t in graph.tasks() if t.task_id not in replicated_ids
+    )
+
+
+def _distributed_benchmark(name: str, n_nodes: int, scale: float) -> Benchmark:
+    """Build a distributed benchmark for a specific node count (Figure 6)."""
+    if name == "nbody":
+        return NbodyBenchmark(
+            n_bodies=65536, n_nodes=n_nodes, timesteps=max(1, int(round(4 * scale)))
+        )
+    if name == "matmul":
+        return MatmulBenchmark(
+            iterations=max(1, int(round(35 * scale))), n_nodes=n_nodes
+        )
+    if name == "pingpong":
+        return PingpongBenchmark(
+            n_nodes=n_nodes, iterations=max(2, int(round(200 * scale)))
+        )
+    if name == "linpack":
+        import math
+
+        p = int(math.sqrt(n_nodes))
+        while p > 1 and n_nodes % p:
+            p -= 1
+        n_panels = max(8, int(round(512 * scale)))
+        return LinpackBenchmark(
+            matrix_size=n_panels * 256, block_size=256, grid_rows=p, grid_cols=n_nodes // p
+        )
+    raise KeyError(f"{name!r} is not a distributed benchmark")
+
+
+# ---------------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Result:
+    """Reproduction of Table I: the benchmark inventory."""
+
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Plain-text Table I."""
+        table = TextTable(
+            ["benchmark", "description", "problem", "block", "group", "tasks", "input MiB"],
+            title="Table I — task-parallel benchmarks",
+        )
+        for row in self.rows:
+            table.add_row(
+                row["benchmark"],
+                row["description"],
+                row["problem"],
+                row["block"],
+                "distributed" if row["distributed"] else "shared-memory",
+                row["n_tasks"],
+                row["input_mib"],
+            )
+        return table.render()
+
+
+def table1_benchmark_inventory(
+    scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None
+) -> Table1Result:
+    """Regenerate Table I (benchmark descriptions, sizes, blocks, task counts)."""
+    names = list(benchmarks) if benchmarks is not None else all_benchmark_names()
+    result = Table1Result()
+    for name in names:
+        bench = create_benchmark(name, scale=scale)
+        info = bench.info()
+        result.rows.append(
+            {
+                "benchmark": info.name,
+                "description": info.description,
+                "problem": info.problem,
+                "block": info.block,
+                "distributed": info.distributed,
+                "n_tasks": info.n_tasks,
+                "input_mib": info.input_mib,
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------------
+# Figure 3 — App_FIT selective replication
+# ---------------------------------------------------------------------------------
+
+
+@dataclass
+class Figure3Result:
+    """Reproduction of Figure 3: App_FIT replication percentages."""
+
+    multipliers: Tuple[float, ...]
+    rows: List[ExperimentRow] = field(default_factory=list)
+    averages: Dict[float, Dict[str, float]] = field(default_factory=dict)
+
+    def rows_for(self, multiplier: float) -> List[ExperimentRow]:
+        """Rows of one error-rate multiplier."""
+        return [r for r in self.rows if r["multiplier"] == multiplier]
+
+    def render(self) -> str:
+        """Plain-text Figure 3 (per-benchmark replication percentages)."""
+        table = TextTable(
+            [
+                "benchmark",
+                "rate",
+                "% tasks replicated",
+                "% computation time replicated",
+                "threshold (FIT)",
+                "achieved (FIT)",
+                "threshold respected",
+            ],
+            title="Figure 3 — App_FIT selective replication",
+        )
+        for row in self.rows:
+            table.add_row(
+                row["benchmark"],
+                f"{row['multiplier']:.0f}x",
+                100.0 * row["task_fraction"],
+                100.0 * row["time_fraction"],
+                row["threshold_fit"],
+                row["achieved_fit"],
+                row["threshold_respected"],
+            )
+        lines = [table.render(), ""]
+        for mult, avg in self.averages.items():
+            lines.append(
+                f"average @ {mult:.0f}x rates: "
+                f"{100.0 * avg['task_fraction']:.1f}% of tasks replicated, "
+                f"{100.0 * avg['time_fraction']:.1f}% of computation time replicated"
+            )
+        return "\n".join(lines)
+
+
+def figure3_appfit(
+    scale: float = 1.0,
+    multipliers: Sequence[float] = (10.0, 5.0),
+    rate_spec: Optional[FitRateSpec] = None,
+    residual_fit_factor: float = 0.0,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Figure3Result:
+    """Run App_FIT on every benchmark at the given exascale rate multipliers.
+
+    The threshold of each benchmark is its current (1x) FIT, so the heuristic
+    must absorb the rate increase — the paper's Figure 3 scenario.
+    """
+    spec = rate_spec if rate_spec is not None else FitRateSpec()
+    names = list(benchmarks) if benchmarks is not None else all_benchmark_names()
+    result = Figure3Result(multipliers=tuple(multipliers))
+    per_mult: Dict[float, Dict[str, ReplicationDecisions]] = {m: {} for m in multipliers}
+
+    for name in names:
+        bench = create_benchmark(name, scale=scale)
+        graph = bench.build_graph()
+        threshold = _appfit_threshold(graph, spec)
+        for mult in multipliers:
+            scaled_spec = spec.scaled(mult)
+            policy = AppFit(
+                threshold=threshold,
+                total_tasks=len(graph),
+                estimator=ArgumentSizeEstimator(scaled_spec),
+                residual_fit_factor=residual_fit_factor,
+            )
+            decisions = decide_for_graph(graph, policy)
+            audit = policy.audit()
+            per_mult[mult][name] = decisions
+            result.rows.append(
+                {
+                    "benchmark": name,
+                    "multiplier": mult,
+                    "n_tasks": decisions.total_tasks,
+                    "task_fraction": decisions.task_fraction,
+                    "time_fraction": decisions.time_fraction,
+                    "threshold_fit": threshold,
+                    "achieved_fit": audit.current_fit,
+                    "threshold_respected": audit.threshold_respected,
+                    "envelope_respected": audit.envelope_respected,
+                }
+            )
+
+    for mult in multipliers:
+        agg = aggregate_replication(per_mult[mult])
+        result.averages[mult] = {
+            "task_fraction": agg.mean_task_fraction,
+            "time_fraction": agg.mean_time_fraction,
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------------
+# Figure 4 — task replication overheads
+# ---------------------------------------------------------------------------------
+
+
+@dataclass
+class Figure4Result:
+    """Reproduction of Figure 4: fault-free overhead of complete replication."""
+
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    @property
+    def average_overhead_percent(self) -> float:
+        """Unweighted average overhead across benchmarks."""
+        if not self.rows:
+            return 0.0
+        return sum(r["overhead_percent"] for r in self.rows) / len(self.rows)
+
+    def render(self) -> str:
+        """Plain-text Figure 4."""
+        table = TextTable(
+            ["benchmark", "baseline makespan (s)", "replicated makespan (s)", "overhead %"],
+            title="Figure 4 — complete task replication overheads (fault-free)",
+        )
+        for row in self.rows:
+            table.add_row(
+                row["benchmark"],
+                row["baseline_makespan_s"],
+                row["replicated_makespan_s"],
+                row["overhead_percent"],
+            )
+        return table.render() + f"\n\naverage overhead: {self.average_overhead_percent:.2f}%"
+
+
+def figure4_overheads(
+    scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    cores_per_node: int = 16,
+) -> Figure4Result:
+    """Fault-free makespan overhead of complete replication vs no replication."""
+    names = list(benchmarks) if benchmarks is not None else all_benchmark_names()
+    result = Figure4Result()
+    for name in names:
+        bench = create_benchmark(name, scale=scale)
+        graph = bench.build_graph()
+        machine = _machine_for(bench, cores_per_node)
+        baseline = simulate_graph(graph, machine, SimulationConfig())
+        replicated = simulate_graph(graph, machine, SimulationConfig(replicate_all=True))
+        result.rows.append(
+            {
+                "benchmark": name,
+                "baseline_makespan_s": baseline.makespan_s,
+                "replicated_makespan_s": replicated.makespan_s,
+                "overhead_percent": 100.0 * replicated.overhead_vs(baseline),
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------------
+# Figures 5 & 6 — scalability of complete replication
+# ---------------------------------------------------------------------------------
+
+
+@dataclass
+class ScalabilityResult:
+    """Speedup curves of complete replication under fixed per-task fault rates."""
+
+    title: str
+    x_label: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def curve(self, benchmark: str, fault_rate: float) -> List[ExperimentRow]:
+        """The rows of one benchmark/fault-rate curve, ordered by x."""
+        rows = [
+            r for r in self.rows if r["benchmark"] == benchmark and r["fault_rate"] == fault_rate
+        ]
+        return sorted(rows, key=lambda r: r["x"])
+
+    def render(self) -> str:
+        """Plain-text speedup table (one row per benchmark/fault-rate/point)."""
+        table = TextTable(
+            ["benchmark", "fault rate", self.x_label, "makespan (s)", "speedup"],
+            title=self.title,
+        )
+        for row in sorted(self.rows, key=lambda r: (r["benchmark"], r["fault_rate"], r["x"])):
+            table.add_row(
+                row["benchmark"],
+                row["fault_rate"],
+                row["x"],
+                row["makespan_s"],
+                row["speedup"],
+            )
+        return table.render()
+
+
+def figure5_scalability_shared(
+    scale: float = 1.0,
+    core_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    fault_rates: Sequence[float] = (0.0, 0.01, 0.05),
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ScalabilityResult:
+    """Speedup over 1 core of complete replication for the shared-memory group."""
+    names = (
+        list(benchmarks) if benchmarks is not None else shared_memory_benchmark_names()
+    )
+    result = ScalabilityResult(
+        title="Figure 5 — complete replication scalability (shared memory)",
+        x_label="cores",
+    )
+    for name in names:
+        bench = create_benchmark(name, scale=scale)
+        graph = bench.build_graph()
+        for rate in fault_rates:
+            makespans: List[float] = []
+            for cores in core_counts:
+                machine = shared_memory_node(cores=cores)
+                config = SimulationConfig(
+                    replicate_all=True, crash_probability=rate, seed=seed
+                )
+                sim = simulate_graph(graph, machine, config)
+                makespans.append(sim.makespan_s)
+            ref = makespans[0]
+            for cores, makespan in zip(core_counts, makespans):
+                result.rows.append(
+                    {
+                        "benchmark": name,
+                        "fault_rate": rate,
+                        "x": cores,
+                        "makespan_s": makespan,
+                        "speedup": ref / makespan if makespan > 0 else 0.0,
+                    }
+                )
+    return result
+
+
+def figure6_scalability_distributed(
+    scale: float = 1.0,
+    node_counts: Sequence[int] = (4, 16, 64),
+    cores_per_node: int = 16,
+    fault_rates: Sequence[float] = (0.0, 0.01, 0.05),
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ScalabilityResult:
+    """Speedup over the smallest configuration (64 cores in the paper) for the
+    distributed group, with complete replication and fixed per-task fault rates."""
+    names = (
+        list(benchmarks) if benchmarks is not None else distributed_benchmark_names()
+    )
+    result = ScalabilityResult(
+        title="Figure 6 — complete replication scalability (distributed)",
+        x_label="cores",
+    )
+    for name in names:
+        graphs = {
+            n_nodes: _distributed_benchmark(name, n_nodes, scale).build_graph()
+            for n_nodes in node_counts
+        }
+        for rate in fault_rates:
+            makespans: List[float] = []
+            core_points: List[int] = []
+            for n_nodes in node_counts:
+                machine = marenostrum_cluster(n_nodes=n_nodes, cores_per_node=cores_per_node)
+                config = SimulationConfig(
+                    replicate_all=True, crash_probability=rate, seed=seed
+                )
+                sim = simulate_graph(graphs[n_nodes], machine, config)
+                makespans.append(sim.makespan_s)
+                core_points.append(n_nodes * cores_per_node)
+            ref = makespans[0]
+            for cores, makespan in zip(core_points, makespans):
+                result.rows.append(
+                    {
+                        "benchmark": name,
+                        "fault_rate": rate,
+                        "x": cores,
+                        "makespan_s": makespan,
+                        "speedup": ref / makespan if makespan > 0 else 0.0,
+                    }
+                )
+    return result
+
+
+# ---------------------------------------------------------------------------------
+# Ablations (beyond the paper)
+# ---------------------------------------------------------------------------------
+
+
+@dataclass
+class AblationPoliciesResult:
+    """App_FIT versus offline/naive selection policies at the same threshold."""
+
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Plain-text policy comparison."""
+        table = TextTable(
+            [
+                "benchmark",
+                "policy",
+                "% tasks replicated",
+                "% time replicated",
+                "unprotected FIT",
+                "meets threshold",
+            ],
+            title="Ablation — selection policies at the 10x exascale threshold",
+        )
+        for row in self.rows:
+            table.add_row(
+                row["benchmark"],
+                row["policy"],
+                100.0 * row["task_fraction"],
+                100.0 * row["time_fraction"],
+                row["unprotected_fit"],
+                row["meets_threshold"],
+            )
+        return table.render()
+
+
+def ablation_policies(
+    scale: float = 1.0,
+    multiplier: float = 10.0,
+    benchmarks: Sequence[str] = ("cholesky", "stream", "linpack"),
+    rate_spec: Optional[FitRateSpec] = None,
+    seed: int = 13,
+) -> AblationPoliciesResult:
+    """Compare App_FIT with the knapsack oracle and FIT-oblivious baselines."""
+    spec = rate_spec if rate_spec is not None else FitRateSpec()
+    result = AblationPoliciesResult()
+    for name in benchmarks:
+        bench = create_benchmark(name, scale=scale)
+        graph = bench.build_graph()
+        threshold = _appfit_threshold(graph, spec)
+        scaled_spec = spec.scaled(multiplier)
+        estimator = ArgumentSizeEstimator(scaled_spec)
+
+        appfit = AppFit(threshold, len(graph), estimator)
+        appfit_dec = decide_for_graph(graph, appfit)
+
+        oracle = KnapsackOracle(threshold, estimator)
+        oracle_sol = oracle.solve(graph.tasks())
+
+        fraction = appfit_dec.task_fraction
+        from repro.util.rng import RngStream
+
+        random_policy = RandomReplication(fraction, rng=RngStream(seed))
+        random_dec = decide_for_graph(graph, random_policy)
+
+        topfit = TopFitReplication(fraction, estimator)
+        topfit_dec = decide_for_graph(graph, topfit)
+
+        complete_dec = decide_for_graph(graph, CompleteReplication())
+
+        total_duration = graph.total_work_seconds()
+
+        def add_row(policy_name, replicated_ids, task_fraction, time_fraction):
+            unprotected = _unprotected_fit(graph, replicated_ids, scaled_spec)
+            result.rows.append(
+                {
+                    "benchmark": name,
+                    "policy": policy_name,
+                    "task_fraction": task_fraction,
+                    "time_fraction": time_fraction,
+                    "unprotected_fit": unprotected,
+                    "threshold": threshold,
+                    "meets_threshold": unprotected <= threshold * (1 + 1e-9),
+                }
+            )
+
+        add_row("app_fit", appfit_dec.replicated_ids, appfit_dec.task_fraction, appfit_dec.time_fraction)
+        add_row(
+            "knapsack_oracle",
+            oracle_sol.replicate_ids,
+            oracle_sol.replication_task_fraction,
+            oracle_sol.replication_time_fraction,
+        )
+        add_row("random", random_dec.replicated_ids, random_dec.task_fraction, random_dec.time_fraction)
+        add_row("top_fit", topfit_dec.replicated_ids, topfit_dec.task_fraction, topfit_dec.time_fraction)
+        add_row("complete", complete_dec.replicated_ids, complete_dec.task_fraction, complete_dec.time_fraction)
+    return result
+
+
+@dataclass
+class RateSweepResult:
+    """Replication demanded by App_FIT as error rates grow."""
+
+    benchmark: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Plain-text rate sweep."""
+        table = TextTable(
+            ["rate multiplier", "residual FIT factor", "% tasks replicated", "% time replicated"],
+            title=f"Ablation — error-rate sweep ({self.benchmark})",
+        )
+        for row in self.rows:
+            table.add_row(
+                row["multiplier"],
+                row["residual_fit_factor"],
+                100.0 * row["task_fraction"],
+                100.0 * row["time_fraction"],
+            )
+        return table.render()
+
+
+def ablation_rate_sweep(
+    benchmark: str = "cholesky",
+    scale: float = 1.0,
+    multipliers: Sequence[float] = (1.0, 2.0, 5.0, 10.0, 20.0),
+    residual_factors: Sequence[float] = (0.0, 0.1),
+    rate_spec: Optional[FitRateSpec] = None,
+) -> RateSweepResult:
+    """Sweep the error-rate multiplier (and residual model) for one benchmark."""
+    spec = rate_spec if rate_spec is not None else FitRateSpec()
+    bench = create_benchmark(benchmark, scale=scale)
+    graph = bench.build_graph()
+    threshold = _appfit_threshold(graph, spec)
+    result = RateSweepResult(benchmark=benchmark)
+    for residual in residual_factors:
+        for mult in multipliers:
+            policy = AppFit(
+                threshold,
+                len(graph),
+                ArgumentSizeEstimator(spec.scaled(mult)),
+                residual_fit_factor=residual,
+            )
+            decisions = decide_for_graph(graph, policy)
+            result.rows.append(
+                {
+                    "multiplier": mult,
+                    "residual_fit_factor": residual,
+                    "task_fraction": decisions.task_fraction,
+                    "time_fraction": decisions.time_fraction,
+                }
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------------
+# Quickstart helper
+# ---------------------------------------------------------------------------------
+
+
+def appfit_single_benchmark(
+    benchmark_name: str = "cholesky",
+    multiplier: float = 10.0,
+    scale: float = 0.25,
+) -> str:
+    """One-benchmark App_FIT summary used by the README quickstart."""
+    fig3 = figure3_appfit(scale=scale, multipliers=(multiplier,), benchmarks=(benchmark_name,))
+    row = fig3.rows[0]
+    lines = [
+        f"benchmark            : {row['benchmark']} (scale {scale})",
+        f"error-rate multiplier: {multiplier:.0f}x",
+        f"tasks                : {row['n_tasks']}",
+        f"tasks replicated     : {100.0 * row['task_fraction']:.1f}%",
+        f"time replicated      : {100.0 * row['time_fraction']:.1f}%",
+        f"FIT threshold        : {row['threshold_fit']:.4f}",
+        f"FIT achieved         : {row['achieved_fit']:.4f}",
+        f"threshold respected  : {row['threshold_respected']}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Benchmark task-graph generators (the paper's Table I applications).
+
+Shared-memory benchmarks: SparseLU, Cholesky, FFT, Perlin Noise, Stream.
+Distributed benchmarks: Nbody, Matrix Multiplication, Pingpong, Linpack (HPL).
+
+Every benchmark produces a :class:`~repro.runtime.graph.TaskGraph` whose task
+types, dependency structure, block sizes and argument sizes follow the Table I
+configurations (``scale=1.0``); smaller scales shrink the problem for tests
+and quick runs.  The shared-memory benchmarks additionally provide a
+*functional* mode that executes real NumPy kernels through the runtime, which
+the integration tests and examples use to exercise SDC detection and recovery
+end to end.
+"""
+
+from repro.apps.base import Benchmark, BenchmarkInfo
+from repro.apps.registry import (
+    all_benchmark_names,
+    create_benchmark,
+    distributed_benchmark_names,
+    shared_memory_benchmark_names,
+)
+from repro.apps.sparselu import SparseLUBenchmark
+from repro.apps.cholesky import CholeskyBenchmark
+from repro.apps.fft import FFTBenchmark
+from repro.apps.perlin import PerlinNoiseBenchmark
+from repro.apps.stream import StreamBenchmark
+from repro.apps.nbody import NbodyBenchmark
+from repro.apps.matmul import MatmulBenchmark
+from repro.apps.pingpong import PingpongBenchmark
+from repro.apps.linpack import LinpackBenchmark
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkInfo",
+    "CholeskyBenchmark",
+    "FFTBenchmark",
+    "LinpackBenchmark",
+    "MatmulBenchmark",
+    "NbodyBenchmark",
+    "PerlinNoiseBenchmark",
+    "PingpongBenchmark",
+    "SparseLUBenchmark",
+    "StreamBenchmark",
+    "all_benchmark_names",
+    "create_benchmark",
+    "distributed_benchmark_names",
+    "shared_memory_benchmark_names",
+]

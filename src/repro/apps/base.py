@@ -1,0 +1,110 @@
+"""Common machinery for benchmark task-graph generators."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.runtime.graph import TaskGraph
+from repro.runtime.runtime import TaskRuntime
+from repro.util.units import bytes_to_mib
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """A Table I row: what the benchmark computes and how it is blocked."""
+
+    name: str
+    description: str
+    problem: str
+    block: str
+    distributed: bool
+    input_bytes: float
+    n_tasks: int
+
+    @property
+    def input_mib(self) -> float:
+        """Benchmark input size in MiB (the basis of the application FIT)."""
+        return bytes_to_mib(self.input_bytes)
+
+
+class Benchmark(abc.ABC):
+    """Base class of all Table I benchmark generators.
+
+    Subclasses configure themselves with Table I problem/block sizes by default
+    (``scale=1.0``); a smaller scale shrinks the problem while preserving the
+    task structure, which is what the unit tests and the quick benchmark
+    presets use.
+    """
+
+    #: Registry name, e.g. ``"cholesky"``.
+    name: str = "benchmark"
+    #: Human-readable description for the Table I reproduction.
+    description: str = ""
+    #: Whether the benchmark belongs to the distributed group of Table I.
+    distributed: bool = False
+
+    def __init__(self) -> None:
+        self._graph_cache: Optional[TaskGraph] = None
+
+    # -- to be provided by subclasses ---------------------------------------------
+
+    @abc.abstractmethod
+    def _build(self, runtime: TaskRuntime) -> None:
+        """Submit every task of the benchmark into ``runtime``."""
+
+    @property
+    @abc.abstractmethod
+    def input_bytes(self) -> float:
+        """Size of the benchmark's input data (Section IV-A's benchmark FIT basis)."""
+
+    @property
+    @abc.abstractmethod
+    def problem_label(self) -> str:
+        """Human-readable problem size (Table I's middle column)."""
+
+    @property
+    @abc.abstractmethod
+    def block_label(self) -> str:
+        """Human-readable block size (Table I's right column)."""
+
+    # -- shared behaviour ------------------------------------------------------------
+
+    def build_graph(self, use_cache: bool = True) -> TaskGraph:
+        """Generate the benchmark's task graph (cached after the first call)."""
+        if use_cache and self._graph_cache is not None:
+            return self._graph_cache
+        runtime = TaskRuntime(n_workers=1, config=None)
+        runtime.config.graph_name = self.name
+        self._build(runtime)
+        graph = runtime.graph
+        if use_cache:
+            self._graph_cache = graph
+        return graph
+
+    def info(self) -> BenchmarkInfo:
+        """The benchmark's Table I row, with the generated task count."""
+        graph = self.build_graph()
+        return BenchmarkInfo(
+            name=self.name,
+            description=self.description,
+            problem=self.problem_label,
+            block=self.block_label,
+            distributed=self.distributed,
+            input_bytes=self.input_bytes,
+            n_tasks=len(graph),
+        )
+
+    def functional_run(self, n_workers: int = 2, hook=None):
+        """Execute a scaled-down functional variant through the runtime.
+
+        Only the shared-memory benchmarks provide functional variants; the
+        distributed ones are simulation-only (see DESIGN.md).
+        """
+        raise NotImplementedError(
+            f"benchmark {self.name!r} does not provide a functional variant"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.problem_label}, block {self.block_label})"

@@ -1,0 +1,156 @@
+"""Cholesky: tiled Cholesky factorisation (Table I).
+
+Paper configuration: 16384 x 16384 doubles, 512 x 512 blocks.  Task types are
+the classical right-looking tile algorithm: ``potrf``, ``trsm``, ``syrk`` and
+``gemm``.  The blocks are coarse and the task count is a few thousand, which is
+why the paper observes that Cholesky needs comparatively more replication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.apps import kernels
+from repro.apps.base import Benchmark
+from repro.runtime.runtime import TaskRuntime
+
+DOUBLE = kernels.DOUBLE
+
+
+class CholeskyBenchmark(Benchmark):
+    """Tiled Cholesky factorisation of a dense SPD matrix."""
+
+    name = "cholesky"
+    description = "Cholesky factorization"
+    distributed = False
+
+    def __init__(
+        self,
+        matrix_size: int = 16384,
+        block_size: int = 512,
+        core_flops: float = kernels.DEFAULT_CORE_FLOPS,
+    ) -> None:
+        super().__init__()
+        if matrix_size % block_size:
+            raise ValueError("matrix_size must be a multiple of block_size")
+        self.matrix_size = matrix_size
+        self.block_size = block_size
+        self.n_blocks = matrix_size // block_size
+        self.core_flops = core_flops
+
+    @classmethod
+    def from_scale(cls, scale: float = 1.0) -> "CholeskyBenchmark":
+        """Table I at ``scale=1``; smaller scales shrink the block count."""
+        nb = max(4, int(round(32 * scale)))
+        return cls(matrix_size=nb * 512, block_size=512)
+
+    @property
+    def input_bytes(self) -> float:
+        return float(self.matrix_size) ** 2 * DOUBLE
+
+    @property
+    def problem_label(self) -> str:
+        return f"Matrix size {self.matrix_size}x{self.matrix_size} doubles"
+
+    @property
+    def block_label(self) -> str:
+        return f"{self.block_size}x{self.block_size}"
+
+    def _build(self, runtime: TaskRuntime) -> None:
+        nb = self.n_blocks
+        bs = self.block_size
+        block_bytes = float(bs * bs * DOUBLE)
+
+        regions: Dict[Tuple[int, int], object] = {}
+
+        def region(i: int, j: int):
+            key = (i, j)
+            if key not in regions:
+                handle = runtime.register_region(f"A[{i}][{j}]", block_bytes)
+                regions[key] = handle.whole()
+            return regions[key]
+
+        t_potrf = kernels.duration_for_flops(kernels.potrf_flops(bs), self.core_flops)
+        t_trsm = kernels.duration_for_flops(kernels.trsm_flops(bs), self.core_flops)
+        t_syrk = kernels.duration_for_flops(kernels.syrk_flops(bs), self.core_flops)
+        t_gemm = kernels.duration_for_flops(kernels.gemm_flops(bs), self.core_flops)
+
+        for k in range(nb):
+            runtime.submit(
+                task_type="potrf", inout=[region(k, k)], duration_s=t_potrf, metadata={"k": k}
+            )
+            for i in range(k + 1, nb):
+                runtime.submit(
+                    task_type="trsm",
+                    in_=[region(k, k)],
+                    inout=[region(i, k)],
+                    duration_s=t_trsm,
+                    metadata={"k": k, "i": i},
+                )
+            for i in range(k + 1, nb):
+                runtime.submit(
+                    task_type="syrk",
+                    in_=[region(i, k)],
+                    inout=[region(i, i)],
+                    duration_s=t_syrk,
+                    metadata={"k": k, "i": i},
+                )
+                for j in range(k + 1, i):
+                    runtime.submit(
+                        task_type="gemm",
+                        in_=[region(i, k), region(j, k)],
+                        inout=[region(i, j)],
+                        duration_s=t_gemm,
+                        metadata={"k": k, "i": i, "j": j},
+                    )
+
+    # -- functional mode ------------------------------------------------------------
+
+    def functional_run(self, n_workers: int = 2, hook=None, matrix_size: int = 128, block_size: int = 32):
+        """Tiled Cholesky on a small SPD matrix with real NumPy kernels.
+
+        Returns ``(result, blocks, reference)``; ``reference`` is the input SPD
+        matrix so tests can check ``L @ L.T == reference``.
+        """
+        if matrix_size % block_size:
+            raise ValueError("matrix_size must be a multiple of block_size")
+        nb = matrix_size // block_size
+        rng = np.random.default_rng(3)
+        m = rng.standard_normal((matrix_size, matrix_size))
+        spd = m @ m.T + matrix_size * np.eye(matrix_size)
+        reference = spd.copy()
+
+        runtime = TaskRuntime(n_workers=n_workers, hook=hook)
+        handles = {}
+        for i in range(nb):
+            for j in range(i + 1):
+                blk = np.ascontiguousarray(
+                    spd[i * block_size : (i + 1) * block_size, j * block_size : (j + 1) * block_size]
+                )
+                handles[(i, j)] = runtime.register_array(f"A[{i}][{j}]", blk)
+
+        def reg(i, j):
+            return handles[(i, j)].whole()
+
+        for k in range(nb):
+            runtime.submit(kernels.kernel_potrf, task_type="potrf", inout=[reg(k, k)])
+            for i in range(k + 1, nb):
+                runtime.submit(
+                    kernels.kernel_trsm, task_type="trsm", in_=[reg(k, k)], inout=[reg(i, k)]
+                )
+            for i in range(k + 1, nb):
+                runtime.submit(
+                    kernels.kernel_syrk, task_type="syrk", in_=[reg(i, k)], inout=[reg(i, i)]
+                )
+                for j in range(k + 1, i):
+                    runtime.submit(
+                        kernels.kernel_gemm,
+                        task_type="gemm",
+                        in_=[reg(i, k), reg(j, k)],
+                        inout=[reg(i, j)],
+                    )
+        result = runtime.taskwait()
+        storages = {key: handles[key].storage for key in handles}
+        return result, storages, reference

@@ -1,0 +1,116 @@
+"""FFT: blocked 2D Fast Fourier Transform (Table I).
+
+Paper configuration: 16384 x 16384 complex doubles, blocked into row panels of
+16384 x 128.  The classical transpose-based 2D FFT gives four stages:
+
+1. ``fft_rows`` on every panel,
+2. ``transpose`` of the panel-decomposed matrix (every output panel reads every
+   input panel),
+3. ``twiddle_fft`` on every transposed panel,
+4. ``transpose_back``.
+
+All tasks are coarse (each panel is 32 MiB of complex doubles) and there are
+only a few hundred of them — the "coarse, low task count" end of the paper's
+granularity spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps import kernels
+from repro.apps.base import Benchmark
+from repro.runtime.runtime import TaskRuntime
+
+COMPLEX_DOUBLE = kernels.COMPLEX_DOUBLE
+
+
+class FFTBenchmark(Benchmark):
+    """Blocked transpose-based 2D FFT."""
+
+    name = "fft"
+    description = "Fast Fourier Transform"
+    distributed = False
+
+    def __init__(
+        self,
+        matrix_size: int = 16384,
+        panel_rows: int = 128,
+        core_flops: float = kernels.DEFAULT_CORE_FLOPS,
+    ) -> None:
+        super().__init__()
+        if matrix_size % panel_rows:
+            raise ValueError("matrix_size must be a multiple of panel_rows")
+        self.matrix_size = matrix_size
+        self.panel_rows = panel_rows
+        self.n_panels = matrix_size // panel_rows
+        self.core_flops = core_flops
+
+    @classmethod
+    def from_scale(cls, scale: float = 1.0) -> "FFTBenchmark":
+        """Table I at ``scale=1``; smaller scales shrink the panel count."""
+        n_panels = max(4, int(round(128 * scale)))
+        return cls(matrix_size=n_panels * 128, panel_rows=128)
+
+    @property
+    def input_bytes(self) -> float:
+        return float(self.matrix_size) ** 2 * COMPLEX_DOUBLE
+
+    @property
+    def problem_label(self) -> str:
+        return f"Matrix size {self.matrix_size}x{self.matrix_size} complex doubles"
+
+    @property
+    def block_label(self) -> str:
+        return f"{self.matrix_size}x{self.panel_rows}"
+
+    @property
+    def panel_bytes(self) -> float:
+        """Bytes of one row panel."""
+        return float(self.matrix_size) * self.panel_rows * COMPLEX_DOUBLE
+
+    def _build(self, runtime: TaskRuntime) -> None:
+        n = self.n_panels
+        panel_bytes = self.panel_bytes
+        tile_bytes = panel_bytes / n
+
+        a_panels = {p: runtime.register_region(f"A[{p}]", panel_bytes) for p in range(n)}
+        b_panels = {p: runtime.register_region(f"B[{p}]", panel_bytes) for p in range(n)}
+
+        rows_per_panel = self.panel_rows
+        fft_flops = rows_per_panel * kernels.fft_flops(self.matrix_size)
+        # FFTs sustain a fraction of peak floating-point throughput (strided
+        # access, butterflies); 20% of peak is a common rule of thumb.
+        t_fft = kernels.duration_for_flops(fft_flops, 0.2 * self.core_flops)
+        # Transposes are memory-bound: a small compute estimate plus a large
+        # memory footprint which the simulator's bandwidth model stretches.
+        t_transpose = kernels.duration_for_flops(panel_bytes / 8.0, self.core_flops)
+
+        def stage_fft(panels: Dict[int, object], task_type: str) -> None:
+            for p in range(n):
+                runtime.submit(
+                    task_type=task_type,
+                    inout=[panels[p].whole()],
+                    duration_s=t_fft,
+                    metadata={"panel": p},
+                )
+
+        def stage_transpose(src: Dict[int, object], dst: Dict[int, object], task_type: str) -> None:
+            # Output panel p gathers the p-th tile of every source panel.
+            for p in range(n):
+                tiles = [
+                    src[q].region(offset=p * tile_bytes, size_bytes=tile_bytes)
+                    for q in range(n)
+                ]
+                runtime.submit(
+                    task_type=task_type,
+                    in_=tiles,
+                    out=[dst[p].whole()],
+                    duration_s=t_transpose,
+                    metadata={"panel": p, "mem_bytes": 2.0 * panel_bytes},
+                )
+
+        stage_fft(a_panels, "fft_rows")
+        stage_transpose(a_panels, b_panels, "transpose")
+        stage_fft(b_panels, "twiddle_fft")
+        stage_transpose(b_panels, a_panels, "transpose_back")

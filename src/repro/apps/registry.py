@@ -1,0 +1,65 @@
+"""Benchmark registry: create Table I benchmarks by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.apps.base import Benchmark
+from repro.apps.cholesky import CholeskyBenchmark
+from repro.apps.fft import FFTBenchmark
+from repro.apps.linpack import LinpackBenchmark
+from repro.apps.matmul import MatmulBenchmark
+from repro.apps.nbody import NbodyBenchmark
+from repro.apps.perlin import PerlinNoiseBenchmark
+from repro.apps.pingpong import PingpongBenchmark
+from repro.apps.sparselu import SparseLUBenchmark
+from repro.apps.stream import StreamBenchmark
+
+#: Table I order: shared-memory benchmarks first, then the distributed ones.
+_REGISTRY: Dict[str, Type[Benchmark]] = {
+    "sparselu": SparseLUBenchmark,
+    "cholesky": CholeskyBenchmark,
+    "fft": FFTBenchmark,
+    "perlin": PerlinNoiseBenchmark,
+    "stream": StreamBenchmark,
+    "nbody": NbodyBenchmark,
+    "matmul": MatmulBenchmark,
+    "pingpong": PingpongBenchmark,
+    "linpack": LinpackBenchmark,
+}
+
+
+def all_benchmark_names() -> List[str]:
+    """All benchmark names, in Table I order."""
+    return list(_REGISTRY)
+
+
+def shared_memory_benchmark_names() -> List[str]:
+    """Names of the shared-memory benchmarks."""
+    return [name for name, cls in _REGISTRY.items() if not cls.distributed]
+
+
+def distributed_benchmark_names() -> List[str]:
+    """Names of the distributed benchmarks."""
+    return [name for name, cls in _REGISTRY.items() if cls.distributed]
+
+
+def create_benchmark(name: str, scale: float = 1.0, **kwargs) -> Benchmark:
+    """Instantiate a benchmark by name.
+
+    ``scale=1.0`` selects the Table I configuration; smaller values shrink the
+    problem (fewer blocks / iterations / nodes) while preserving the task
+    structure.  Extra keyword arguments override the constructor defaults and
+    take precedence over ``scale``.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(_REGISTRY)}"
+        )
+    cls = _REGISTRY[key]
+    if kwargs:
+        return cls(**kwargs)
+    if scale == 1.0:
+        return cls()
+    return cls.from_scale(scale)

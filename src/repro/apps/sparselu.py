@@ -1,0 +1,205 @@
+"""SparseLU: blocked LU decomposition of a sparse blocked matrix (Table I).
+
+Paper configuration: 12800 x 12800 doubles, 200 x 200 blocks.  The task types
+and dependency pattern follow the BSC Application Repository kernel:
+
+* ``lu0``  — factorise the diagonal block,
+* ``fwd``  — forward-solve a block of the pivot row,
+* ``bdiv`` — divide a block of the pivot column,
+* ``bmod`` — trailing-submatrix update (creates fill-in on empty blocks).
+
+Only non-empty blocks generate work; the initial sparsity pattern is a
+deterministic pseudo-random pattern with the configured fill fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.apps import kernels
+from repro.apps.base import Benchmark
+from repro.runtime.runtime import TaskRuntime
+from repro.util.rng import RngStream
+
+DOUBLE = kernels.DOUBLE
+
+
+class SparseLUBenchmark(Benchmark):
+    """Sparse blocked LU factorisation."""
+
+    name = "sparselu"
+    description = "LU decomposition of a sparse blocked matrix"
+    distributed = False
+
+    def __init__(
+        self,
+        matrix_size: int = 12800,
+        block_size: int = 200,
+        fill_fraction: float = 0.35,
+        seed: int = 20,
+        core_flops: float = kernels.DEFAULT_CORE_FLOPS,
+    ) -> None:
+        super().__init__()
+        if matrix_size % block_size:
+            raise ValueError("matrix_size must be a multiple of block_size")
+        if not 0.0 < fill_fraction <= 1.0:
+            raise ValueError("fill_fraction must be in (0, 1]")
+        self.matrix_size = matrix_size
+        self.block_size = block_size
+        self.n_blocks = matrix_size // block_size
+        self.fill_fraction = fill_fraction
+        self.seed = seed
+        self.core_flops = core_flops
+
+    # -- scaling ---------------------------------------------------------------------
+
+    @classmethod
+    def from_scale(cls, scale: float = 1.0) -> "SparseLUBenchmark":
+        """Table I at ``scale=1``; smaller scales shrink the block count."""
+        nb = max(4, int(round(64 * scale)))
+        return cls(matrix_size=nb * 200, block_size=200)
+
+    # -- Table I metadata --------------------------------------------------------------
+
+    @property
+    def input_bytes(self) -> float:
+        """The (dense-equivalent) input matrix size."""
+        return float(self.matrix_size) ** 2 * DOUBLE
+
+    @property
+    def problem_label(self) -> str:
+        return f"Matrix size {self.matrix_size}x{self.matrix_size} doubles"
+
+    @property
+    def block_label(self) -> str:
+        return f"{self.block_size}x{self.block_size}"
+
+    # -- structure ----------------------------------------------------------------------
+
+    def initial_pattern(self) -> np.ndarray:
+        """Deterministic initial block-sparsity pattern (True = non-empty)."""
+        rng = RngStream(self.seed)
+        nb = self.n_blocks
+        pattern = np.zeros((nb, nb), dtype=bool)
+        for i in range(nb):
+            for j in range(nb):
+                if i == j:
+                    pattern[i, j] = True
+                else:
+                    pattern[i, j] = rng.random() < self.fill_fraction
+        return pattern
+
+    def _build(self, runtime: TaskRuntime) -> None:
+        nb = self.n_blocks
+        bs = self.block_size
+        block_bytes = float(bs * bs * DOUBLE)
+        pattern = self.initial_pattern()
+
+        regions: Dict[Tuple[int, int], object] = {}
+
+        def region(i: int, j: int):
+            key = (i, j)
+            if key not in regions:
+                handle = runtime.register_region(f"A[{i}][{j}]", block_bytes)
+                regions[key] = handle.whole()
+            return regions[key]
+
+        t_lu0 = kernels.duration_for_flops(kernels.getrf_flops(bs), self.core_flops)
+        t_fwd = kernels.duration_for_flops(kernels.trsm_flops(bs), self.core_flops)
+        t_bdiv = kernels.duration_for_flops(kernels.trsm_flops(bs), self.core_flops)
+        t_bmod = kernels.duration_for_flops(kernels.gemm_flops(bs), self.core_flops)
+
+        for k in range(nb):
+            runtime.submit(
+                task_type="lu0",
+                inout=[region(k, k)],
+                duration_s=t_lu0,
+                metadata={"k": k},
+            )
+            for j in range(k + 1, nb):
+                if pattern[k, j]:
+                    runtime.submit(
+                        task_type="fwd",
+                        in_=[region(k, k)],
+                        inout=[region(k, j)],
+                        duration_s=t_fwd,
+                        metadata={"k": k, "j": j},
+                    )
+            for i in range(k + 1, nb):
+                if pattern[i, k]:
+                    runtime.submit(
+                        task_type="bdiv",
+                        in_=[region(k, k)],
+                        inout=[region(i, k)],
+                        duration_s=t_bdiv,
+                        metadata={"k": k, "i": i},
+                    )
+            for i in range(k + 1, nb):
+                if not pattern[i, k]:
+                    continue
+                for j in range(k + 1, nb):
+                    if not pattern[k, j]:
+                        continue
+                    runtime.submit(
+                        task_type="bmod",
+                        in_=[region(i, k), region(k, j)],
+                        inout=[region(i, j)],
+                        duration_s=t_bmod,
+                        metadata={"k": k, "i": i, "j": j},
+                    )
+                    pattern[i, j] = True  # fill-in
+
+    # -- functional mode ---------------------------------------------------------------
+
+    def functional_run(self, n_workers: int = 2, hook=None, matrix_size: int = 200, block_size: int = 50):
+        """Run a small dense LU through the runtime with real NumPy kernels.
+
+        Returns ``(runtime, blocks, reference)`` where ``reference`` is the
+        original matrix so tests can validate ``L*U`` against it.
+        """
+        if matrix_size % block_size:
+            raise ValueError("matrix_size must be a multiple of block_size")
+        nb = matrix_size // block_size
+        rng = np.random.default_rng(self.seed)
+        dense = rng.standard_normal((matrix_size, matrix_size))
+        # Diagonal dominance keeps the pivoting-free factorisation stable.
+        dense += np.eye(matrix_size) * matrix_size
+        reference = dense.copy()
+
+        runtime = TaskRuntime(n_workers=n_workers, hook=hook)
+        blocks = {}
+        handles = {}
+        for i in range(nb):
+            for j in range(nb):
+                blk = np.ascontiguousarray(
+                    dense[i * block_size : (i + 1) * block_size, j * block_size : (j + 1) * block_size]
+                )
+                blocks[(i, j)] = blk
+                handles[(i, j)] = runtime.register_array(f"A[{i}][{j}]", blk)
+
+        def reg(i, j):
+            return handles[(i, j)].whole()
+
+        for k in range(nb):
+            runtime.submit(kernels.kernel_lu0, task_type="lu0", inout=[reg(k, k)])
+            for j in range(k + 1, nb):
+                runtime.submit(
+                    kernels.kernel_fwd, task_type="fwd", in_=[reg(k, k)], inout=[reg(k, j)]
+                )
+            for i in range(k + 1, nb):
+                runtime.submit(
+                    kernels.kernel_bdiv, task_type="bdiv", in_=[reg(k, k)], inout=[reg(i, k)]
+                )
+            for i in range(k + 1, nb):
+                for j in range(k + 1, nb):
+                    runtime.submit(
+                        kernels.kernel_bmod,
+                        task_type="bmod",
+                        in_=[reg(i, k), reg(k, j)],
+                        inout=[reg(i, j)],
+                    )
+        result = runtime.taskwait()
+        storages = {key: handles[key].storage for key in handles}
+        return result, storages, reference

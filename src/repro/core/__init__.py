@@ -1,0 +1,89 @@
+"""The paper's primary contribution: selective task replication with App_FIT.
+
+Layering (bottom to top):
+
+* :mod:`repro.core.fit` — FIT budget accounting (``current_fit``, thresholds,
+  the per-decision envelope of Equation 1, audits).
+* :mod:`repro.core.estimator` — pluggable per-task failure-rate estimators
+  (argument-size based by default, as in the paper; vulnerability-weighted and
+  trace-based refinements as the orthogonality hooks of Section IV-A).
+* :mod:`repro.core.checkpoint` / :mod:`repro.core.comparator` — the safe
+  checkpoint store and the output comparators used by the replication protocol.
+* :mod:`repro.core.replication` — the task replication protocol of Figure 2
+  (checkpoint, replica, compare, restore + re-execute + majority vote).
+* :mod:`repro.core.heuristic` / :mod:`repro.core.policies` /
+  :mod:`repro.core.knapsack` — App_FIT (Equation 1) and the baseline selection
+  policies it is compared against.
+* :mod:`repro.core.engine` — the selective-replication engine that ties policy,
+  protocol and accounting together, both as a runtime execution hook
+  (functional mode) and as a decision driver over task graphs (simulation
+  mode, used by the Figure 3 harness).
+"""
+
+from repro.core.config import ReplicationConfig
+from repro.core.fit import FitAccount, FitAudit
+from repro.core.estimator import (
+    ArgumentSizeEstimator,
+    FailureRateEstimator,
+    TraceBasedEstimator,
+    VulnerabilityWeightedEstimator,
+)
+from repro.core.checkpoint import CheckpointStore, TaskCheckpoint
+from repro.core.comparator import (
+    BitwiseComparator,
+    ChecksumComparator,
+    ComparisonResult,
+    OutputComparator,
+    ToleranceComparator,
+    majority_vote,
+)
+from repro.core.replication import ReplicationOutcome, TaskReplicator
+from repro.core.heuristic import AppFit, SelectionDecision, SelectionPolicy
+from repro.core.policies import (
+    CompleteReplication,
+    FitThresholdPolicy,
+    NoReplication,
+    PeriodicReplication,
+    RandomReplication,
+    TopFitReplication,
+)
+from repro.core.knapsack import KnapsackOracle, KnapsackSolution
+from repro.core.engine import (
+    ReplicationDecisions,
+    SelectiveReplicationEngine,
+    decide_for_graph,
+)
+
+__all__ = [
+    "AppFit",
+    "ArgumentSizeEstimator",
+    "BitwiseComparator",
+    "ChecksumComparator",
+    "CheckpointStore",
+    "CompleteReplication",
+    "ComparisonResult",
+    "FailureRateEstimator",
+    "FitAccount",
+    "FitAudit",
+    "FitThresholdPolicy",
+    "KnapsackOracle",
+    "KnapsackSolution",
+    "NoReplication",
+    "OutputComparator",
+    "PeriodicReplication",
+    "RandomReplication",
+    "ReplicationConfig",
+    "ReplicationDecisions",
+    "ReplicationOutcome",
+    "SelectionDecision",
+    "SelectionPolicy",
+    "SelectiveReplicationEngine",
+    "TaskCheckpoint",
+    "TaskReplicator",
+    "ToleranceComparator",
+    "TopFitReplication",
+    "TraceBasedEstimator",
+    "VulnerabilityWeightedEstimator",
+    "decide_for_graph",
+    "majority_vote",
+]

@@ -1,0 +1,150 @@
+"""Output comparators and majority voting (steps 3-5 of the paper's design).
+
+The original task and its replica are synchronised once, at the end of their
+execution, where their results are compared.  Inequality signals an SDC; the
+task is then re-executed from its checkpoint and the majority of the three
+results wins.  The paper uses bitwise comparison but notes that other
+comparators (e.g. residue checkers) can be deployed — hence the pluggable
+interface here.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+
+class ComparisonResult(enum.Enum):
+    """Outcome of comparing two executions' outputs."""
+
+    MATCH = "match"
+    MISMATCH = "mismatch"
+
+
+class OutputComparator(Protocol):
+    """Compares two sets of output arrays produced by redundant executions."""
+
+    def compare(self, a: Sequence[np.ndarray], b: Sequence[np.ndarray]) -> ComparisonResult:
+        """Return MATCH when the outputs are considered equal."""
+        ...  # pragma: no cover - protocol definition
+
+    def equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Whether two single arrays are considered equal."""
+        ...  # pragma: no cover - protocol definition
+
+
+class _BaseComparator:
+    """Shared sequence-comparison logic for concrete comparators."""
+
+    def compare(self, a: Sequence[np.ndarray], b: Sequence[np.ndarray]) -> ComparisonResult:
+        """Compare output sets element-wise; any mismatch fails the whole set."""
+        if len(a) != len(b):
+            return ComparisonResult.MISMATCH
+        for x, y in zip(a, b):
+            if not self.equal(x, y):
+                return ComparisonResult.MISMATCH
+        return ComparisonResult.MATCH
+
+    def equal(self, a: np.ndarray, b: np.ndarray) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class BitwiseComparator(_BaseComparator):
+    """Exact byte-for-byte equality (the paper's default)."""
+
+    def equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Byte-level equality of the two buffers."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.shape != b.shape or a.dtype != b.dtype:
+            return False
+        return bool(np.array_equal(a.view(np.uint8), b.view(np.uint8)))
+
+
+class ToleranceComparator(_BaseComparator):
+    """Approximate equality within absolute/relative tolerances.
+
+    Useful when replicas may legitimately differ in the last bits (e.g.
+    non-deterministic reduction orders); NaNs are treated as equal to NaNs so a
+    corrupted NaN still differs from a finite value.
+    """
+
+    def __init__(self, rtol: float = 1e-12, atol: float = 0.0) -> None:
+        if rtol < 0 or atol < 0:
+            raise ValueError("tolerances must be non-negative")
+        self.rtol = rtol
+        self.atol = atol
+
+    def equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Element-wise closeness within the configured tolerances."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.shape != b.shape:
+            return False
+        if not (np.issubdtype(a.dtype, np.inexact) or np.issubdtype(b.dtype, np.inexact)):
+            return bool(np.array_equal(a, b))
+        return bool(np.allclose(a, b, rtol=self.rtol, atol=self.atol, equal_nan=True))
+
+
+class ChecksumComparator(_BaseComparator):
+    """Residue-style comparison via CRC32 checksums of the raw bytes.
+
+    Cheaper to transport than full buffers (only the checksum needs to cross
+    the node boundary in a distributed setting); detection strength is that of
+    CRC32.
+    """
+
+    @staticmethod
+    def checksum(a: np.ndarray) -> int:
+        """CRC32 of the array's raw bytes (shape/dtype included via a header)."""
+        a = np.ascontiguousarray(a)
+        header = f"{a.dtype.str}:{a.shape}".encode()
+        return zlib.crc32(a.tobytes(), zlib.crc32(header))
+
+    def equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Checksum equality."""
+        return self.checksum(np.asarray(a)) == self.checksum(np.asarray(b))
+
+
+@dataclass
+class VoteResult:
+    """Outcome of a majority vote across redundant executions."""
+
+    winner_index: Optional[int]
+    agreeing_indices: List[int]
+
+    @property
+    def resolved(self) -> bool:
+        """Whether a majority was found."""
+        return self.winner_index is not None
+
+
+def majority_vote(
+    candidates: Sequence[Sequence[np.ndarray]],
+    comparator: Optional[OutputComparator] = None,
+) -> VoteResult:
+    """Majority vote over candidate output sets (step 5 of the paper's design).
+
+    Each candidate is the list of output arrays produced by one execution.
+    Returns the index of a candidate that agrees with a strict majority, or an
+    unresolved result when every candidate disagrees with every other.
+    """
+    comparator = comparator if comparator is not None else BitwiseComparator()
+    n = len(candidates)
+    if n == 0:
+        raise ValueError("majority_vote needs at least one candidate")
+    majority = n // 2 + 1
+    for i in range(n):
+        agreeing = [i]
+        for j in range(n):
+            if i == j:
+                continue
+            if comparator.compare(candidates[i], candidates[j]) is ComparisonResult.MATCH:
+                agreeing.append(j)
+        if len(agreeing) >= majority:
+            return VoteResult(winner_index=i, agreeing_indices=sorted(agreeing))
+    return VoteResult(winner_index=None, agreeing_indices=[])

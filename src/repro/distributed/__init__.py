@@ -1,0 +1,24 @@
+"""Simulated cluster substrate for the distributed benchmarks.
+
+The paper's distributed experiments run OmpSs+MPI on up to 64 nodes / 1024
+cores.  This package models the pieces the benchmark generators and the
+simulator need: a cluster description, task-to-node mappings (block-cyclic and
+round-robin, as HPL-style codes use), and an analytic communication cost model
+(point-to-point, broadcast, all-reduce) used to size communication tasks.
+"""
+
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.comm import CommunicationModel
+from repro.distributed.mapping import (
+    BlockCyclicMapping,
+    RoundRobinMapping,
+    owner_2d_block_cyclic,
+)
+
+__all__ = [
+    "BlockCyclicMapping",
+    "ClusterSpec",
+    "CommunicationModel",
+    "RoundRobinMapping",
+    "owner_2d_block_cyclic",
+]

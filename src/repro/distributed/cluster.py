@@ -1,0 +1,53 @@
+"""Cluster description used by the distributed benchmark generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.machine import MachineSpec, marenostrum_cluster
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named view over a :class:`MachineSpec` with rank/grid helpers."""
+
+    machine: MachineSpec
+
+    @classmethod
+    def marenostrum(cls, n_nodes: int = 64, cores_per_node: int = 16) -> "ClusterSpec":
+        """The paper's distributed configuration (64 nodes x 16 cores = 1024 cores)."""
+        return cls(machine=marenostrum_cluster(n_nodes, cores_per_node))
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self.machine.n_nodes
+
+    @property
+    def total_cores(self) -> int:
+        """Total worker cores."""
+        return self.machine.total_cores
+
+    def grid_shape(self) -> tuple:
+        """A near-square 2D process grid (rows, cols) covering all nodes.
+
+        HPL-style codes lay nodes out on a PxQ grid; the paper's Linpack run
+        uses an 8x8 grid on 64 nodes.
+        """
+        import math
+
+        n = self.n_nodes
+        p = int(math.sqrt(n))
+        while p > 1 and n % p != 0:
+            p -= 1
+        return (p, n // p)
+
+    def node_for_rank(self, rank: int) -> int:
+        """Map an MPI-style rank onto a node index."""
+        check_positive_int(rank + 1, "rank + 1")
+        return rank % self.n_nodes
+
+    def with_nodes(self, n_nodes: int) -> "ClusterSpec":
+        """A copy of the cluster with a different node count."""
+        return ClusterSpec(machine=self.machine.with_nodes(n_nodes))

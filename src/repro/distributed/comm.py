@@ -1,0 +1,63 @@
+"""Analytic communication cost model (alpha-beta model).
+
+Point-to-point messages cost ``alpha + bytes / beta``; collectives follow the
+usual logarithmic tree estimates.  The distributed benchmark generators use
+these estimates to size their communication tasks, and the simulator uses the
+same parameters (through :class:`~repro.simulator.machine.MachineSpec`) for
+edges that cross nodes, so both views stay consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simulator.machine import MachineSpec
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Latency/bandwidth (alpha-beta) communication cost model."""
+
+    latency_s: float = 1.5e-6
+    bandwidth_Bps: float = 4e9
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.latency_s, "latency_s")
+        check_positive(self.bandwidth_Bps, "bandwidth_Bps")
+
+    @classmethod
+    def from_machine(cls, machine: MachineSpec) -> "CommunicationModel":
+        """Build the model from a machine's network parameters."""
+        return cls(
+            latency_s=machine.network_latency_s,
+            bandwidth_Bps=machine.network_bandwidth_Bps,
+        )
+
+    # -- primitives --------------------------------------------------------------
+
+    def point_to_point(self, n_bytes: float) -> float:
+        """Time for one message of ``n_bytes``."""
+        check_non_negative(n_bytes, "n_bytes")
+        return self.latency_s + n_bytes / self.bandwidth_Bps
+
+    def broadcast(self, n_bytes: float, n_ranks: int) -> float:
+        """Binomial-tree broadcast estimate across ``n_ranks`` processes."""
+        if n_ranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(n_ranks))
+        return rounds * self.point_to_point(n_bytes)
+
+    def allreduce(self, n_bytes: float, n_ranks: int) -> float:
+        """Recursive-doubling all-reduce estimate."""
+        if n_ranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(n_ranks))
+        return 2 * rounds * self.point_to_point(n_bytes)
+
+    def alltoall(self, n_bytes_per_pair: float, n_ranks: int) -> float:
+        """Pairwise-exchange all-to-all estimate."""
+        if n_ranks <= 1:
+            return 0.0
+        return (n_ranks - 1) * self.point_to_point(n_bytes_per_pair)

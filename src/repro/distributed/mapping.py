@@ -1,0 +1,63 @@
+"""Task/data to node mappings used by the distributed benchmark generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive_int
+
+
+def owner_2d_block_cyclic(block_row: int, block_col: int, grid_rows: int, grid_cols: int) -> int:
+    """Owner node of block (row, col) in a 2D block-cyclic distribution.
+
+    This is the standard ScaLAPACK/HPL layout: block (i, j) lives on process
+    ``(i mod P, j mod Q)`` of the PxQ grid, linearised row-major.
+    """
+    check_positive_int(grid_rows, "grid_rows")
+    check_positive_int(grid_cols, "grid_cols")
+    if block_row < 0 or block_col < 0:
+        raise ValueError("block indices must be non-negative")
+    return (block_row % grid_rows) * grid_cols + (block_col % grid_cols)
+
+
+@dataclass(frozen=True)
+class BlockCyclicMapping:
+    """2D block-cyclic mapping over a fixed process grid."""
+
+    grid_rows: int
+    grid_cols: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.grid_rows, "grid_rows")
+        check_positive_int(self.grid_cols, "grid_cols")
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of processes in the grid."""
+        return self.grid_rows * self.grid_cols
+
+    def owner(self, block_row: int, block_col: int) -> int:
+        """Owner node of a block."""
+        return owner_2d_block_cyclic(block_row, block_col, self.grid_rows, self.grid_cols)
+
+    def row_owners(self, block_row: int) -> list:
+        """All nodes owning blocks of a block-row (one per grid column)."""
+        return [
+            self.owner(block_row, c) for c in range(self.grid_cols)
+        ]
+
+
+@dataclass(frozen=True)
+class RoundRobinMapping:
+    """1D round-robin mapping of block indices onto nodes."""
+
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_nodes, "n_nodes")
+
+    def owner(self, index: int) -> int:
+        """Owner node of a 1D block index."""
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        return index % self.n_nodes

@@ -1,0 +1,52 @@
+"""Failure model substrate: error classes, FIT rates, fault injection.
+
+The paper's failure model (Section II-A) distinguishes:
+
+* **DCE** — detected and corrected by hardware (invisible to software, modelled
+  only as a count);
+* **DUE** — detected but uncorrected errors, which crash the affected task;
+* **SDC** — silent data corruptions, which let the task finish with wrong
+  results.
+
+Per-task failure rates are estimated from the Roadrunner TriBlade FIT
+measurements of Michalak et al. scaled proportionally to task argument sizes
+(:mod:`repro.faults.rates`); the injector (:mod:`repro.faults.injector`) draws
+faults against those rates, or against fixed per-task rates for the
+recovery/scalability experiments of Section V-A2.
+"""
+
+from repro.faults.errors import (
+    ErrorClass,
+    FaultEvent,
+    TaskCrashError,
+    SilentDataCorruption,
+)
+from repro.faults.rates import (
+    DEFAULT_CRASH_FIT_PER_32GIB,
+    DEFAULT_SDC_FIT_PER_32GIB,
+    ROADRUNNER_REFERENCE_BYTES,
+    FitRateSpec,
+    exascale_scenario,
+)
+from repro.faults.model import FailureModel, TaskFailureRates
+from repro.faults.injector import FaultInjector, FaultPlan, InjectionConfig
+from repro.faults.corruption import corrupt_array, flip_random_bit
+
+__all__ = [
+    "DEFAULT_CRASH_FIT_PER_32GIB",
+    "DEFAULT_SDC_FIT_PER_32GIB",
+    "ErrorClass",
+    "FailureModel",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FitRateSpec",
+    "InjectionConfig",
+    "ROADRUNNER_REFERENCE_BYTES",
+    "SilentDataCorruption",
+    "TaskCrashError",
+    "TaskFailureRates",
+    "corrupt_array",
+    "exascale_scenario",
+    "flip_random_bit",
+]

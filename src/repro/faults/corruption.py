@@ -1,0 +1,59 @@
+"""Data corruption primitives for SDC injection in functional mode.
+
+When the injector decides that an execution suffers a silent data corruption,
+the replication engine corrupts the task's *output* data after the body runs —
+this mirrors an SDC manifesting in the task's results, which is exactly what
+the output comparison of the replication design must catch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+
+def flip_random_bit(array: np.ndarray, rng: RngStream) -> int:
+    """Flip one random bit of ``array`` in place and return the flat byte index.
+
+    Works for any dtype by viewing the buffer as raw bytes.  Raises for empty
+    or non-writeable arrays.
+    """
+    if array.size == 0:
+        raise ValueError("cannot corrupt an empty array")
+    if not array.flags.writeable:
+        raise ValueError("cannot corrupt a read-only array")
+    flat = array.reshape(-1).view(np.uint8)
+    byte_index = rng.integers(0, flat.size)
+    bit = rng.integers(0, 8)
+    flat[byte_index] ^= np.uint8(1 << bit)
+    return int(byte_index)
+
+
+def corrupt_array(
+    array: np.ndarray,
+    rng: RngStream,
+    n_bits: int = 1,
+    magnitude: Optional[float] = None,
+) -> np.ndarray:
+    """Corrupt ``array`` in place: flip ``n_bits`` random bits, or add a bias.
+
+    ``magnitude`` selects an additive corruption on a random element instead of
+    bit flips (useful when a bit flip would produce NaN/inf and the test wants
+    a bounded perturbation).  Returns the same array for chaining.
+    """
+    if magnitude is not None:
+        if array.size == 0:
+            raise ValueError("cannot corrupt an empty array")
+        flat = array.reshape(-1)
+        idx = rng.integers(0, flat.size)
+        if np.issubdtype(flat.dtype, np.floating) or np.issubdtype(flat.dtype, np.complexfloating):
+            flat[idx] = flat[idx] + magnitude
+        else:
+            flat[idx] = flat[idx] + int(magnitude)
+        return array
+    for _ in range(max(1, n_bits)):
+        flip_random_bit(array, rng)
+    return array

@@ -1,0 +1,172 @@
+"""Fault injection.
+
+The injector decides, for each *execution* of a task (original, replica,
+re-execution), whether it suffers a crash (DUE), a silent data corruption
+(SDC), both, or neither.  Three sources of fault decisions are supported:
+
+* **FIT-derived probabilities** — the exponential model over the task's
+  estimated rates and duration (realistic, tiny probabilities; used with an
+  acceleration factor in tests),
+* **fixed per-task probabilities** — the paper's Section V-A2 experiments use
+  "per task fixed fault rates" for the recovery/scalability study,
+* **forced plans** — deterministic fault schedules for unit tests of the
+  recovery protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.errors import ErrorClass, FaultEvent
+from repro.faults.model import FailureModel
+from repro.runtime.task import TaskDescriptor
+from repro.util.rng import RngStream
+from repro.util.validation import check_non_negative, check_probability
+
+
+@dataclass
+class InjectionConfig:
+    """How fault probabilities are derived.
+
+    Exactly one of the two probability sources applies to each error class:
+    when ``fixed_crash_probability``/``fixed_sdc_probability`` is not ``None``
+    it overrides the FIT-derived probability for that class.
+
+    ``acceleration`` multiplies FIT-derived probabilities (not the fixed ones)
+    so functional tests can observe faults without running for billions of
+    hours; it has no effect on the bookkeeping the heuristic performs.
+    """
+
+    fixed_crash_probability: Optional[float] = None
+    fixed_sdc_probability: Optional[float] = None
+    acceleration: float = 1.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fixed_crash_probability is not None:
+            check_probability(self.fixed_crash_probability, "fixed_crash_probability")
+        if self.fixed_sdc_probability is not None:
+            check_probability(self.fixed_sdc_probability, "fixed_sdc_probability")
+        check_non_negative(self.acceleration, "acceleration")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic fault schedule for tests.
+
+    ``faults`` maps ``(task_id, execution_index)`` to the error class injected
+    into that execution.  Executions not listed are fault-free.
+    """
+
+    faults: Dict[Tuple[int, int], ErrorClass] = field(default_factory=dict)
+
+    def add(self, task_id: int, execution_index: int, error_class: ErrorClass) -> "FaultPlan":
+        """Schedule an error for a specific execution of a task."""
+        self.faults[(task_id, execution_index)] = error_class
+        return self
+
+    def lookup(self, task_id: int, execution_index: int) -> Optional[ErrorClass]:
+        """The scheduled error class for an execution, if any."""
+        return self.faults.get((task_id, execution_index))
+
+
+class FaultInjector:
+    """Draws fault events for task executions."""
+
+    def __init__(
+        self,
+        model: Optional[FailureModel] = None,
+        config: Optional[InjectionConfig] = None,
+        rng: Optional[RngStream] = None,
+        plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.model = model if model is not None else FailureModel()
+        self.config = config if config is not None else InjectionConfig()
+        self.rng = rng if rng is not None else RngStream(0)
+        self.plan = plan
+        self.injected: List[FaultEvent] = []
+
+    # -- probability computation ---------------------------------------------
+
+    def crash_probability(self, task: TaskDescriptor) -> float:
+        """Per-execution crash probability for ``task`` under the config."""
+        if not self.config.enabled:
+            return 0.0
+        if self.config.fixed_crash_probability is not None:
+            return self.config.fixed_crash_probability
+        p = self.model.crash_probability(task) * self.config.acceleration
+        return min(1.0, p)
+
+    def sdc_probability(self, task: TaskDescriptor) -> float:
+        """Per-execution SDC probability for ``task`` under the config."""
+        if not self.config.enabled:
+            return 0.0
+        if self.config.fixed_sdc_probability is not None:
+            return self.config.fixed_sdc_probability
+        p = self.model.sdc_probability(task) * self.config.acceleration
+        return min(1.0, p)
+
+    # -- drawing --------------------------------------------------------------
+
+    def draw(self, task: TaskDescriptor, execution_index: int = 0, timestamp: float = 0.0) -> List[FaultEvent]:
+        """Decide the faults hitting one execution of ``task``.
+
+        Returns a list with zero, one or two events (a crash and an SDC are not
+        mutually exclusive, although a crash usually pre-empts the SDC's
+        effect — that policy belongs to the replication engine, not here).
+        """
+        events: List[FaultEvent] = []
+        if not self.config.enabled:
+            return events
+
+        if self.plan is not None:
+            scheduled = self.plan.lookup(task.task_id, execution_index)
+            if scheduled is not None:
+                events.append(
+                    FaultEvent(
+                        error_class=scheduled,
+                        task_id=task.task_id,
+                        execution_index=execution_index,
+                        timestamp=timestamp,
+                        details={"source": "plan"},
+                    )
+                )
+            self.injected.extend(events)
+            return events
+
+        if self.rng.bernoulli(self.crash_probability(task)):
+            events.append(
+                FaultEvent(
+                    error_class=ErrorClass.DUE,
+                    task_id=task.task_id,
+                    execution_index=execution_index,
+                    timestamp=timestamp,
+                    details={"source": "probability"},
+                )
+            )
+        if self.rng.bernoulli(self.sdc_probability(task)):
+            events.append(
+                FaultEvent(
+                    error_class=ErrorClass.SDC,
+                    task_id=task.task_id,
+                    execution_index=execution_index,
+                    timestamp=timestamp,
+                    details={"source": "probability"},
+                )
+            )
+        self.injected.extend(events)
+        return events
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def injected_counts(self) -> Dict[str, int]:
+        """Histogram of injected error classes."""
+        hist: Dict[str, int] = {}
+        for e in self.injected:
+            hist[e.error_class.value] = hist.get(e.error_class.value, 0) + 1
+        return hist
+
+    def reset(self) -> None:
+        """Forget all injected events."""
+        self.injected.clear()

@@ -1,0 +1,114 @@
+"""FIT rate specifications (paper Section IV-A).
+
+The paper takes the DUE (crash) and SDC FIT rates measured for a Roadrunner
+TriBlade node by Michalak et al. (accelerated neutron-beam testing) and scales
+them *proportionally to data size*: a structure of ``s`` bytes on a node whose
+``S`` bytes of memory exhibit ``F`` FIT is assigned ``F * s / S`` FIT.  The
+worked example in the paper is:
+
+    crash FIT 2.22e3 for 32 GB  →  2.22 for 32 MB  →  2.22e-3 for 32 KB
+
+The crash constant (2.22e3 per 32 GB) therefore comes straight from the paper.
+The paper does not print the SDC constant it used, so
+:data:`DEFAULT_SDC_FIT_PER_32GIB` is a documented assumption (same order of
+magnitude, lower than the crash rate, as reported for Roadrunner's field data);
+every API accepts a custom :class:`FitRateSpec` so experiments can sweep it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import check_non_negative, check_positive
+
+#: Reference memory size the node-level FIT rates correspond to.  The paper's
+#: worked example scales 2.22e3 FIT for "32 GBs" down to 2.22 for 32 MB and
+#: 2.22e-3 for 32 KB, i.e. it uses decimal prefixes — so the reference is
+#: 32e9 bytes, not 32 GiB.
+ROADRUNNER_REFERENCE_BYTES: float = 32.0e9
+
+#: Crash (DUE) FIT for the reference 32 GiB, as quoted in the paper.
+DEFAULT_CRASH_FIT_PER_32GIB: float = 2.22e3
+
+#: SDC FIT for the reference 32 GiB.  Not printed in the paper; documented
+#: assumption (see module docstring).
+DEFAULT_SDC_FIT_PER_32GIB: float = 4.44e2
+
+
+@dataclass(frozen=True)
+class FitRateSpec:
+    """Per-byte FIT rates for crashes and SDCs, with an error-rate multiplier.
+
+    Attributes
+    ----------
+    crash_fit_per_ref:
+        Crash (DUE) FIT attributed to ``reference_bytes`` of data.
+    sdc_fit_per_ref:
+        SDC FIT attributed to ``reference_bytes`` of data.
+    reference_bytes:
+        The memory size the two rates are quoted for.
+    multiplier:
+        Error-rate scaling factor; ``10.0`` models the paper's pessimistic
+        exascale scenario ("error rates in a single node will increase about
+        one order of magnitude"), ``5.0`` the moderate one.
+    """
+
+    crash_fit_per_ref: float = DEFAULT_CRASH_FIT_PER_32GIB
+    sdc_fit_per_ref: float = DEFAULT_SDC_FIT_PER_32GIB
+    reference_bytes: float = ROADRUNNER_REFERENCE_BYTES
+    multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.crash_fit_per_ref, "crash_fit_per_ref")
+        check_non_negative(self.sdc_fit_per_ref, "sdc_fit_per_ref")
+        check_positive(self.reference_bytes, "reference_bytes")
+        check_positive(self.multiplier, "multiplier")
+
+    # -- derived per-byte rates ----------------------------------------------
+
+    @property
+    def crash_fit_per_byte(self) -> float:
+        """Crash FIT per byte of application data (multiplier applied)."""
+        return self.multiplier * self.crash_fit_per_ref / self.reference_bytes
+
+    @property
+    def sdc_fit_per_byte(self) -> float:
+        """SDC FIT per byte of application data (multiplier applied)."""
+        return self.multiplier * self.sdc_fit_per_ref / self.reference_bytes
+
+    @property
+    def total_fit_per_byte(self) -> float:
+        """Combined (crash + SDC) FIT per byte."""
+        return self.crash_fit_per_byte + self.sdc_fit_per_byte
+
+    # -- scaling helpers ------------------------------------------------------
+
+    def crash_fit_for_bytes(self, n_bytes: float) -> float:
+        """Crash FIT attributed to ``n_bytes`` of data."""
+        return self.crash_fit_per_byte * check_non_negative(n_bytes, "n_bytes")
+
+    def sdc_fit_for_bytes(self, n_bytes: float) -> float:
+        """SDC FIT attributed to ``n_bytes`` of data."""
+        return self.sdc_fit_per_byte * check_non_negative(n_bytes, "n_bytes")
+
+    def total_fit_for_bytes(self, n_bytes: float) -> float:
+        """Combined FIT attributed to ``n_bytes`` of data."""
+        return self.crash_fit_for_bytes(n_bytes) + self.sdc_fit_for_bytes(n_bytes)
+
+    def scaled(self, multiplier: float) -> "FitRateSpec":
+        """A copy with the error-rate multiplier replaced."""
+        return replace(self, multiplier=check_positive(multiplier, "multiplier"))
+
+    def at_todays_rates(self) -> "FitRateSpec":
+        """A copy with multiplier 1 (today's error rates)."""
+        return self.scaled(1.0)
+
+
+def exascale_scenario(multiplier: float = 10.0, base: FitRateSpec | None = None) -> FitRateSpec:
+    """The paper's exascale scenario: today's rates scaled by ``multiplier``.
+
+    ``multiplier=10`` is the pessimistic one-order-of-magnitude increase, and
+    ``multiplier=5`` the moderate scenario of Figure 3.
+    """
+    spec = base if base is not None else FitRateSpec()
+    return spec.scaled(multiplier)

@@ -1,0 +1,61 @@
+"""A Nanos-like task-dataflow runtime substrate.
+
+The paper implements its replication framework inside the OmpSs programming
+model and the Nanos++ runtime.  This package provides the equivalent substrate
+in pure Python:
+
+* :mod:`repro.runtime.task` — task descriptors with ``in``/``out``/``inout``
+  argument annotations and argument sizes (the only information App_FIT needs).
+* :mod:`repro.runtime.dependencies` — automatic dataflow dependency inference
+  from argument regions (readers/writers analysis, as in OmpSs).
+* :mod:`repro.runtime.graph` — the task dependency DAG with critical-path and
+  parallelism analysis used by the machine simulator.
+* :mod:`repro.runtime.scheduler` — ready-queue scheduling of the DAG.
+* :mod:`repro.runtime.threadpool` / :mod:`repro.runtime.executor` — real
+  multi-threaded execution of Python task bodies (functional mode).
+* :mod:`repro.runtime.runtime` — the :class:`TaskRuntime` facade that user code
+  (the examples and functional benchmarks) programs against.
+"""
+
+from repro.runtime.task import (
+    Direction,
+    DataHandle,
+    DataRegion,
+    TaskArgument,
+    TaskDescriptor,
+    arg_in,
+    arg_inout,
+    arg_out,
+    arg_value,
+)
+from repro.runtime.dependencies import DependencyTracker
+from repro.runtime.graph import TaskGraph
+from repro.runtime.scheduler import ReadyScheduler, SchedulingPolicy
+from repro.runtime.threadpool import ThreadPool
+from repro.runtime.executor import ExecutionResult, GraphExecutor
+from repro.runtime.runtime import TaskRuntime, RuntimeConfig
+from repro.runtime.events import RuntimeEvent, EventKind, EventLog
+
+__all__ = [
+    "DataHandle",
+    "DataRegion",
+    "DependencyTracker",
+    "Direction",
+    "EventKind",
+    "EventLog",
+    "ExecutionResult",
+    "GraphExecutor",
+    "ReadyScheduler",
+    "RuntimeConfig",
+    "RuntimeEvent",
+    "SchedulingPolicy",
+    "TaskArgument",
+    "TaskDescriptor",
+    "TaskGraph",
+    "TaskRuntime",
+    "ThreadPool",
+    "arg_in",
+    "arg_inout",
+    "arg_out",
+    "arg_value",
+]

@@ -1,0 +1,99 @@
+"""Runtime event records.
+
+The replication engine and executor append :class:`RuntimeEvent` entries to an
+:class:`EventLog`; the analysis layer turns the log into the percentages the
+paper reports (fraction of tasks replicated, fraction of computation time
+replicated, recovery counts, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    """Kinds of events recorded during a run."""
+
+    TASK_SUBMITTED = "task_submitted"
+    TASK_STARTED = "task_started"
+    TASK_FINISHED = "task_finished"
+    TASK_REPLICATED = "task_replicated"
+    REPLICA_FINISHED = "replica_finished"
+    CHECKPOINT_TAKEN = "checkpoint_taken"
+    CHECKPOINT_RESTORED = "checkpoint_restored"
+    COMPARISON_PERFORMED = "comparison_performed"
+    SDC_DETECTED = "sdc_detected"
+    SDC_CORRECTED = "sdc_corrected"
+    SDC_UNDETECTED = "sdc_undetected"
+    CRASH_DETECTED = "crash_detected"
+    CRASH_RECOVERED = "crash_recovered"
+    CRASH_FATAL = "crash_fatal"
+    REEXECUTION = "reexecution"
+    VOTE_PERFORMED = "vote_performed"
+    FIT_UPDATED = "fit_updated"
+
+
+@dataclass
+class RuntimeEvent:
+    """One event in a run's history."""
+
+    kind: EventKind
+    task_id: Optional[int] = None
+    timestamp: float = 0.0
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Thread-safe append-only list of :class:`RuntimeEvent`."""
+
+    def __init__(self) -> None:
+        self._events: List[RuntimeEvent] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        kind: EventKind,
+        task_id: Optional[int] = None,
+        timestamp: float = 0.0,
+        **details: Any,
+    ) -> RuntimeEvent:
+        """Append an event and return it."""
+        event = RuntimeEvent(kind=kind, task_id=task_id, timestamp=timestamp, details=details)
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[RuntimeEvent]:
+        with self._lock:
+            return iter(list(self._events))
+
+    def events(self, kind: Optional[EventKind] = None) -> List[RuntimeEvent]:
+        """All events, optionally filtered by kind."""
+        with self._lock:
+            evts = list(self._events)
+        if kind is None:
+            return evts
+        return [e for e in evts if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of events of a kind."""
+        return len(self.events(kind))
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of event kinds by name."""
+        hist: Dict[str, int] = {}
+        for e in self.events():
+            hist[e.kind.value] = hist.get(e.kind.value, 0) + 1
+        return hist
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,172 @@
+"""Functional execution of a task graph on the thread pool.
+
+The executor materialises each task's arguments (the NumPy arrays backing its
+regions plus any by-value arguments), invokes the task body, and releases its
+successors.  A pluggable *execution hook* wraps every task invocation — this is
+where the replication engine inserts checkpointing, replica execution, output
+comparison and recovery without the executor (or the application) knowing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol
+
+from repro.runtime.events import EventKind, EventLog
+from repro.runtime.graph import TaskGraph
+from repro.runtime.scheduler import ReadyScheduler, SchedulingPolicy
+from repro.runtime.task import Direction, TaskDescriptor
+from repro.runtime.threadpool import ThreadPool
+
+
+def materialize_arguments(task: TaskDescriptor) -> List[Any]:
+    """Build the positional argument list passed to a task's Python body.
+
+    Region-bearing arguments contribute their handle's backing array; by-value
+    arguments contribute their value.  Raises if a region argument has no
+    backing storage (i.e. the graph was built for simulation only).
+    """
+    out: List[Any] = []
+    for arg in task.args:
+        if arg.direction is Direction.VALUE:
+            out.append(arg.value)
+        else:
+            if arg.region is None or arg.region.handle.storage is None:
+                raise ValueError(
+                    f"task {task.task_id} ({task.task_type}) argument "
+                    f"{arg.name!r} has no backing storage; functional execution "
+                    "requires DataHandles created with NumPy arrays"
+                )
+            out.append(arg.region.handle.storage)
+    return out
+
+
+def invoke_task(task: TaskDescriptor) -> Any:
+    """Run a task's Python body on its materialised arguments."""
+    if task.func is None:
+        return None
+    return task.func(*materialize_arguments(task))
+
+
+class TaskExecutionHook(Protocol):
+    """Protocol for objects that wrap task execution (e.g. the replication engine)."""
+
+    def execute(self, task: TaskDescriptor, invoke: Callable[[TaskDescriptor], Any]) -> Any:
+        """Run ``task`` (possibly with protection) using ``invoke`` for the raw body."""
+        ...  # pragma: no cover - protocol definition
+
+
+class PassthroughHook:
+    """Default hook: run the task body once with no protection."""
+
+    def execute(self, task: TaskDescriptor, invoke: Callable[[TaskDescriptor], Any]) -> Any:
+        """Invoke the task body directly."""
+        return invoke(task)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a graph functionally."""
+
+    graph: TaskGraph
+    wall_time_s: float
+    tasks_executed: int
+    events: EventLog
+    per_task_wall_s: Dict[int, float] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every task executed without an unhandled error."""
+        return not self.errors and self.tasks_executed == len(self.graph)
+
+
+class GraphExecutor:
+    """Executes a :class:`TaskGraph` with worker threads and an execution hook."""
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+        hook: Optional[TaskExecutionHook] = None,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.policy = policy
+        self.hook: TaskExecutionHook = hook if hook is not None else PassthroughHook()
+        self.events = event_log if event_log is not None else EventLog()
+
+    def run(self, graph: TaskGraph) -> ExecutionResult:
+        """Execute every task of ``graph`` respecting its dependencies."""
+        scheduler = ReadyScheduler(graph, policy=self.policy)
+        per_task_wall: Dict[int, float] = {}
+        errors: List[str] = []
+        executed = 0
+        lock = threading.Lock()
+        done = threading.Event()
+        if len(graph) == 0:
+            return ExecutionResult(
+                graph=graph, wall_time_s=0.0, tasks_executed=0, events=self.events
+            )
+
+        pool = ThreadPool(self.n_workers)
+        start_time = time.perf_counter()
+
+        def dispatch_ready() -> None:
+            while True:
+                task_id = scheduler.pop_ready()
+                if task_id is None:
+                    return
+                pool.submit(lambda tid=task_id: run_one(tid))
+
+        def run_one(task_id: int) -> None:
+            nonlocal executed
+            task = graph.task(task_id)
+            self.events.record(EventKind.TASK_STARTED, task_id=task_id)
+            t0 = time.perf_counter()
+            try:
+                self.hook.execute(task, invoke_task)
+            except BaseException as exc:  # noqa: BLE001 - recorded and surfaced
+                with lock:
+                    errors.append(f"task {task_id} ({task.task_type}): {exc!r}")
+            elapsed = time.perf_counter() - t0
+            self.events.record(
+                EventKind.TASK_FINISHED, task_id=task_id, details_wall_s=elapsed
+            )
+            with lock:
+                per_task_wall[task_id] = elapsed
+                executed += 1
+            scheduler.mark_complete(task_id)
+            if scheduler.is_done():
+                done.set()
+            else:
+                dispatch_ready()
+
+        try:
+            dispatch_ready()
+            # The pool is daemon-threaded; wait for completion or a wedged state.
+            while not done.wait(timeout=0.05):
+                if scheduler.is_done():
+                    break
+                scheduler.verify_quiescent()
+                if pool.errors() and scheduler.running_count() == 0 and scheduler.ready_count() == 0:
+                    break
+            pool.wait_idle()
+        finally:
+            pool.shutdown()
+
+        wall = time.perf_counter() - start_time
+        for exc, tb in pool.errors():
+            errors.append(f"worker error: {exc!r}")
+        return ExecutionResult(
+            graph=graph,
+            wall_time_s=wall,
+            tasks_executed=executed,
+            events=self.events,
+            per_task_wall_s=per_task_wall,
+            errors=errors,
+        )

@@ -1,0 +1,131 @@
+"""Ready-queue scheduling of a task DAG.
+
+Both the functional executor and the machine simulator consume the same
+scheduler: it tracks dependency counts, hands out ready tasks under a
+configurable ordering policy, and releases successors when tasks complete.
+Thread-safety is provided by a single lock so the functional thread pool can
+pull work concurrently.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import threading
+from typing import Dict, List, Optional, Set
+
+from repro.runtime.graph import TaskGraph
+
+
+class SchedulingPolicy(enum.Enum):
+    """Ordering of the ready queue."""
+
+    #: First-in first-out on submission order (Nanos' default breadth-first).
+    FIFO = "fifo"
+    #: Last-in first-out (depth-first, cache-friendlier for nested task creation).
+    LIFO = "lifo"
+    #: Longest task first (a common heuristic for makespan on greedy schedulers).
+    LONGEST_FIRST = "longest_first"
+
+
+class ReadyScheduler:
+    """Tracks which tasks of a graph are ready, running or complete."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+    ) -> None:
+        self.graph = graph
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._pending_deps: Dict[int, int] = {}
+        self._heap: List[tuple] = []
+        self._counter = 0
+        self._completed: Set[int] = set()
+        self._running: Set[int] = set()
+        self._submitted_order: Dict[int, int] = {
+            tid: i for i, tid in enumerate(graph.task_ids())
+        }
+        for tid in graph.task_ids():
+            deps = graph.in_degree(tid)
+            self._pending_deps[tid] = deps
+            if deps == 0:
+                self._push(tid)
+
+    # -- internal helpers -----------------------------------------------------
+
+    def _priority(self, task_id: int) -> tuple:
+        order = self._submitted_order[task_id]
+        if self.policy is SchedulingPolicy.FIFO:
+            return (order,)
+        if self.policy is SchedulingPolicy.LIFO:
+            return (-order,)
+        task = self.graph.task(task_id)
+        return (-task.duration_s, order)
+
+    def _push(self, task_id: int) -> None:
+        self._counter += 1
+        heapq.heappush(self._heap, (*self._priority(task_id), self._counter, task_id))
+
+    # -- public API -----------------------------------------------------------
+
+    def pop_ready(self) -> Optional[int]:
+        """Take one ready task id, or ``None`` if none is currently ready."""
+        with self._lock:
+            if not self._heap:
+                return None
+            entry = heapq.heappop(self._heap)
+            task_id = entry[-1]
+            self._running.add(task_id)
+            return task_id
+
+    def ready_count(self) -> int:
+        """Number of tasks currently ready to run."""
+        with self._lock:
+            return len(self._heap)
+
+    def mark_complete(self, task_id: int) -> List[int]:
+        """Mark ``task_id`` complete and return newly-ready successor ids."""
+        newly_ready: List[int] = []
+        with self._lock:
+            if task_id in self._completed:
+                raise ValueError(f"task {task_id} completed twice")
+            self._completed.add(task_id)
+            self._running.discard(task_id)
+            for succ in sorted(self.graph.successors(task_id)):
+                self._pending_deps[succ] -= 1
+                if self._pending_deps[succ] == 0:
+                    self._push(succ)
+                    newly_ready.append(succ)
+                elif self._pending_deps[succ] < 0:
+                    raise RuntimeError(
+                        f"dependency count of task {succ} went negative"
+                    )
+        return newly_ready
+
+    def is_done(self) -> bool:
+        """Whether every task in the graph has completed."""
+        with self._lock:
+            return len(self._completed) == len(self.graph)
+
+    def completed_count(self) -> int:
+        """Number of completed tasks."""
+        with self._lock:
+            return len(self._completed)
+
+    def running_count(self) -> int:
+        """Number of tasks handed out but not yet completed."""
+        with self._lock:
+            return len(self._running)
+
+    def verify_quiescent(self) -> None:
+        """Raise if the scheduler is stuck (nothing ready/running but not done)."""
+        with self._lock:
+            done = len(self._completed) == len(self.graph)
+            stuck = not self._heap and not self._running and not done
+        if stuck:
+            raise RuntimeError(
+                "scheduler deadlock: no ready or running tasks but the graph "
+                "is not complete (is the graph acyclic?)"
+            )

@@ -1,0 +1,99 @@
+"""A small worker thread pool for functional task execution.
+
+Nanos++ keeps a pool of idle threads that poll the ready queues and execute
+task descriptors asynchronously; this mirrors that structure at the scale a
+Python reproduction needs (the GIL limits true parallelism, but the pool keeps
+the execution model — asynchronous, out-of-order, replica-on-spare-thread —
+faithful, which is what the correctness tests exercise).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass
+class WorkItem:
+    """A unit of work: a callable plus a completion callback."""
+
+    func: Callable[[], Any]
+    on_done: Optional[Callable[[Any, Optional[BaseException]], None]] = None
+
+
+class ThreadPool:
+    """Fixed-size pool of daemon worker threads consuming a shared queue."""
+
+    def __init__(self, n_workers: int, name: str = "repro-worker") -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self._queue: "queue.Queue[Optional[WorkItem]]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self._errors: List[Tuple[BaseException, str]] = []
+        for i in range(n_workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"{name}-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            result: Any = None
+            error: Optional[BaseException] = None
+            try:
+                result = item.func()
+            except BaseException as exc:  # noqa: BLE001 - surfaced via callback
+                error = exc
+                with self._lock:
+                    self._errors.append((exc, traceback.format_exc()))
+            try:
+                if item.on_done is not None:
+                    item.on_done(result, error)
+            finally:
+                self._queue.task_done()
+
+    def submit(
+        self,
+        func: Callable[[], Any],
+        on_done: Optional[Callable[[Any, Optional[BaseException]], None]] = None,
+    ) -> None:
+        """Enqueue a callable for asynchronous execution."""
+        if self._shutdown:
+            raise RuntimeError("cannot submit work to a shut-down pool")
+        self._queue.put(WorkItem(func, on_done))
+
+    def wait_idle(self) -> None:
+        """Block until every submitted item has been processed."""
+        self._queue.join()
+
+    def errors(self) -> List[Tuple[BaseException, str]]:
+        """Uncaught exceptions raised by work items (exception, traceback)."""
+        with self._lock:
+            return list(self._errors)
+
+    def shutdown(self) -> None:
+        """Stop all workers after draining the queue."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout=10.0)
+
+    def __enter__(self) -> "ThreadPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

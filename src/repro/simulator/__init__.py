@@ -1,0 +1,37 @@
+"""Discrete-event machine simulator.
+
+The paper's overhead and scalability numbers (Figures 4-6) come from runs on
+Marenostrum III (16 cores/node, up to 64 nodes).  This package provides the
+substitute: a discrete-event simulator that replays a task graph against a
+machine model with
+
+* per-node cores and *spare cores* for replicas (the paper executes replicas on
+  spare cores),
+* a shared per-node memory bandwidth (so memory-bound benchmarks such as
+  Stream stop scaling, as they do in the paper),
+* a replication cost model (input checkpointing, output comparison, recovery
+  re-executions),
+* an inter-node network for the distributed benchmarks.
+"""
+
+from repro.simulator.machine import MachineSpec, shared_memory_node, marenostrum_cluster
+from repro.simulator.costs import ReplicationCostModel
+from repro.simulator.engine import EventQueue
+from repro.simulator.execution import (
+    SimulatedTaskRecord,
+    SimulationConfig,
+    SimulationResult,
+    simulate_graph,
+)
+
+__all__ = [
+    "EventQueue",
+    "MachineSpec",
+    "ReplicationCostModel",
+    "SimulatedTaskRecord",
+    "SimulationConfig",
+    "SimulationResult",
+    "marenostrum_cluster",
+    "shared_memory_node",
+    "simulate_graph",
+]

@@ -1,0 +1,79 @@
+"""Replication cost model.
+
+The fault-free overhead of the paper's design comes from three places: taking
+the input checkpoint, creating/scheduling the replica descriptor, and the
+end-of-task output comparison.  The App_FIT decision itself is "a single
+condition and about 50 multiplication and addition instructions" — effectively
+free — but it is modelled anyway so the ablation benchmarks can show it is
+negligible, as the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.task import TaskDescriptor
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ReplicationCostModel:
+    """Per-task costs of the replication machinery (all in seconds / bytes)."""
+
+    #: Bandwidth of copying task inputs into the safe checkpoint store.
+    checkpoint_bandwidth_Bps: float = 20e9
+    #: Fixed cost of taking one checkpoint (allocation, bookkeeping).
+    checkpoint_latency_s: float = 1e-6
+    #: Bandwidth of the end-of-task output comparison (bitwise compare streams
+    #: both buffers, hence roughly half the copy bandwidth).
+    compare_bandwidth_Bps: float = 25e9
+    #: Fixed cost of one comparison.
+    compare_latency_s: float = 5e-7
+    #: Cost of duplicating and scheduling one task descriptor.
+    replica_creation_s: float = 1e-6
+    #: Cost of evaluating the App_FIT condition for one task.
+    decision_s: float = 5e-8
+    #: Fixed cost of restoring a checkpoint (on top of the copy itself).
+    restore_latency_s: float = 1e-6
+    #: Cost of the three-way majority vote, per byte of output.
+    vote_bandwidth_Bps: float = 15e9
+
+    def __post_init__(self) -> None:
+        check_positive(self.checkpoint_bandwidth_Bps, "checkpoint_bandwidth_Bps")
+        check_non_negative(self.checkpoint_latency_s, "checkpoint_latency_s")
+        check_positive(self.compare_bandwidth_Bps, "compare_bandwidth_Bps")
+        check_non_negative(self.compare_latency_s, "compare_latency_s")
+        check_non_negative(self.replica_creation_s, "replica_creation_s")
+        check_non_negative(self.decision_s, "decision_s")
+        check_non_negative(self.restore_latency_s, "restore_latency_s")
+        check_positive(self.vote_bandwidth_Bps, "vote_bandwidth_Bps")
+
+    # -- per-task cost queries ---------------------------------------------------
+
+    def checkpoint_time(self, task: TaskDescriptor) -> float:
+        """Seconds to checkpoint the task's inputs."""
+        return self.checkpoint_latency_s + task.input_bytes / self.checkpoint_bandwidth_Bps
+
+    def restore_time(self, task: TaskDescriptor) -> float:
+        """Seconds to restore the task's inputs from the checkpoint."""
+        return self.restore_latency_s + task.input_bytes / self.checkpoint_bandwidth_Bps
+
+    def compare_time(self, task: TaskDescriptor) -> float:
+        """Seconds for the end-of-task comparison of original vs replica outputs."""
+        return self.compare_latency_s + task.output_bytes / self.compare_bandwidth_Bps
+
+    def vote_time(self, task: TaskDescriptor) -> float:
+        """Seconds for the three-way majority vote after a re-execution."""
+        return self.compare_latency_s + task.output_bytes / self.vote_bandwidth_Bps
+
+    def replication_setup_time(self, task: TaskDescriptor) -> float:
+        """Checkpoint + replica-descriptor creation, charged before execution."""
+        return self.checkpoint_time(task) + self.replica_creation_s
+
+    def protected_overhead_estimate(self, task: TaskDescriptor) -> float:
+        """Fault-free per-task overhead when the task is replicated."""
+        return self.replication_setup_time(task) + self.compare_time(task) + self.decision_s
+
+    def unprotected_overhead_estimate(self, task: TaskDescriptor) -> float:
+        """Per-task overhead when the task is *not* replicated (just the decision)."""
+        return self.decision_s

@@ -1,0 +1,76 @@
+"""A minimal discrete-event queue.
+
+The execution simulator only needs ordered delivery of timestamped events with
+deterministic tie-breaking, so the engine is a thin wrapper around ``heapq``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventQueue:
+    """A time-ordered event queue with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """The timestamp of the most recently popped event."""
+        return self._now
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` at absolute time ``time``."""
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule an event in the past: {time} < now {self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), payload))
+
+    def push_after(self, delay: float, payload: Any) -> None:
+        """Schedule ``payload`` after a relative delay from the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.push(self._now + delay, payload)
+
+    def pop(self) -> Tuple[float, Any]:
+        """Pop the earliest event, advancing the simulation clock."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        time, _seq, payload = heapq.heappop(self._heap)
+        self._now = time
+        return time, payload
+
+    def peek_time(self) -> Optional[float]:
+        """The timestamp of the next event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def run(self, handler: Callable[[float, Any], None], max_events: Optional[int] = None) -> int:
+        """Drain the queue, calling ``handler(time, payload)`` for each event.
+
+        Returns the number of events processed.  ``max_events`` guards against
+        runaway schedules in tests.
+        """
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(
+                    f"event budget exhausted after {processed} events"
+                )
+            time, payload = self.pop()
+            handler(time, payload)
+            processed += 1
+        return processed

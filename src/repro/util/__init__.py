@@ -1,0 +1,56 @@
+"""Shared utilities: unit conversions, seeded RNG streams, validation, tables.
+
+These helpers are deliberately dependency-free (NumPy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.units import (
+    FIT_HOURS,
+    GIB,
+    KIB,
+    MIB,
+    bytes_to_gib,
+    bytes_to_mib,
+    fit_to_failures_per_hour,
+    fit_to_mtbf_hours,
+    failures_per_hour_to_fit,
+    hours,
+    microseconds,
+    milliseconds,
+    mtbf_hours_to_fit,
+    seconds,
+)
+from repro.util.rng import RngStream, spawn_streams
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.util.tables import TextTable
+
+__all__ = [
+    "FIT_HOURS",
+    "GIB",
+    "KIB",
+    "MIB",
+    "RngStream",
+    "TextTable",
+    "bytes_to_gib",
+    "bytes_to_mib",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "failures_per_hour_to_fit",
+    "fit_to_failures_per_hour",
+    "fit_to_mtbf_hours",
+    "hours",
+    "microseconds",
+    "milliseconds",
+    "mtbf_hours_to_fit",
+    "seconds",
+    "spawn_streams",
+]

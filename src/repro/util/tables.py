@@ -1,0 +1,80 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harnesses print rows comparable to the paper's tables and
+figures; this keeps the formatting in one place and independent of any plotting
+library (none is available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class TextTable:
+    """Accumulate rows and render them as an aligned plain-text table."""
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values) -> None:
+        """Append a row; values are stringified with sensible float formatting."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([self._fmt(v) for v in values])
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table as a string with aligned columns."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(header))
+        lines.append(header)
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction (0..1) as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def summarize_series(values: Iterable[float]) -> dict:
+    """Return min/max/mean of a series (empty series yields zeros)."""
+    vals = list(values)
+    if not vals:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "count": 0}
+    return {
+        "min": min(vals),
+        "max": max(vals),
+        "mean": sum(vals) / len(vals),
+        "count": len(vals),
+    }

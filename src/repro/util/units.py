@@ -1,0 +1,117 @@
+"""Unit conversions used throughout the library.
+
+The paper expresses reliability in FIT (Failures In Time): the expected number
+of failures per one billion (1e9) device-hours.  Internally the simulator works
+in seconds and bytes, so this module centralises the conversions to avoid
+scattering magic constants.
+"""
+
+from __future__ import annotations
+
+#: Number of hours in the FIT reference interval (one billion hours).
+FIT_HOURS: float = 1e9
+
+#: Binary size units.
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+#: Seconds per hour.
+SECONDS_PER_HOUR: float = 3600.0
+
+
+def fit_to_failures_per_hour(fit: float) -> float:
+    """Convert a FIT rate to failures per hour.
+
+    Parameters
+    ----------
+    fit:
+        Rate in failures per 1e9 hours.
+
+    Returns
+    -------
+    float
+        Equivalent rate in failures per hour.
+    """
+    return fit / FIT_HOURS
+
+
+def failures_per_hour_to_fit(rate_per_hour: float) -> float:
+    """Convert a failures-per-hour rate to FIT."""
+    return rate_per_hour * FIT_HOURS
+
+
+def fit_to_failures_per_second(fit: float) -> float:
+    """Convert a FIT rate to failures per second."""
+    return fit / (FIT_HOURS * SECONDS_PER_HOUR)
+
+
+def failures_per_second_to_fit(rate_per_second: float) -> float:
+    """Convert a failures-per-second rate to FIT."""
+    return rate_per_second * FIT_HOURS * SECONDS_PER_HOUR
+
+
+def fit_to_mtbf_hours(fit: float) -> float:
+    """Mean time between failures (hours) for a given FIT rate.
+
+    Raises
+    ------
+    ValueError
+        If ``fit`` is not strictly positive (an MTBF is undefined for a zero
+        failure rate).
+    """
+    if fit <= 0:
+        raise ValueError(f"MTBF undefined for non-positive FIT rate {fit!r}")
+    return FIT_HOURS / fit
+
+
+def mtbf_hours_to_fit(mtbf_hours: float) -> float:
+    """FIT rate corresponding to a mean time between failures in hours."""
+    if mtbf_hours <= 0:
+        raise ValueError(f"MTBF must be positive, got {mtbf_hours!r}")
+    return FIT_HOURS / mtbf_hours
+
+
+def bytes_to_gib(n_bytes: float) -> float:
+    """Convert a byte count to GiB."""
+    return n_bytes / GIB
+
+
+def bytes_to_mib(n_bytes: float) -> float:
+    """Convert a byte count to MiB."""
+    return n_bytes / MIB
+
+
+def gib(n: float) -> float:
+    """Byte count of ``n`` GiB."""
+    return n * GIB
+
+
+def mib(n: float) -> float:
+    """Byte count of ``n`` MiB."""
+    return n * MIB
+
+
+def kib(n: float) -> float:
+    """Byte count of ``n`` KiB."""
+    return n * KIB
+
+
+def hours(n: float) -> float:
+    """Seconds in ``n`` hours."""
+    return n * SECONDS_PER_HOUR
+
+
+def seconds(n: float) -> float:
+    """Identity helper kept for symmetry with :func:`hours`."""
+    return float(n)
+
+
+def milliseconds(n: float) -> float:
+    """Seconds in ``n`` milliseconds."""
+    return n * 1e-3
+
+
+def microseconds(n: float) -> float:
+    """Seconds in ``n`` microseconds."""
+    return n * 1e-6

@@ -1,0 +1,57 @@
+"""Small argument-validation helpers shared across the library.
+
+All helpers raise :class:`ValueError` (or :class:`TypeError` for wrong types)
+with a message that names the offending parameter, and return the validated
+value so they can be used inline in constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0``."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Require an integer ``value > 0``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``."""
+    v = check_non_negative(value, name)
+    if v > 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return v
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Alias of :func:`check_probability` for readability at call sites."""
+    return check_probability(value, name)
+
+
+def check_in(value: Any, options, name: str):
+    """Require ``value`` to be one of ``options``."""
+    if value not in options:
+        raise ValueError(f"{name} must be one of {sorted(map(str, options))}, got {value!r}")
+    return value

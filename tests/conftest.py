@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.rates import FitRateSpec
+from repro.runtime.graph import TaskGraph
+from repro.runtime.task import DataHandle, TaskDescriptor, arg_in, arg_inout, arg_out
+from repro.util.rng import RngStream
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    """A deterministic RNG stream."""
+    return RngStream(1234)
+
+
+@pytest.fixture
+def rate_spec() -> FitRateSpec:
+    """The default Roadrunner-derived rate specification."""
+    return FitRateSpec()
+
+
+def make_task(
+    task_id: int,
+    size_bytes: float = 1024.0,
+    duration_s: float = 1.0,
+    task_type: str = "work",
+    node=None,
+) -> TaskDescriptor:
+    """A standalone task with one inout argument of the given size."""
+    handle = DataHandle(f"data{task_id}", size_bytes=size_bytes)
+    return TaskDescriptor(
+        task_id=task_id,
+        task_type=task_type,
+        args=[arg_inout(handle.whole())],
+        duration_s=duration_s,
+        node=node,
+    )
+
+
+def make_chain_graph(n: int, duration_s: float = 1.0, size_bytes: float = 1024.0) -> TaskGraph:
+    """A linear chain of n tasks (task i depends on task i-1)."""
+    graph = TaskGraph("chain")
+    for i in range(n):
+        graph.add_task(
+            make_task(i, size_bytes=size_bytes, duration_s=duration_s),
+            deps=[i - 1] if i else [],
+        )
+    return graph
+
+
+def make_independent_graph(n: int, duration_s: float = 1.0, size_bytes: float = 1024.0) -> TaskGraph:
+    """n fully independent tasks."""
+    graph = TaskGraph("independent")
+    for i in range(n):
+        graph.add_task(make_task(i, size_bytes=size_bytes, duration_s=duration_s))
+    return graph
+
+
+def make_fork_join_graph(width: int, duration_s: float = 1.0) -> TaskGraph:
+    """One source, ``width`` parallel tasks, one sink."""
+    graph = TaskGraph("forkjoin")
+    graph.add_task(make_task(0, duration_s=duration_s))
+    for i in range(1, width + 1):
+        graph.add_task(make_task(i, duration_s=duration_s), deps=[0])
+    graph.add_task(make_task(width + 1, duration_s=duration_s), deps=list(range(1, width + 1)))
+    return graph
+
+
+@pytest.fixture
+def chain_graph() -> TaskGraph:
+    """A 10-task chain."""
+    return make_chain_graph(10)
+
+
+@pytest.fixture
+def independent_graph() -> TaskGraph:
+    """20 independent tasks."""
+    return make_independent_graph(20)
+
+
+@pytest.fixture
+def fork_join_graph() -> TaskGraph:
+    """A fork-join diamond of width 8."""
+    return make_fork_join_graph(8)
+
+
+@pytest.fixture
+def array_handle() -> DataHandle:
+    """A handle backed by a real NumPy array."""
+    return DataHandle("arr", storage=np.arange(64, dtype=np.float64))

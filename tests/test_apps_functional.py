@@ -1,0 +1,147 @@
+"""Functional-mode tests: the benchmarks really execute NumPy kernels through
+the runtime and produce numerically correct results, with and without the
+selective-replication engine wrapped around them."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cholesky import CholeskyBenchmark
+from repro.apps.matmul import MatmulBenchmark
+from repro.apps.perlin import PerlinNoiseBenchmark
+from repro.apps.sparselu import SparseLUBenchmark
+from repro.apps.stream import StreamBenchmark
+from repro.core.config import ReplicationConfig
+from repro.core.engine import SelectiveReplicationEngine
+from repro.core.policies import CompleteReplication
+from repro.core.replication import TaskReplicator
+from repro.faults.injector import FaultInjector, InjectionConfig
+
+
+def assemble(blocks, nb, bs, lower_only=False):
+    """Rebuild a dense matrix from a dict of (i, j) -> block."""
+    n = nb * bs
+    dense = np.zeros((n, n))
+    for (i, j), blk in blocks.items():
+        dense[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs] = blk
+    return dense
+
+
+class TestStreamFunctional:
+    def test_closed_form_values(self):
+        bench = StreamBenchmark()
+        result, arrays = bench.functional_run(
+            n_workers=2, array_elements=4096, block_elements=1024, iterations=2, scalar=3.0
+        )
+        assert result.succeeded
+        # Iterate the STREAM recurrence directly.
+        a, b, c, s = 1.0, 2.0, 0.0, 3.0
+        for _ in range(2):
+            c = a
+            b = s * c
+            c = a + b
+            a = b + s * c
+        np.testing.assert_allclose(arrays["a"], a)
+        np.testing.assert_allclose(arrays["b"], b)
+        np.testing.assert_allclose(arrays["c"], c)
+
+    def test_single_worker_matches_multi_worker(self):
+        bench = StreamBenchmark()
+        _, seq = bench.functional_run(n_workers=1, array_elements=2048, block_elements=512, iterations=2)
+        _, par = bench.functional_run(n_workers=4, array_elements=2048, block_elements=512, iterations=2)
+        for key in ("a", "b", "c"):
+            np.testing.assert_array_equal(seq[key], par[key])
+
+
+class TestMatmulFunctional:
+    def test_matches_numpy(self):
+        result, c_blocks, reference = MatmulBenchmark().functional_run(
+            n_workers=2, matrix_size=96, block_size=32
+        )
+        assert result.succeeded
+        dense = assemble(c_blocks, 3, 32)
+        np.testing.assert_allclose(dense, reference, rtol=1e-10)
+
+
+class TestCholeskyFunctional:
+    def test_factorisation_correct(self):
+        result, blocks, reference = CholeskyBenchmark().functional_run(
+            n_workers=2, matrix_size=96, block_size=32
+        )
+        assert result.succeeded
+        nb, bs = 3, 32
+        n = nb * bs
+        lower = np.zeros((n, n))
+        for (i, j), blk in blocks.items():
+            lower[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs] = blk
+        lower = np.tril(lower)
+        np.testing.assert_allclose(lower @ lower.T, reference, rtol=1e-8, atol=1e-8)
+
+
+class TestSparseLUFunctional:
+    def test_lu_reconstruction(self):
+        result, blocks, reference = SparseLUBenchmark().functional_run(
+            n_workers=2, matrix_size=100, block_size=25
+        )
+        assert result.succeeded
+        dense = assemble(blocks, 4, 25)
+        lower = np.tril(dense, -1) + np.eye(100)
+        upper = np.triu(dense)
+        np.testing.assert_allclose(lower @ upper, reference, rtol=1e-6, atol=1e-6)
+
+
+class TestPerlinFunctional:
+    def test_deterministic_across_worker_counts(self):
+        bench = PerlinNoiseBenchmark()
+        _, seq = bench.functional_run(n_workers=1, n_pixels=4096, block_size=512, frames=3)
+        _, par = bench.functional_run(n_workers=4, n_pixels=4096, block_size=512, frames=3)
+        np.testing.assert_array_equal(seq, par)
+
+    def test_noise_nonzero(self):
+        _, pixels = PerlinNoiseBenchmark().functional_run(n_pixels=2048, block_size=512, frames=2)
+        assert np.count_nonzero(pixels) > 0
+
+
+class TestFunctionalWithReplication:
+    """End-to-end: benchmark kernels + replication protocol + fault injection."""
+
+    def _engine(self, sdc_p=0.0, crash_p=0.0):
+        config = ReplicationConfig()
+        injector = FaultInjector(
+            config=InjectionConfig(fixed_sdc_probability=sdc_p, fixed_crash_probability=crash_p)
+        )
+        return SelectiveReplicationEngine(
+            policy=CompleteReplication(),
+            replicator=TaskReplicator(injector=injector, config=config),
+            config=config,
+        )
+
+    def test_matmul_correct_under_replication(self):
+        engine = self._engine()
+        result, c_blocks, reference = MatmulBenchmark().functional_run(
+            n_workers=2, hook=engine, matrix_size=64, block_size=32
+        )
+        assert result.succeeded
+        np.testing.assert_allclose(assemble(c_blocks, 2, 32), reference, rtol=1e-10)
+        assert engine.recovery_counts()["protected"] == len(engine.outcomes)
+
+    def test_matmul_survives_injected_sdc(self):
+        engine = self._engine(sdc_p=0.15)
+        result, c_blocks, reference = MatmulBenchmark().functional_run(
+            n_workers=2, hook=engine, matrix_size=64, block_size=32
+        )
+        counts = engine.recovery_counts()
+        assert counts["sdc_escaped"] == 0
+        if counts["unrecovered"] == 0:
+            np.testing.assert_allclose(assemble(c_blocks, 2, 32), reference, rtol=1e-10)
+
+    def test_stream_survives_injected_crashes(self):
+        engine = self._engine(crash_p=0.2)
+        bench = StreamBenchmark()
+        result, arrays = bench.functional_run(
+            n_workers=2, hook=engine, array_elements=2048, block_elements=512, iterations=1
+        )
+        counts = engine.recovery_counts()
+        assert counts["fatal_crashes"] == 0
+        # After one STREAM iteration: c = a + scale*copy(a) = 1 + 3*1 = 4.
+        np.testing.assert_allclose(arrays["c"], 4.0)
+        np.testing.assert_allclose(arrays["a"], 15.0)

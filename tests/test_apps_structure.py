@@ -1,0 +1,237 @@
+"""Structural tests for every Table I benchmark generator."""
+
+import pytest
+
+from repro.apps import create_benchmark
+from repro.apps.cholesky import CholeskyBenchmark
+from repro.apps.fft import FFTBenchmark
+from repro.apps.linpack import LinpackBenchmark
+from repro.apps.matmul import MatmulBenchmark
+from repro.apps.nbody import NbodyBenchmark
+from repro.apps.perlin import PerlinNoiseBenchmark
+from repro.apps.pingpong import PingpongBenchmark
+from repro.apps.registry import (
+    all_benchmark_names,
+    distributed_benchmark_names,
+    shared_memory_benchmark_names,
+)
+from repro.apps.sparselu import SparseLUBenchmark
+from repro.apps.stream import StreamBenchmark
+
+ALL_NAMES = all_benchmark_names()
+SMALL_SCALE = 0.08
+
+
+class TestRegistry:
+    def test_nine_benchmarks(self):
+        assert len(ALL_NAMES) == 9
+
+    def test_groups_match_table1(self):
+        assert shared_memory_benchmark_names() == ["sparselu", "cholesky", "fft", "perlin", "stream"]
+        assert distributed_benchmark_names() == ["nbody", "matmul", "pingpong", "linpack"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            create_benchmark("does-not-exist")
+
+    def test_case_insensitive(self):
+        assert create_benchmark("Cholesky", scale=SMALL_SCALE).name == "cholesky"
+
+    def test_kwargs_override(self):
+        bench = create_benchmark("cholesky", matrix_size=2048, block_size=512)
+        assert bench.n_blocks == 4
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryBenchmark:
+    def test_graph_is_acyclic_dag(self, name):
+        graph = create_benchmark(name, scale=SMALL_SCALE).build_graph()
+        assert len(graph) > 0
+        assert graph.is_acyclic()
+
+    def test_every_task_has_positive_duration_and_bytes(self, name):
+        graph = create_benchmark(name, scale=SMALL_SCALE).build_graph()
+        for task in graph.tasks():
+            assert task.duration_s > 0
+            assert task.argument_bytes > 0
+
+    def test_info_row_populated(self, name):
+        info = create_benchmark(name, scale=SMALL_SCALE).info()
+        assert info.name == name
+        assert info.n_tasks > 0
+        assert info.input_bytes > 0
+        assert info.problem and info.block and info.description
+
+    def test_graph_cached(self, name):
+        bench = create_benchmark(name, scale=SMALL_SCALE)
+        assert bench.build_graph() is bench.build_graph()
+        assert bench.build_graph(use_cache=False) is not bench.build_graph()
+
+    def test_graph_has_parallelism(self, name):
+        graph = create_benchmark(name, scale=SMALL_SCALE).build_graph()
+        assert graph.stats().average_parallelism > 1.5
+
+    def test_scale_changes_task_count(self, name):
+        small = create_benchmark(name, scale=SMALL_SCALE).build_graph()
+        larger = create_benchmark(name, scale=SMALL_SCALE * 2.5).build_graph()
+        assert len(larger) > len(small)
+
+
+@pytest.mark.parametrize("name", distributed_benchmark_names())
+class TestDistributedBenchmarks:
+    def test_tasks_have_node_assignments(self, name):
+        graph = create_benchmark(name, scale=SMALL_SCALE).build_graph()
+        nodes = {t.node for t in graph.tasks()}
+        assert None not in nodes
+        assert len(nodes) > 1
+
+    def test_marked_distributed(self, name):
+        assert create_benchmark(name, scale=SMALL_SCALE).distributed
+
+
+class TestSparseLU:
+    def test_paper_configuration(self):
+        bench = SparseLUBenchmark()
+        assert bench.n_blocks == 64
+        assert bench.input_bytes == 12800 ** 2 * 8
+
+    def test_task_types(self):
+        graph = SparseLUBenchmark.from_scale(0.1).build_graph()
+        types = graph.subgraph_types()
+        assert set(types) == {"lu0", "fwd", "bdiv", "bmod"}
+        assert types["lu0"] == SparseLUBenchmark.from_scale(0.1).n_blocks
+
+    def test_sparsity_pattern_deterministic(self):
+        a = SparseLUBenchmark.from_scale(0.1)
+        b = SparseLUBenchmark.from_scale(0.1)
+        assert (a.initial_pattern() == b.initial_pattern()).all()
+
+    def test_diagonal_always_present(self):
+        pattern = SparseLUBenchmark.from_scale(0.1).initial_pattern()
+        assert pattern.diagonal().all()
+
+    def test_sparser_matrix_fewer_tasks(self):
+        dense = SparseLUBenchmark(matrix_size=1600, block_size=200, fill_fraction=0.9)
+        sparse = SparseLUBenchmark(matrix_size=1600, block_size=200, fill_fraction=0.1)
+        assert len(sparse.build_graph()) < len(dense.build_graph())
+
+    def test_block_size_must_divide(self):
+        with pytest.raises(ValueError):
+            SparseLUBenchmark(matrix_size=1000, block_size=300)
+
+
+class TestCholesky:
+    def test_paper_configuration_task_count(self):
+        """32 blocks -> nb + nb(nb-1)/2 trsm + nb(nb-1)/2 syrk + C(nb,3) gemm tasks."""
+        bench = CholeskyBenchmark()
+        nb = bench.n_blocks
+        expected = nb + nb * (nb - 1) // 2 + nb * (nb - 1) // 2 + nb * (nb - 1) * (nb - 2) // 6
+        assert len(bench.build_graph()) == expected
+
+    def test_task_types(self):
+        types = CholeskyBenchmark.from_scale(0.2).build_graph().subgraph_types()
+        assert set(types) == {"potrf", "trsm", "syrk", "gemm"}
+
+    def test_potrf_chain_structure(self):
+        """The first potrf has no dependencies; later potrfs depend on updates."""
+        graph = CholeskyBenchmark.from_scale(0.15).build_graph()
+        potrfs = [t for t in graph.tasks() if t.task_type == "potrf"]
+        assert graph.in_degree(potrfs[0].task_id) == 0
+        assert graph.in_degree(potrfs[1].task_id) > 0
+
+    def test_gemm_is_heaviest_task_type(self):
+        graph = CholeskyBenchmark.from_scale(0.2).build_graph()
+        potrf = next(t for t in graph.tasks() if t.task_type == "potrf")
+        gemm = next(t for t in graph.tasks() if t.task_type == "gemm")
+        assert gemm.duration_s > potrf.duration_s
+        assert gemm.argument_bytes > potrf.argument_bytes
+
+
+class TestFFT:
+    def test_paper_configuration_coarse_and_few(self):
+        bench = FFTBenchmark()
+        graph = bench.build_graph()
+        assert len(graph) == 4 * bench.n_panels  # two FFT + two transpose stages
+        assert bench.panel_bytes == pytest.approx(16384 * 128 * 16)
+
+    def test_stage_ordering(self):
+        graph = FFTBenchmark.from_scale(0.05).build_graph()
+        types = [t.task_type for t in graph.iter_submission_order()]
+        first_transpose = types.index("transpose")
+        assert all(t == "fft_rows" for t in types[:first_transpose])
+
+    def test_transpose_depends_on_all_fft_tasks(self):
+        bench = FFTBenchmark.from_scale(0.05)
+        graph = bench.build_graph()
+        transpose = next(t for t in graph.tasks() if t.task_type == "transpose")
+        assert len(graph.predecessors(transpose.task_id)) == bench.n_panels
+
+
+class TestStreamAndPerlin:
+    def test_stream_task_count(self):
+        bench = StreamBenchmark(iterations=3)
+        assert len(bench.build_graph()) == 3 * 4 * bench.n_blocks
+
+    def test_stream_kernels_present(self):
+        types = StreamBenchmark(iterations=2).build_graph().subgraph_types()
+        assert set(types) == {"copy", "scale", "add", "triad"}
+
+    def test_stream_is_memory_bound(self):
+        graph = StreamBenchmark(iterations=1).build_graph()
+        t = graph.tasks()[0]
+        mem = t.metadata["mem_bytes"]
+        assert mem / 50e9 > t.duration_s  # streams more bytes than it computes
+
+    def test_perlin_has_frame_setup_and_block_tasks(self):
+        types = PerlinNoiseBenchmark(frames=10, setup_every=5).build_graph().subgraph_types()
+        assert types["frame_setup"] == 2
+        assert types["perlin_block"] == 10 * 32
+
+    def test_perlin_frame_setup_is_heavier(self):
+        graph = PerlinNoiseBenchmark(frames=4).build_graph()
+        setup = next(t for t in graph.tasks() if t.task_type == "frame_setup")
+        block = next(t for t in graph.tasks() if t.task_type == "perlin_block")
+        assert setup.argument_bytes > block.argument_bytes
+
+
+class TestDistributedStructure:
+    def test_nbody_force_tasks_quadratic_in_blocks(self):
+        bench = NbodyBenchmark(n_bodies=65536, n_nodes=4, n_blocks=8, timesteps=2)
+        types = bench.build_graph().subgraph_types()
+        assert types["forces"] == 2 * 8 * 8
+        assert types["update"] == 2 * 8
+
+    def test_matmul_gather_tasks_exist(self):
+        bench = MatmulBenchmark(iterations=1, n_nodes=4)
+        types = bench.build_graph().subgraph_types()
+        assert "gather_result" in types and "gemm" in types
+
+    def test_matmul_gather_is_heavier_than_gemm(self):
+        graph = MatmulBenchmark(iterations=1, n_nodes=4).build_graph()
+        gather = next(t for t in graph.tasks() if t.task_type == "gather_result")
+        gemm = next(t for t in graph.tasks() if t.task_type == "gemm")
+        assert gather.argument_bytes > gemm.argument_bytes
+
+    def test_pingpong_alternates_nodes(self):
+        graph = PingpongBenchmark(n_nodes=4, iterations=3).build_graph()
+        nodes = [t.node for t in graph.iter_submission_order()][:4]
+        assert nodes[0] != nodes[1]
+
+    def test_pingpong_even_nodes_required(self):
+        with pytest.raises(ValueError):
+            PingpongBenchmark(n_nodes=5)
+
+    def test_linpack_phase_types(self):
+        bench = LinpackBenchmark.from_scale(0.05)
+        types = bench.build_graph().subgraph_types()
+        assert set(types) == {"panel_factor", "panel_bcast", "update"}
+
+    def test_linpack_task_weights_shrink_over_steps(self):
+        bench = LinpackBenchmark.from_scale(0.05)
+        graph = bench.build_graph()
+        factors = [t for t in graph.tasks() if t.task_type == "panel_factor"]
+        assert factors[0].duration_s > factors[-1].duration_s
+        assert factors[0].argument_bytes > factors[-1].argument_bytes
+
+    def test_linpack_n_nodes_matches_grid(self):
+        assert LinpackBenchmark(matrix_size=4096, grid_rows=2, grid_cols=4).n_nodes == 8

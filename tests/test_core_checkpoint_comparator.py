@@ -1,0 +1,204 @@
+"""Tests for repro.core.checkpoint and repro.core.comparator."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointStore
+from repro.core.comparator import (
+    BitwiseComparator,
+    ChecksumComparator,
+    ComparisonResult,
+    ToleranceComparator,
+    majority_vote,
+)
+from repro.runtime.task import DataHandle, TaskDescriptor, arg_in, arg_inout, arg_out
+
+
+def task_over(handles, directions, task_id=0):
+    args = []
+    for handle, d in zip(handles, directions):
+        region = handle.whole()
+        if d == "in":
+            args.append(arg_in(region))
+        elif d == "out":
+            args.append(arg_out(region))
+        else:
+            args.append(arg_inout(region))
+    return TaskDescriptor(task_id=task_id, task_type="t", args=args)
+
+
+class TestCheckpointStore:
+    def test_capture_and_restore_inout(self):
+        h = DataHandle("a", storage=np.arange(8, dtype=np.float64))
+        task = task_over([h], ["inout"])
+        store = CheckpointStore()
+        store.capture(task)
+        h.storage[:] = -1
+        assert store.restore(task) is True
+        np.testing.assert_array_equal(h.storage, np.arange(8))
+
+    def test_out_only_data_not_saved(self):
+        h = DataHandle("a", storage=np.arange(8, dtype=np.float64))
+        task = task_over([h], ["out"])
+        store = CheckpointStore()
+        ckpt = store.capture(task)
+        assert ckpt.saved_arrays == {}
+        assert ckpt.n_bytes == 0
+
+    def test_in_data_saved(self):
+        h = DataHandle("a", storage=np.ones(8))
+        task = task_over([h], ["in"])
+        ckpt = CheckpointStore().capture(task)
+        assert ckpt.n_bytes == 64
+
+    def test_restore_without_checkpoint_returns_false(self):
+        h = DataHandle("a", storage=np.ones(4))
+        assert CheckpointStore().restore(task_over([h], ["inout"])) is False
+
+    def test_release_frees_bytes(self):
+        h = DataHandle("a", storage=np.ones(8))
+        task = task_over([h], ["inout"])
+        store = CheckpointStore()
+        store.capture(task)
+        assert store.bytes_stored == 64
+        store.release(task.task_id)
+        assert store.bytes_stored == 0
+        assert not store.has_checkpoint(task.task_id)
+
+    def test_capacity_enforced(self):
+        h = DataHandle("a", storage=np.ones(1024))
+        task = task_over([h], ["inout"])
+        store = CheckpointStore(capacity_bytes=100)
+        with pytest.raises(MemoryError):
+            store.capture(task)
+
+    def test_simulation_only_task_counts_bytes(self):
+        h = DataHandle("a", size_bytes=4096)
+        task = task_over([h], ["inout"])
+        ckpt = CheckpointStore().capture(task)
+        assert ckpt.n_bytes == 4096 and ckpt.saved_arrays == {}
+
+    def test_counters(self):
+        h = DataHandle("a", storage=np.ones(4))
+        task = task_over([h], ["inout"])
+        store = CheckpointStore()
+        store.capture(task)
+        store.restore(task)
+        assert store.total_checkpoints_taken == 1
+        assert store.total_restores == 1
+        assert len(store) == 1
+
+
+class TestComparators:
+    def test_bitwise_equal(self):
+        a = np.arange(16, dtype=np.float64)
+        assert BitwiseComparator().equal(a, a.copy())
+
+    def test_bitwise_detects_single_bit_flip(self):
+        a = np.arange(16, dtype=np.float64)
+        b = a.copy()
+        b.view(np.uint8)[3] ^= 1
+        assert not BitwiseComparator().equal(a, b)
+
+    def test_bitwise_shape_mismatch(self):
+        assert not BitwiseComparator().equal(np.zeros(4), np.zeros(5))
+
+    def test_bitwise_dtype_mismatch(self):
+        assert not BitwiseComparator().equal(np.zeros(4, dtype=np.float32), np.zeros(4))
+
+    def test_compare_sequences(self):
+        c = BitwiseComparator()
+        a = [np.ones(4), np.zeros(4)]
+        b = [np.ones(4), np.zeros(4)]
+        assert c.compare(a, b) is ComparisonResult.MATCH
+        b[1][0] = 5
+        assert c.compare(a, b) is ComparisonResult.MISMATCH
+
+    def test_compare_length_mismatch(self):
+        c = BitwiseComparator()
+        assert c.compare([np.ones(4)], []) is ComparisonResult.MISMATCH
+
+    def test_tolerance_comparator_accepts_small_differences(self):
+        c = ToleranceComparator(rtol=1e-6)
+        a = np.array([1.0, 2.0])
+        b = a * (1 + 1e-9)
+        assert c.equal(a, b)
+
+    def test_tolerance_comparator_rejects_large_differences(self):
+        c = ToleranceComparator(rtol=1e-9)
+        assert not c.equal(np.array([1.0]), np.array([1.1]))
+
+    def test_tolerance_nan_equal_nan(self):
+        c = ToleranceComparator()
+        a = np.array([np.nan, 1.0])
+        assert c.equal(a, a.copy())
+        assert not c.equal(a, np.array([0.0, 1.0]))
+
+    def test_tolerance_integer_arrays_exact(self):
+        c = ToleranceComparator()
+        assert c.equal(np.array([1, 2]), np.array([1, 2]))
+        assert not c.equal(np.array([1, 2]), np.array([1, 3]))
+
+    def test_tolerance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ToleranceComparator(rtol=-1)
+
+    def test_checksum_comparator_matches_identical(self):
+        c = ChecksumComparator()
+        a = np.arange(100, dtype=np.float64)
+        assert c.equal(a, a.copy())
+
+    def test_checksum_comparator_detects_corruption(self):
+        c = ChecksumComparator()
+        a = np.arange(100, dtype=np.float64)
+        b = a.copy()
+        b[50] += 1
+        assert not c.equal(a, b)
+
+    def test_checksum_includes_shape(self):
+        c = ChecksumComparator()
+        a = np.zeros((2, 8))
+        b = np.zeros((4, 4))
+        assert not c.equal(a, b)
+
+
+class TestMajorityVote:
+    def _outputs(self, value):
+        return [np.full(8, float(value))]
+
+    def test_all_agree(self):
+        vote = majority_vote([self._outputs(1), self._outputs(1), self._outputs(1)])
+        assert vote.resolved and len(vote.agreeing_indices) == 3
+
+    def test_two_against_one(self):
+        vote = majority_vote([self._outputs(1), self._outputs(2), self._outputs(1)])
+        assert vote.resolved
+        assert vote.winner_index in (0, 2)
+        assert set(vote.agreeing_indices) == {0, 2}
+
+    def test_no_majority(self):
+        vote = majority_vote([self._outputs(1), self._outputs(2), self._outputs(3)])
+        assert not vote.resolved
+
+    def test_two_candidates_agreeing(self):
+        vote = majority_vote([self._outputs(5), self._outputs(5)])
+        assert vote.resolved
+
+    def test_two_candidates_disagreeing(self):
+        vote = majority_vote([self._outputs(5), self._outputs(6)])
+        assert not vote.resolved
+
+    def test_single_candidate_wins(self):
+        vote = majority_vote([self._outputs(1)])
+        assert vote.resolved and vote.winner_index == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+
+    def test_custom_comparator(self):
+        a = [np.array([1.0])]
+        b = [np.array([1.0 + 1e-12])]
+        c = [np.array([2.0])]
+        vote = majority_vote([a, b, c], ToleranceComparator(rtol=1e-9))
+        assert vote.resolved and set(vote.agreeing_indices) == {0, 1}

@@ -1,0 +1,199 @@
+"""Tests for repro.core.engine and repro.core.knapsack."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReplicationConfig
+from repro.core.engine import SelectiveReplicationEngine, decide_for_graph
+from repro.core.estimator import ArgumentSizeEstimator
+from repro.core.heuristic import AppFit
+from repro.core.knapsack import KnapsackOracle
+from repro.core.policies import CompleteReplication, NoReplication
+from repro.core.replication import TaskReplicator
+from repro.faults.injector import FaultInjector, InjectionConfig
+from repro.faults.rates import FitRateSpec
+from repro.runtime.runtime import TaskRuntime
+from repro.runtime.graph import TaskGraph
+from repro.util.units import MIB
+from tests.conftest import make_independent_graph, make_task
+
+
+class TestDecideForGraph:
+    def test_counts_and_fractions(self):
+        graph = make_independent_graph(10, duration_s=2.0)
+        decisions = decide_for_graph(graph, CompleteReplication())
+        assert decisions.total_tasks == 10
+        assert decisions.replicated_tasks == 10
+        assert decisions.total_duration_s == pytest.approx(20.0)
+        assert decisions.replicated_duration_s == pytest.approx(20.0)
+
+    def test_time_fraction_reflects_durations(self):
+        graph = TaskGraph()
+        graph.add_task(make_task(0, size_bytes=100 * MIB, duration_s=10.0))
+        for i in range(1, 10):
+            graph.add_task(make_task(i, size_bytes=0.1 * MIB, duration_s=1.0))
+        est_1x = ArgumentSizeEstimator(FitRateSpec())
+        threshold = sum(est_1x.estimate(t).total_fit for t in graph.tasks())
+        policy = AppFit(threshold, len(graph), ArgumentSizeEstimator(FitRateSpec(multiplier=10.0)))
+        decisions = decide_for_graph(graph, policy)
+        # The heavy task must be protected, so time fraction > task fraction.
+        assert 0 in decisions.replicated_ids
+        assert decisions.time_fraction > decisions.task_fraction
+
+    def test_appfit_audit_attached(self):
+        graph = make_independent_graph(5)
+        policy = AppFit(0.0, 5)
+        decisions = decide_for_graph(graph, policy)
+        assert decisions.audit is not None and decisions.audit.threshold_respected
+
+    def test_non_appfit_has_no_audit(self):
+        graph = make_independent_graph(5)
+        assert decide_for_graph(graph, NoReplication()).audit is None
+
+    def test_empty_graph(self):
+        decisions = decide_for_graph(TaskGraph(), CompleteReplication())
+        assert decisions.task_fraction == 0.0 and decisions.time_fraction == 0.0
+
+
+class TestSelectiveReplicationEngine:
+    def _runtime_with_engine(self, policy, crash_p=0.0, sdc_p=0.0, n_tasks=8):
+        config = ReplicationConfig()
+        injector = FaultInjector(
+            config=InjectionConfig(fixed_crash_probability=crash_p, fixed_sdc_probability=sdc_p)
+        )
+        engine = SelectiveReplicationEngine(
+            policy=policy,
+            replicator=TaskReplicator(injector=injector, config=config),
+            config=config,
+        )
+        rt = TaskRuntime(n_workers=2, hook=engine)
+        arrays = [rt.register_array(f"a{i}", np.zeros(256)) for i in range(n_tasks)]
+
+        def fill(x):
+            x += 1.0
+
+        for h in arrays:
+            rt.submit(fill, inout=[h.whole()], task_type="fill")
+        return rt, engine, arrays
+
+    def test_complete_replication_executes_all_protected(self):
+        rt, engine, arrays = self._runtime_with_engine(CompleteReplication())
+        result = rt.taskwait()
+        assert result.succeeded
+        counts = engine.recovery_counts()
+        assert counts["protected"] == 8
+        for h in arrays:
+            np.testing.assert_allclose(h.storage, 1.0)
+
+    def test_no_replication_executes_all_unprotected(self):
+        rt, engine, arrays = self._runtime_with_engine(NoReplication())
+        rt.taskwait()
+        assert engine.recovery_counts()["protected"] == 0
+        for h in arrays:
+            np.testing.assert_allclose(h.storage, 1.0)
+
+    def test_sdc_never_escapes_silently_when_protected(self):
+        rt, engine, arrays = self._runtime_with_engine(CompleteReplication(), sdc_p=0.4)
+        rt.taskwait()
+        counts = engine.recovery_counts()
+        # Duplex comparison means a corruption can never go unnoticed; recovery
+        # may still fail when two of the three executions are corrupted, but
+        # that is a *detected* failure, never a silent one.
+        assert counts["sdc_escaped"] == 0
+        assert counts["sdc_detected"] >= counts["sdc_corrected"]
+        # Every task whose outcome is clean committed a correct result.
+        for task_id, outcome in engine.outcomes.items():
+            if outcome.clean:
+                np.testing.assert_allclose(arrays[task_id].storage, 1.0)
+
+    def test_summary_reports_fraction(self):
+        rt, engine, _ = self._runtime_with_engine(CompleteReplication())
+        rt.taskwait()
+        summary = engine.summary()
+        assert summary.total_tasks == 8 and summary.task_fraction == 1.0
+
+    def test_appfit_policy_through_engine(self):
+        policy = AppFit(0.0, 8)  # zero budget -> protect everything
+        rt, engine, arrays = self._runtime_with_engine(policy)
+        rt.taskwait()
+        assert engine.recovery_counts()["protected"] == 8
+        assert policy.audit().threshold_respected
+
+
+class TestKnapsackOracle:
+    def _graph(self, sizes, durations=None):
+        graph = TaskGraph()
+        for i, size in enumerate(sizes):
+            d = durations[i] if durations else 1.0
+            graph.add_task(make_task(i, size_bytes=size, duration_s=d))
+        return graph
+
+    def test_zero_threshold_replicates_everything(self):
+        graph = self._graph([MIB] * 6)
+        sol = KnapsackOracle(0.0).solve(graph.tasks())
+        assert sol.replication_task_fraction == 1.0 and sol.feasible
+
+    def test_huge_threshold_replicates_nothing(self):
+        graph = self._graph([MIB] * 6)
+        sol = KnapsackOracle(1e12).solve(graph.tasks())
+        assert sol.replication_task_fraction == 0.0 and sol.feasible
+
+    def test_solution_is_feasible(self):
+        est = ArgumentSizeEstimator(FitRateSpec(multiplier=10.0))
+        graph = self._graph([MIB * (i + 1) for i in range(30)])
+        total = sum(est.estimate(t).total_fit for t in graph.tasks())
+        oracle = KnapsackOracle(total / 10.0, est)
+        sol = oracle.solve(graph.tasks())
+        assert sol.feasible
+        assert sol.unprotected_fit <= sol.threshold + 1e-9
+
+    def test_oracle_never_worse_than_appfit(self):
+        """The offline oracle replicates at most as much *time* as App_FIT for
+        the same budget (it knows the whole task list up front)."""
+        est_10x = ArgumentSizeEstimator(FitRateSpec(multiplier=10.0))
+        est_1x = ArgumentSizeEstimator(FitRateSpec())
+        sizes = [MIB * ((i % 7) + 1) for i in range(120)]
+        durations = [float((i % 5) + 1) for i in range(120)]
+        graph = self._graph(sizes, durations)
+        threshold = sum(est_1x.estimate(t).total_fit for t in graph.tasks())
+
+        appfit = AppFit(threshold, len(graph), est_10x)
+        appfit_decisions = decide_for_graph(graph, appfit)
+        oracle_sol = KnapsackOracle(threshold, est_10x).solve(graph.tasks())
+        assert oracle_sol.feasible
+        assert (
+            oracle_sol.replication_time_fraction
+            <= appfit_decisions.time_fraction + 1e-9
+        )
+
+    def test_exact_solver_small_instance(self):
+        # Three tasks of FIT weights ~1,2,3; a budget slightly above 5 fits the
+        # two largest weights, so only the weight-1 task needs replication.
+        # (The budget has a little slack because the DP conservatively
+        # ceil-rounds weights onto its grid.)
+        est = ArgumentSizeEstimator(FitRateSpec())
+        one = est.estimate(make_task(0, size_bytes=MIB)).total_fit
+        graph = self._graph([MIB, 2 * MIB, 3 * MIB], durations=[1.0, 2.0, 3.0])
+        sol = KnapsackOracle(5.05 * one, est, exact_limit=10).solve(graph.tasks())
+        assert sol.feasible
+        assert sol.unprotected_fit == pytest.approx(5.0 * one, rel=1e-3)
+        assert sol.replicate_ids == {0}
+
+    def test_zero_fit_tasks_never_replicated(self):
+        graph = self._graph([0.0, 0.0, MIB])
+        est = ArgumentSizeEstimator(FitRateSpec())
+        sol = KnapsackOracle(0.0, est).solve(graph.tasks())
+        assert 0 in sol.unprotected_ids and 1 in sol.unprotected_ids
+        assert 2 in sol.replicate_ids
+
+    def test_greedy_used_above_exact_limit(self):
+        graph = self._graph([MIB] * 100)
+        oracle = KnapsackOracle(1e12, exact_limit=10)
+        sol = oracle.solve(graph.tasks())
+        assert sol.replication_task_fraction == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KnapsackOracle(-1.0)
+        with pytest.raises(ValueError):
+            KnapsackOracle(1.0, exact_limit=0)

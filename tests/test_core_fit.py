@@ -1,0 +1,157 @@
+"""Tests for repro.core.fit — the FIT budget accounting behind Equation 1."""
+
+import threading
+
+import pytest
+
+from repro.core.fit import FitAccount
+
+
+class TestEnvelope:
+    def test_envelope_formula(self):
+        acc = FitAccount(threshold=100.0, total_tasks=10)
+        assert acc.envelope(0) == pytest.approx(10.0)
+        assert acc.envelope(4) == pytest.approx(50.0)
+        assert acc.envelope(9) == pytest.approx(100.0)
+
+    def test_per_task_budget(self):
+        acc = FitAccount(threshold=100.0, total_tasks=4)
+        assert acc.per_task_budget == pytest.approx(25.0)
+
+    def test_envelope_uses_current_decisions_by_default(self):
+        acc = FitAccount(threshold=100.0, total_tasks=10)
+        acc.decide(1.0)
+        assert acc.envelope() == pytest.approx(20.0)
+
+
+class TestDecide:
+    def test_small_task_not_replicated(self):
+        acc = FitAccount(threshold=100.0, total_tasks=10)
+        assert acc.decide(5.0) is False
+        assert acc.current_fit == pytest.approx(5.0)
+
+    def test_large_task_replicated(self):
+        acc = FitAccount(threshold=100.0, total_tasks=10)
+        assert acc.decide(50.0) is True
+        assert acc.current_fit == 0.0  # replicated tasks charge nothing by default
+
+    def test_boundary_is_strict_inequality(self):
+        # Equation 1 uses ">": a task exactly filling the envelope is NOT replicated.
+        acc = FitAccount(threshold=100.0, total_tasks=10)
+        assert acc.decide(10.0) is False
+
+    def test_just_above_boundary_is_replicated(self):
+        acc = FitAccount(threshold=100.0, total_tasks=10)
+        assert acc.decide(10.0 + 1e-9) is True
+
+    def test_residual_factor_charges_fraction(self):
+        acc = FitAccount(threshold=100.0, total_tasks=10)
+        acc.decide(50.0, residual_fit_factor=0.1)
+        assert acc.current_fit == pytest.approx(5.0)
+
+    def test_decision_counter_advances_either_way(self):
+        acc = FitAccount(threshold=100.0, total_tasks=10)
+        acc.decide(1.0)
+        acc.decide(1000.0)
+        assert acc.decisions == 2
+
+    def test_uniform_tasks_at_10x_replicate_about_90_percent(self):
+        """With uniform task FITs and rates 10x the threshold's basis, Equation 1
+        protects ~9 out of every 10 tasks."""
+        n = 1000
+        threshold = 100.0
+        task_fit = 10.0 * threshold / n  # each task carries 10x its budget share
+        acc = FitAccount(threshold=threshold, total_tasks=n)
+        replicated = sum(acc.decide(task_fit) for _ in range(n))
+        assert 0.88 <= replicated / n <= 0.92
+
+    def test_uniform_tasks_at_5x_replicate_about_80_percent(self):
+        n = 1000
+        threshold = 100.0
+        task_fit = 5.0 * threshold / n
+        acc = FitAccount(threshold=threshold, total_tasks=n)
+        replicated = sum(acc.decide(task_fit) for _ in range(n))
+        assert 0.78 <= replicated / n <= 0.82
+
+    def test_threshold_never_exceeded_for_any_stream(self):
+        acc = FitAccount(threshold=50.0, total_tasks=100)
+        fits = [0.1, 5.0, 0.2, 20.0, 0.05, 3.0] * 16
+        for f in fits[:100]:
+            acc.decide(f)
+        audit = acc.audit()
+        assert audit.threshold_respected
+        assert audit.envelope_respected
+
+    def test_negative_fit_rejected(self):
+        acc = FitAccount(threshold=1.0, total_tasks=1)
+        with pytest.raises(ValueError):
+            acc.decide(-1.0)
+
+    def test_would_exceed_does_not_mutate(self):
+        acc = FitAccount(threshold=100.0, total_tasks=10)
+        assert acc.would_exceed(50.0) is True
+        assert acc.decisions == 0 and acc.current_fit == 0.0
+
+    def test_zero_threshold_replicates_everything(self):
+        acc = FitAccount(threshold=0.0, total_tasks=10)
+        assert all(acc.decide(0.001) for _ in range(10))
+
+    def test_charge_external(self):
+        acc = FitAccount(threshold=10.0, total_tasks=2)
+        acc.charge_external(3.0)
+        assert acc.current_fit == 3.0
+
+
+class TestAudit:
+    def test_audit_counts(self):
+        acc = FitAccount(threshold=100.0, total_tasks=4)
+        acc.decide(1.0)    # kept
+        acc.decide(500.0)  # replicated
+        audit = acc.audit()
+        assert audit.replicated == 1
+        assert audit.unprotected == 1
+        assert audit.decisions == 2
+        assert audit.total_tasks == 4
+
+    def test_history_records_each_decision(self):
+        acc = FitAccount(threshold=100.0, total_tasks=4)
+        acc.decide(1.0)
+        acc.decide(500.0)
+        history = acc.history()
+        assert len(history) == 2
+        assert history[0][2] is False and history[1][2] is True
+
+    def test_empty_audit_is_clean(self):
+        audit = FitAccount(threshold=10.0, total_tasks=5).audit()
+        assert audit.threshold_respected and audit.envelope_respected
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            FitAccount(threshold=-1.0, total_tasks=5)
+        with pytest.raises(ValueError):
+            FitAccount(threshold=1.0, total_tasks=0)
+
+
+class TestConcurrency:
+    def test_concurrent_decisions_are_atomic(self):
+        """Concurrent deciders must never exceed the envelope (the paper requires
+        the check to be atomic)."""
+        n_threads = 8
+        per_thread = 200
+        n = n_threads * per_thread
+        acc = FitAccount(threshold=100.0, total_tasks=n)
+        task_fit = 10.0 * 100.0 / n
+
+        def worker():
+            for _ in range(per_thread):
+                acc.decide(task_fit)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        audit = acc.audit()
+        assert audit.decisions == n
+        assert audit.envelope_respected
+        assert audit.threshold_respected

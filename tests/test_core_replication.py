@@ -1,0 +1,211 @@
+"""Tests for repro.core.replication — the Figure 2 protocol with injected faults."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointStore
+from repro.core.config import ReplicationConfig
+from repro.core.replication import TaskReplicator
+from repro.faults.errors import ErrorClass
+from repro.faults.injector import FaultInjector, FaultPlan, InjectionConfig
+from repro.runtime.events import EventKind, EventLog
+from repro.runtime.executor import invoke_task
+from repro.runtime.task import DataHandle, TaskDescriptor, arg_in, arg_inout
+
+
+def make_increment_task(task_id=0, n=16):
+    """A task that increments its inout array by the values of its in array."""
+    src = DataHandle(f"src{task_id}", storage=np.arange(n, dtype=np.float64))
+    dst = DataHandle(f"dst{task_id}", storage=np.zeros(n, dtype=np.float64))
+
+    def body(a, b):
+        b += a + 1.0
+
+    task = TaskDescriptor(
+        task_id=task_id,
+        task_type="inc",
+        args=[arg_in(src.whole()), arg_inout(dst.whole())],
+        func=body,
+    )
+    return task, src, dst
+
+
+def replicator_with(plan=None, crash_p=None, sdc_p=None, config=None, events=None):
+    inj_cfg = InjectionConfig(
+        fixed_crash_probability=crash_p if crash_p is not None else 0.0,
+        fixed_sdc_probability=sdc_p if sdc_p is not None else 0.0,
+    )
+    injector = FaultInjector(config=inj_cfg, plan=plan)
+    return TaskReplicator(
+        injector=injector,
+        config=config if config is not None else ReplicationConfig(),
+        events=events if events is not None else EventLog(),
+    )
+
+
+EXPECTED = np.arange(16, dtype=np.float64) + 1.0
+
+
+class TestUnprotectedExecution:
+    def test_fault_free_produces_correct_result(self):
+        task, _, dst = make_increment_task()
+        outcome = replicator_with().execute_unprotected(task, invoke_task)
+        assert outcome.clean and not outcome.protected
+        np.testing.assert_array_equal(dst.storage, EXPECTED)
+
+    def test_crash_is_fatal(self):
+        task, _, dst = make_increment_task()
+        plan = FaultPlan().add(task.task_id, 0, ErrorClass.DUE)
+        outcome = replicator_with(plan=plan).execute_unprotected(task, invoke_task)
+        assert outcome.fatal_crash and not outcome.clean
+        # The body never ran.
+        np.testing.assert_array_equal(dst.storage, np.zeros(16))
+
+    def test_sdc_escapes_silently(self):
+        task, _, dst = make_increment_task()
+        plan = FaultPlan().add(task.task_id, 0, ErrorClass.SDC)
+        outcome = replicator_with(plan=plan).execute_unprotected(task, invoke_task)
+        assert outcome.sdc_escaped and not outcome.sdc_detected
+        assert not np.array_equal(dst.storage, EXPECTED)
+
+    def test_only_one_execution(self):
+        task, _, _ = make_increment_task()
+        outcome = replicator_with().execute_unprotected(task, invoke_task)
+        assert outcome.executions == 1
+
+
+class TestProtectedFaultFree:
+    def test_result_correct_and_clean(self):
+        task, _, dst = make_increment_task()
+        events = EventLog()
+        outcome = replicator_with(events=events).execute_protected(task, invoke_task)
+        assert outcome.clean and outcome.protected
+        np.testing.assert_array_equal(dst.storage, EXPECTED)
+
+    def test_two_executions_performed(self):
+        task, _, _ = make_increment_task()
+        outcome = replicator_with().execute_protected(task, invoke_task)
+        assert outcome.executions == 2
+
+    def test_events_follow_figure2(self):
+        task, _, _ = make_increment_task()
+        events = EventLog()
+        replicator_with(events=events).execute_protected(task, invoke_task)
+        assert events.count(EventKind.CHECKPOINT_TAKEN) == 1
+        assert events.count(EventKind.TASK_REPLICATED) == 1
+        assert events.count(EventKind.COMPARISON_PERFORMED) == 1
+        assert events.count(EventKind.SDC_DETECTED) == 0
+
+    def test_checkpoint_released_after_completion(self):
+        task, _, _ = make_increment_task()
+        rep = replicator_with()
+        rep.execute_protected(task, invoke_task)
+        assert not rep.checkpoints.has_checkpoint(task.task_id)
+
+
+class TestProtectedSdcRecovery:
+    def test_sdc_in_original_detected_and_corrected(self):
+        task, _, dst = make_increment_task()
+        plan = FaultPlan().add(task.task_id, 0, ErrorClass.SDC)
+        events = EventLog()
+        outcome = replicator_with(plan=plan, events=events).execute_protected(task, invoke_task)
+        assert outcome.sdc_detected and outcome.sdc_corrected and outcome.vote_performed
+        assert outcome.clean
+        np.testing.assert_array_equal(dst.storage, EXPECTED)
+        assert events.count(EventKind.SDC_DETECTED) == 1
+        assert events.count(EventKind.SDC_CORRECTED) == 1
+        assert events.count(EventKind.REEXECUTION) >= 1
+
+    def test_sdc_in_replica_detected_and_corrected(self):
+        task, _, dst = make_increment_task()
+        plan = FaultPlan().add(task.task_id, 1, ErrorClass.SDC)
+        outcome = replicator_with(plan=plan).execute_protected(task, invoke_task)
+        assert outcome.sdc_detected and outcome.sdc_corrected
+        np.testing.assert_array_equal(dst.storage, EXPECTED)
+
+    def test_three_executions_on_sdc(self):
+        task, _, _ = make_increment_task()
+        plan = FaultPlan().add(task.task_id, 0, ErrorClass.SDC)
+        outcome = replicator_with(plan=plan).execute_protected(task, invoke_task)
+        assert outcome.executions == 3
+
+    def test_sdc_with_vote_disabled_is_unrecovered(self):
+        task, _, _ = make_increment_task()
+        plan = FaultPlan().add(task.task_id, 0, ErrorClass.SDC)
+        cfg = ReplicationConfig(vote_on_mismatch=False)
+        outcome = replicator_with(plan=plan, config=cfg).execute_protected(task, invoke_task)
+        assert outcome.sdc_detected and not outcome.sdc_corrected and outcome.unrecovered
+
+    def test_compare_disabled_lets_sdc_escape(self):
+        task, _, _ = make_increment_task()
+        plan = FaultPlan().add(task.task_id, 1, ErrorClass.SDC)
+        cfg = ReplicationConfig(compare_outputs=False)
+        outcome = replicator_with(plan=plan, config=cfg).execute_protected(task, invoke_task)
+        assert outcome.sdc_escaped and not outcome.sdc_detected
+
+
+class TestProtectedCrashRecovery:
+    def test_original_crash_survived_by_replica(self):
+        task, _, dst = make_increment_task()
+        plan = FaultPlan().add(task.task_id, 0, ErrorClass.DUE)
+        outcome = replicator_with(plan=plan).execute_protected(task, invoke_task)
+        assert outcome.crash_recovered and outcome.clean
+        np.testing.assert_array_equal(dst.storage, EXPECTED)
+
+    def test_replica_crash_survived_by_original(self):
+        task, _, dst = make_increment_task()
+        plan = FaultPlan().add(task.task_id, 1, ErrorClass.DUE)
+        outcome = replicator_with(plan=plan).execute_protected(task, invoke_task)
+        assert outcome.crash_recovered and outcome.clean
+        np.testing.assert_array_equal(dst.storage, EXPECTED)
+
+    def test_both_crash_recovered_from_checkpoint(self):
+        task, _, dst = make_increment_task()
+        plan = (
+            FaultPlan()
+            .add(task.task_id, 0, ErrorClass.DUE)
+            .add(task.task_id, 1, ErrorClass.DUE)
+        )
+        events = EventLog()
+        outcome = replicator_with(plan=plan, events=events).execute_protected(task, invoke_task)
+        assert outcome.crash_recovered and outcome.clean
+        np.testing.assert_array_equal(dst.storage, EXPECTED)
+        assert events.count(EventKind.CHECKPOINT_RESTORED) >= 1
+
+    def test_persistent_crashes_eventually_fatal(self):
+        task, _, _ = make_increment_task()
+        # Crash every execution.
+        cfg = ReplicationConfig(max_reexecutions=1)
+        outcome = replicator_with(crash_p=1.0, config=cfg).execute_protected(task, invoke_task)
+        assert outcome.fatal_crash and outcome.unrecovered and not outcome.clean
+
+
+class TestConfigValidation:
+    def test_vote_requires_checkpoint(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(vote_on_mismatch=True, checkpoint_inputs=False)
+
+    def test_negative_reexecutions_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(max_reexecutions=-1)
+
+    def test_residual_factor_validated(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(residual_fit_factor=1.5)
+
+
+class TestInoutRestoration:
+    def test_inout_inputs_restored_between_executions(self):
+        """A task that reads and overwrites the same data must see pristine
+        inputs in every redundant execution, otherwise replicas diverge."""
+        data = DataHandle("x", storage=np.full(8, 2.0))
+
+        def square(x):
+            x *= x
+
+        task = TaskDescriptor(
+            task_id=0, task_type="square", args=[arg_inout(data.whole())], func=square
+        )
+        outcome = replicator_with().execute_protected(task, invoke_task)
+        assert outcome.clean
+        np.testing.assert_array_equal(data.storage, np.full(8, 4.0))

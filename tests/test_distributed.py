@@ -1,0 +1,112 @@
+"""Tests for repro.distributed (cluster, communication model, mappings)."""
+
+import pytest
+
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.comm import CommunicationModel
+from repro.distributed.mapping import BlockCyclicMapping, RoundRobinMapping, owner_2d_block_cyclic
+from repro.simulator.machine import marenostrum_cluster
+
+
+class TestClusterSpec:
+    def test_marenostrum_configuration(self):
+        cluster = ClusterSpec.marenostrum()
+        assert cluster.n_nodes == 64 and cluster.total_cores == 1024
+
+    def test_grid_shape_square_for_64(self):
+        assert ClusterSpec.marenostrum(64).grid_shape() == (8, 8)
+
+    def test_grid_shape_non_square(self):
+        assert ClusterSpec.marenostrum(8).grid_shape() == (2, 4)
+
+    def test_grid_shape_prime(self):
+        assert ClusterSpec.marenostrum(7).grid_shape() == (1, 7)
+
+    def test_node_for_rank_wraps(self):
+        cluster = ClusterSpec.marenostrum(4)
+        assert cluster.node_for_rank(0) == 0
+        assert cluster.node_for_rank(5) == 1
+
+    def test_with_nodes(self):
+        assert ClusterSpec.marenostrum(64).with_nodes(16).n_nodes == 16
+
+
+class TestCommunicationModel:
+    def test_point_to_point_latency_plus_bandwidth(self):
+        comm = CommunicationModel(latency_s=1e-6, bandwidth_Bps=1e9)
+        assert comm.point_to_point(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_zero_bytes_is_latency_only(self):
+        comm = CommunicationModel(latency_s=2e-6, bandwidth_Bps=1e9)
+        assert comm.point_to_point(0) == pytest.approx(2e-6)
+
+    def test_broadcast_logarithmic(self):
+        comm = CommunicationModel(latency_s=1e-6, bandwidth_Bps=1e9)
+        assert comm.broadcast(1e6, 8) == pytest.approx(3 * comm.point_to_point(1e6))
+
+    def test_broadcast_single_rank_free(self):
+        assert CommunicationModel().broadcast(1e6, 1) == 0.0
+
+    def test_allreduce_twice_broadcast_rounds(self):
+        comm = CommunicationModel()
+        assert comm.allreduce(1e6, 16) == pytest.approx(2 * comm.broadcast(1e6, 16))
+
+    def test_alltoall_scales_with_ranks(self):
+        comm = CommunicationModel()
+        assert comm.alltoall(1e3, 4) < comm.alltoall(1e3, 32)
+
+    def test_from_machine_uses_network_parameters(self):
+        machine = marenostrum_cluster(4)
+        comm = CommunicationModel.from_machine(machine)
+        assert comm.latency_s == machine.network_latency_s
+        assert comm.bandwidth_Bps == machine.network_bandwidth_Bps
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationModel().point_to_point(-1)
+
+
+class TestMappings:
+    def test_block_cyclic_owner_formula(self):
+        assert owner_2d_block_cyclic(0, 0, 2, 2) == 0
+        assert owner_2d_block_cyclic(0, 1, 2, 2) == 1
+        assert owner_2d_block_cyclic(1, 0, 2, 2) == 2
+        assert owner_2d_block_cyclic(1, 1, 2, 2) == 3
+
+    def test_block_cyclic_wraps(self):
+        assert owner_2d_block_cyclic(2, 2, 2, 2) == 0
+        assert owner_2d_block_cyclic(3, 5, 2, 2) == 3
+
+    def test_block_cyclic_rejects_negative(self):
+        with pytest.raises(ValueError):
+            owner_2d_block_cyclic(-1, 0, 2, 2)
+
+    def test_mapping_object(self):
+        m = BlockCyclicMapping(8, 8)
+        assert m.n_nodes == 64
+        assert m.owner(9, 9) == m.owner(1, 1)
+
+    def test_mapping_balanced(self):
+        """Every node owns the same number of blocks for a full tile of the grid."""
+        m = BlockCyclicMapping(4, 4)
+        counts = {}
+        for i in range(16):
+            for j in range(16):
+                counts[m.owner(i, j)] = counts.get(m.owner(i, j), 0) + 1
+        assert set(counts.values()) == {16}
+
+    def test_row_owners(self):
+        m = BlockCyclicMapping(2, 4)
+        assert m.row_owners(1) == [4, 5, 6, 7]
+
+    def test_round_robin(self):
+        m = RoundRobinMapping(4)
+        assert [m.owner(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_round_robin_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            RoundRobinMapping(4).owner(-1)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            BlockCyclicMapping(0, 4)

@@ -1,0 +1,172 @@
+"""Tests for repro.faults.injector, repro.faults.corruption and repro.faults.errors."""
+
+import numpy as np
+import pytest
+
+from repro.faults.corruption import corrupt_array, flip_random_bit
+from repro.faults.errors import ErrorClass, FaultEvent, SilentDataCorruption, TaskCrashError
+from repro.faults.injector import FaultInjector, FaultPlan, InjectionConfig
+from repro.faults.model import FailureModel
+from repro.faults.rates import FitRateSpec
+from repro.util.rng import RngStream
+from tests.conftest import make_task
+
+
+class TestErrors:
+    def test_fault_event_classification(self):
+        crash = FaultEvent(ErrorClass.DUE, task_id=1)
+        sdc = FaultEvent(ErrorClass.SDC, task_id=1)
+        assert crash.is_crash and not crash.is_sdc
+        assert sdc.is_sdc and not sdc.is_crash
+
+    def test_task_crash_error_carries_task_id(self):
+        err = TaskCrashError(7)
+        assert err.task_id == 7 and "7" in str(err)
+
+    def test_sdc_exception_carries_task_id(self):
+        err = SilentDataCorruption(3)
+        assert err.task_id == 3
+
+
+class TestCorruption:
+    def test_flip_changes_exactly_one_bit(self):
+        rng = RngStream(0)
+        a = np.zeros(16, dtype=np.float64)
+        before = a.tobytes()
+        flip_random_bit(a, rng)
+        after = a.tobytes()
+        diff_bits = sum(
+            bin(x ^ y).count("1") for x, y in zip(before, after)
+        )
+        assert diff_bits == 1
+
+    def test_flip_twice_may_restore_or_change(self):
+        rng = RngStream(1)
+        a = np.ones(4, dtype=np.int64)
+        corrupt_array(a, rng, n_bits=2)
+        # Either two distinct bits changed or the same bit flipped twice.
+        assert a.dtype == np.int64
+
+    def test_flip_rejects_empty(self):
+        with pytest.raises(ValueError):
+            flip_random_bit(np.zeros(0), RngStream(0))
+
+    def test_flip_rejects_readonly(self):
+        a = np.zeros(4)
+        a.flags.writeable = False
+        with pytest.raises(ValueError):
+            flip_random_bit(a, RngStream(0))
+
+    def test_magnitude_corruption_changes_one_element(self):
+        rng = RngStream(2)
+        a = np.zeros(8)
+        corrupt_array(a, rng, magnitude=5.0)
+        assert np.count_nonzero(a) == 1
+        assert a.sum() == pytest.approx(5.0)
+
+    def test_magnitude_corruption_integer_array(self):
+        rng = RngStream(3)
+        a = np.zeros(8, dtype=np.int32)
+        corrupt_array(a, rng, magnitude=3.0)
+        assert a.sum() == 3
+
+    def test_corruption_detectable_by_comparison(self):
+        rng = RngStream(4)
+        a = np.arange(32, dtype=np.float64)
+        b = a.copy()
+        corrupt_array(b, rng)
+        assert not np.array_equal(a.view(np.uint8), b.view(np.uint8))
+
+
+class TestInjectionConfig:
+    def test_defaults_enabled(self):
+        cfg = InjectionConfig()
+        assert cfg.enabled and cfg.acceleration == 1.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            InjectionConfig(fixed_crash_probability=1.5)
+
+    def test_negative_acceleration_rejected(self):
+        with pytest.raises(ValueError):
+            InjectionConfig(acceleration=-1.0)
+
+
+class TestFaultInjector:
+    def test_disabled_injector_never_injects(self):
+        inj = FaultInjector(config=InjectionConfig(enabled=False, fixed_crash_probability=1.0))
+        assert inj.draw(make_task(0)) == []
+        assert inj.crash_probability(make_task(0)) == 0.0
+
+    def test_fixed_probability_one_always_crashes(self):
+        inj = FaultInjector(config=InjectionConfig(fixed_crash_probability=1.0, fixed_sdc_probability=0.0))
+        events = inj.draw(make_task(0))
+        assert len(events) == 1 and events[0].error_class is ErrorClass.DUE
+
+    def test_fixed_probability_one_always_sdc(self):
+        inj = FaultInjector(config=InjectionConfig(fixed_crash_probability=0.0, fixed_sdc_probability=1.0))
+        events = inj.draw(make_task(0))
+        assert len(events) == 1 and events[0].error_class is ErrorClass.SDC
+
+    def test_zero_probabilities_inject_nothing(self):
+        inj = FaultInjector(config=InjectionConfig(fixed_crash_probability=0.0, fixed_sdc_probability=0.0))
+        assert all(inj.draw(make_task(i)) == [] for i in range(20))
+
+    def test_fit_derived_probability_used_by_default(self):
+        from repro.util.units import GIB
+
+        model = FailureModel(FitRateSpec())
+        inj = FaultInjector(model=model)
+        task = make_task(0, size_bytes=32 * GIB, duration_s=3600.0)
+        assert inj.crash_probability(task) == pytest.approx(model.crash_probability(task))
+
+    def test_acceleration_scales_fit_probability(self):
+        from repro.util.units import GIB
+
+        task = make_task(0, size_bytes=32 * GIB, duration_s=3600.0)
+        base = FaultInjector(config=InjectionConfig(acceleration=1.0)).crash_probability(task)
+        accel = FaultInjector(config=InjectionConfig(acceleration=1000.0)).crash_probability(task)
+        assert accel == pytest.approx(min(1.0, 1000.0 * base), rel=1e-3)
+
+    def test_acceleration_does_not_scale_fixed(self):
+        cfg = InjectionConfig(fixed_crash_probability=0.25, acceleration=100.0)
+        assert FaultInjector(config=cfg).crash_probability(make_task(0)) == 0.25
+
+    def test_plan_forces_specific_execution(self):
+        plan = FaultPlan().add(5, 1, ErrorClass.SDC)
+        inj = FaultInjector(plan=plan)
+        assert inj.draw(make_task(5), execution_index=0) == []
+        events = inj.draw(make_task(5), execution_index=1)
+        assert len(events) == 1 and events[0].error_class is ErrorClass.SDC
+
+    def test_plan_lookup(self):
+        plan = FaultPlan().add(1, 0, ErrorClass.DUE)
+        assert plan.lookup(1, 0) is ErrorClass.DUE
+        assert plan.lookup(1, 1) is None
+
+    def test_injected_counts(self):
+        inj = FaultInjector(config=InjectionConfig(fixed_crash_probability=1.0, fixed_sdc_probability=1.0))
+        inj.draw(make_task(0))
+        inj.draw(make_task(1))
+        counts = inj.injected_counts()
+        assert counts == {"due": 2, "sdc": 2}
+
+    def test_reset_clears_history(self):
+        inj = FaultInjector(config=InjectionConfig(fixed_crash_probability=1.0))
+        inj.draw(make_task(0))
+        inj.reset()
+        assert inj.injected == []
+
+    def test_deterministic_with_seeded_rng(self):
+        cfg = InjectionConfig(fixed_crash_probability=0.5)
+        a = FaultInjector(config=cfg, rng=RngStream(99))
+        b = FaultInjector(config=cfg, rng=RngStream(99))
+        draws_a = [bool(a.draw(make_task(i))) for i in range(50)]
+        draws_b = [bool(b.draw(make_task(i))) for i in range(50)]
+        assert draws_a == draws_b
+
+    def test_rate_roughly_matches_fixed_probability(self):
+        cfg = InjectionConfig(fixed_crash_probability=0.2, fixed_sdc_probability=0.0)
+        inj = FaultInjector(config=cfg, rng=RngStream(7))
+        hits = sum(bool(inj.draw(make_task(i))) for i in range(4000))
+        assert 0.15 < hits / 4000 < 0.25

@@ -1,0 +1,260 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The properties pinned down here are the ones the paper's correctness story
+rests on:
+
+* the FIT account never exceeds the user threshold, for *any* task stream;
+* the dependency tracker never produces cycles and never lets conflicting
+  accesses race, for any access pattern;
+* majority voting never elects a corrupted minority;
+* the knapsack oracle always returns a feasible selection;
+* the simulator's makespan is bounded below by both the critical path and the
+  work/core ratio for any DAG.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.comparator import BitwiseComparator, majority_vote
+from repro.core.estimator import ArgumentSizeEstimator
+from repro.core.fit import FitAccount
+from repro.core.heuristic import AppFit
+from repro.core.engine import decide_for_graph
+from repro.core.knapsack import KnapsackOracle
+from repro.faults.rates import FitRateSpec
+from repro.runtime.dependencies import DependencyTracker
+from repro.runtime.graph import TaskGraph
+from repro.runtime.scheduler import ReadyScheduler
+from repro.runtime.task import DataHandle, TaskDescriptor, arg_in, arg_inout, arg_out
+from repro.simulator.execution import SimulationConfig, simulate_graph
+from repro.simulator.machine import shared_memory_node
+from tests.conftest import make_task
+
+SLOW = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# -- FIT accounting ---------------------------------------------------------------
+
+
+@given(
+    threshold=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    fits=st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=1, max_size=300),
+)
+@SLOW
+def test_fit_account_never_exceeds_threshold(threshold, fits):
+    account = FitAccount(threshold=threshold, total_tasks=len(fits))
+    for fit in fits:
+        account.decide(fit)
+    audit = account.audit()
+    assert audit.threshold_respected
+    assert audit.envelope_respected
+    assert audit.replicated + audit.unprotected == len(fits)
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=2, max_size=200),
+    multiplier=st.floats(min_value=1.0, max_value=50.0),
+)
+@SLOW
+def test_appfit_threshold_respected_for_any_task_sizes(sizes, multiplier):
+    graph = TaskGraph()
+    for i, size in enumerate(sizes):
+        graph.add_task(make_task(i, size_bytes=size))
+    spec = FitRateSpec()
+    est_1x = ArgumentSizeEstimator(spec)
+    threshold = sum(est_1x.estimate(t).total_fit for t in graph.tasks())
+    policy = AppFit(threshold, len(graph), ArgumentSizeEstimator(spec.scaled(multiplier)))
+    decisions = decide_for_graph(graph, policy)
+    audit = policy.audit()
+    assert audit.threshold_respected
+    # The replicated FIT weight must cover at least (1 - 1/multiplier) of the total.
+    est_m = ArgumentSizeEstimator(spec.scaled(multiplier))
+    total = sum(est_m.estimate(t).total_fit for t in graph.tasks())
+    unprotected = sum(
+        est_m.estimate(t).total_fit
+        for t in graph.tasks()
+        if t.task_id not in decisions.replicated_ids
+    )
+    assert unprotected <= threshold * (1 + 1e-9)
+    assert unprotected <= total / multiplier * (1 + 1e-6)
+
+
+# -- dependency tracking ------------------------------------------------------------
+
+
+@st.composite
+def access_patterns(draw):
+    n_handles = draw(st.integers(min_value=1, max_value=4))
+    n_tasks = draw(st.integers(min_value=1, max_value=40))
+    accesses = []
+    for _ in range(n_tasks):
+        handle = draw(st.integers(min_value=0, max_value=n_handles - 1))
+        mode = draw(st.sampled_from(["in", "out", "inout"]))
+        accesses.append((handle, mode))
+    return n_handles, accesses
+
+
+@given(pattern=access_patterns())
+@SLOW
+def test_dependency_tracker_produces_acyclic_graphs(pattern):
+    n_handles, accesses = pattern
+    handles = [DataHandle(f"h{i}", size_bytes=1024) for i in range(n_handles)]
+    tracker = DependencyTracker()
+    graph = TaskGraph()
+    for tid, (h, mode) in enumerate(accesses):
+        region = handles[h].whole()
+        args = {"in": [arg_in(region)], "out": [arg_out(region)], "inout": [arg_inout(region)]}[mode]
+        task = TaskDescriptor(task_id=tid, task_type=mode, args=args)
+        deps = tracker.register(task)
+        assert all(d < tid for d in deps)  # only earlier tasks
+        graph.add_task(task, deps)
+    assert graph.is_acyclic()
+
+
+@given(pattern=access_patterns())
+@SLOW
+def test_writers_to_same_handle_are_totally_ordered(pattern):
+    n_handles, accesses = pattern
+    handles = [DataHandle(f"h{i}", size_bytes=1024) for i in range(n_handles)]
+    tracker = DependencyTracker()
+    graph = TaskGraph()
+    writers = {i: [] for i in range(n_handles)}
+    for tid, (h, mode) in enumerate(accesses):
+        region = handles[h].whole()
+        args = {"in": [arg_in(region)], "out": [arg_out(region)], "inout": [arg_inout(region)]}[mode]
+        task = TaskDescriptor(task_id=tid, task_type=mode, args=args)
+        graph.add_task(task, tracker.register(task))
+        if mode in ("out", "inout"):
+            writers[h].append(tid)
+    # Any two writers of the same handle must be ordered by a dependency path.
+    order = {t: i for i, t in enumerate(graph.topological_order())}
+    reach = _reachability(graph)
+    for h, ws in writers.items():
+        for a, b in zip(ws, ws[1:]):
+            assert b in reach[a]
+
+
+def _reachability(graph):
+    reach = {}
+    for t in reversed(graph.topological_order()):
+        r = set()
+        for s in graph.successors(t):
+            r.add(s)
+            r |= reach[s]
+        reach[t] = r
+    return reach
+
+
+# -- scheduler -----------------------------------------------------------------------
+
+
+@given(pattern=access_patterns())
+@SLOW
+def test_scheduler_executes_every_task_exactly_once(pattern):
+    n_handles, accesses = pattern
+    handles = [DataHandle(f"h{i}", size_bytes=1024) for i in range(n_handles)]
+    tracker = DependencyTracker()
+    graph = TaskGraph()
+    for tid, (h, mode) in enumerate(accesses):
+        region = handles[h].whole()
+        args = {"in": [arg_in(region)], "out": [arg_out(region)], "inout": [arg_inout(region)]}[mode]
+        task = TaskDescriptor(task_id=tid, task_type=mode, args=args)
+        graph.add_task(task, tracker.register(task))
+    sched = ReadyScheduler(graph)
+    executed = []
+    while not sched.is_done():
+        tid = sched.pop_ready()
+        assert tid is not None
+        executed.append(tid)
+        sched.mark_complete(tid)
+    assert sorted(executed) == graph.task_ids()
+
+
+# -- comparator / voting ----------------------------------------------------------------
+
+
+@given(
+    n_elements=st.integers(min_value=1, max_value=64),
+    corrupt_index=st.integers(min_value=0, max_value=2),
+)
+@SLOW
+def test_majority_vote_never_elects_single_corrupted_candidate(n_elements, corrupt_index):
+    clean = [np.arange(n_elements, dtype=np.float64)]
+    candidates = []
+    for i in range(3):
+        arrays = [a.copy() for a in clean]
+        if i == corrupt_index:
+            arrays[0][0] += 1.0
+        candidates.append(arrays)
+    vote = majority_vote(candidates, BitwiseComparator())
+    assert vote.resolved
+    assert vote.winner_index != corrupt_index
+
+
+@given(data=st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=64))
+@SLOW
+def test_bitwise_comparator_reflexive(data):
+    a = np.array(data)
+    assert BitwiseComparator().equal(a, a.copy())
+
+
+# -- knapsack oracle -----------------------------------------------------------------------
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=0.0, max_value=1e8), min_size=1, max_size=60),
+    budget_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+@SLOW
+def test_knapsack_solution_always_feasible(sizes, budget_fraction):
+    graph = TaskGraph()
+    for i, size in enumerate(sizes):
+        graph.add_task(make_task(i, size_bytes=size))
+    est = ArgumentSizeEstimator(FitRateSpec())
+    total = sum(est.estimate(t).total_fit for t in graph.tasks())
+    oracle = KnapsackOracle(budget_fraction * total, est)
+    sol = oracle.solve(graph.tasks())
+    assert sol.feasible
+    assert sol.replicate_ids | sol.unprotected_ids == set(graph.task_ids())
+    assert not (sol.replicate_ids & sol.unprotected_ids)
+
+
+# -- simulator bounds ------------------------------------------------------------------------
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    durations = draw(
+        st.lists(st.floats(min_value=1e-3, max_value=1.0), min_size=n, max_size=n)
+    )
+    graph = TaskGraph()
+    for i in range(n):
+        deps = []
+        if i:
+            n_deps = draw(st.integers(min_value=0, max_value=min(3, i)))
+            deps = sorted(draw(st.sets(st.integers(min_value=0, max_value=i - 1), min_size=n_deps, max_size=n_deps)))
+        graph.add_task(make_task(i, size_bytes=1024, duration_s=durations[i]), deps)
+    return graph
+
+
+@given(graph=random_dags(), cores=st.integers(min_value=1, max_value=8))
+@SLOW
+def test_simulated_makespan_respects_lower_bounds(graph, cores):
+    result = simulate_graph(graph, shared_memory_node(cores))
+    assert result.makespan_s >= graph.critical_path_seconds() - 1e-9
+    assert result.makespan_s >= graph.total_work_seconds() / cores - 1e-9
+    assert result.n_tasks == len(graph)
+
+
+@given(graph=random_dags())
+@SLOW
+def test_replication_never_speeds_up_fault_free_execution(graph):
+    machine = shared_memory_node(4)
+    base = simulate_graph(graph, machine, SimulationConfig())
+    repl = simulate_graph(graph, machine, SimulationConfig(replicate_all=True))
+    assert repl.makespan_s >= base.makespan_s - 1e-12

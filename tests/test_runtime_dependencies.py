@@ -1,0 +1,115 @@
+"""Tests for repro.runtime.dependencies (OmpSs-style readers/writers analysis)."""
+
+import pytest
+
+from repro.runtime.dependencies import DependencyTracker
+from repro.runtime.task import DataHandle, TaskDescriptor, arg_in, arg_inout, arg_out
+
+
+def task_with(task_id, in_=(), out=(), inout=()):
+    args = [arg_in(r) for r in in_] + [arg_out(r) for r in out] + [arg_inout(r) for r in inout]
+    return TaskDescriptor(task_id=task_id, task_type="t", args=args)
+
+
+class TestReadAfterWrite:
+    def test_reader_depends_on_last_writer(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        assert tracker.register(task_with(0, out=[h.whole()])) == set()
+        assert tracker.register(task_with(1, in_=[h.whole()])) == {0}
+
+    def test_reader_of_untouched_data_has_no_deps(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        assert tracker.register(task_with(0, in_=[h.whole()])) == set()
+
+    def test_reader_depends_only_on_overlapping_writer(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, out=[h.region(0, 50)]))
+        tracker.register(task_with(1, out=[h.region(50, 50)]))
+        assert tracker.register(task_with(2, in_=[h.region(60, 10)])) == {1}
+
+    def test_new_write_supersedes_old_writer(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, out=[h.whole()]))
+        tracker.register(task_with(1, out=[h.whole()]))
+        # A later reader depends only on the most recent writer.
+        assert tracker.register(task_with(2, in_=[h.whole()])) == {1}
+
+
+class TestWriteAfterWriteAndRead:
+    def test_writer_depends_on_previous_writer(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, out=[h.whole()]))
+        assert tracker.register(task_with(1, out=[h.whole()])) == {0}
+
+    def test_writer_depends_on_intervening_readers(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, out=[h.whole()]))
+        tracker.register(task_with(1, in_=[h.whole()]))
+        tracker.register(task_with(2, in_=[h.whole()]))
+        deps = tracker.register(task_with(3, out=[h.whole()]))
+        assert deps == {0, 1, 2}
+
+    def test_inout_chain_serialises(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, inout=[h.whole()]))
+        assert tracker.register(task_with(1, inout=[h.whole()])) == {0}
+        assert tracker.register(task_with(2, inout=[h.whole()])) == {1}
+
+    def test_independent_blocks_do_not_conflict(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, inout=[h.region(0, 50)]))
+        assert tracker.register(task_with(1, inout=[h.region(50, 50)])) == set()
+
+    def test_different_handles_independent(self):
+        a = DataHandle("a", size_bytes=100)
+        b = DataHandle("b", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, out=[a.whole()]))
+        assert tracker.register(task_with(1, out=[b.whole()])) == set()
+
+
+class TestDataflowExample:
+    def test_paper_figure1_dataflow_semantics(self):
+        """The Figure 1 example: A1 -> A2 must chain, B is independent."""
+        a = DataHandle("A", size_bytes=1000)
+        b = DataHandle("B", size_bytes=1000)
+        tracker = DependencyTracker()
+        deps_a1 = tracker.register(task_with(0, inout=[a.whole()]))
+        deps_a2 = tracker.register(task_with(1, inout=[a.whole()]))
+        deps_b = tracker.register(task_with(2, inout=[b.whole()]))
+        assert deps_a1 == set()
+        assert deps_a2 == {0}
+        assert deps_b == set()  # dataflow: B does not wait for A1/A2
+
+
+class TestTrackerLifecycle:
+    def test_reset_clears_state(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, out=[h.whole()]))
+        tracker.reset()
+        assert tracker.register(task_with(1, in_=[h.whole()])) == set()
+
+    def test_stats(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, out=[h.whole()]))
+        handles, accesses = tracker.stats()
+        assert handles == 1 and accesses == 1
+
+    def test_covered_accesses_are_retired(self):
+        h = DataHandle("a", size_bytes=100)
+        tracker = DependencyTracker()
+        tracker.register(task_with(0, out=[h.whole()]))
+        tracker.register(task_with(1, in_=[h.whole()]))
+        tracker.register(task_with(2, out=[h.whole()]))  # covers everything
+        _, accesses = tracker.stats()
+        assert accesses == 1  # only the latest write remains

@@ -1,0 +1,63 @@
+"""Tests for repro.runtime.events."""
+
+from repro.runtime.events import EventKind, EventLog
+
+
+class TestEventLog:
+    def test_record_and_count(self):
+        log = EventLog()
+        log.record(EventKind.TASK_STARTED, task_id=1)
+        log.record(EventKind.TASK_FINISHED, task_id=1)
+        log.record(EventKind.TASK_STARTED, task_id=2)
+        assert len(log) == 3
+        assert log.count(EventKind.TASK_STARTED) == 2
+
+    def test_filter_by_kind(self):
+        log = EventLog()
+        log.record(EventKind.SDC_DETECTED, task_id=4)
+        log.record(EventKind.TASK_STARTED, task_id=4)
+        events = log.events(EventKind.SDC_DETECTED)
+        assert len(events) == 1 and events[0].task_id == 4
+
+    def test_details_stored(self):
+        log = EventLog()
+        e = log.record(EventKind.COMPARISON_PERFORMED, task_id=1, result="match")
+        assert e.details["result"] == "match"
+
+    def test_counts_histogram(self):
+        log = EventLog()
+        log.record(EventKind.TASK_REPLICATED)
+        log.record(EventKind.TASK_REPLICATED)
+        log.record(EventKind.SDC_CORRECTED)
+        counts = log.counts()
+        assert counts["task_replicated"] == 2
+        assert counts["sdc_corrected"] == 1
+
+    def test_clear(self):
+        log = EventLog()
+        log.record(EventKind.TASK_STARTED)
+        log.clear()
+        assert len(log) == 0
+
+    def test_iteration(self):
+        log = EventLog()
+        log.record(EventKind.TASK_STARTED, task_id=1)
+        log.record(EventKind.TASK_FINISHED, task_id=1)
+        kinds = [e.kind for e in log]
+        assert kinds == [EventKind.TASK_STARTED, EventKind.TASK_FINISHED]
+
+    def test_thread_safety_under_concurrent_appends(self):
+        import threading
+
+        log = EventLog()
+
+        def writer():
+            for _ in range(200):
+                log.record(EventKind.TASK_STARTED)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == 800

@@ -1,0 +1,212 @@
+"""Tests for repro.runtime.executor and repro.runtime.runtime (the facade)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.events import EventKind
+from repro.runtime.executor import GraphExecutor, PassthroughHook, invoke_task, materialize_arguments
+from repro.runtime.runtime import RuntimeConfig, TaskRuntime
+from repro.runtime.scheduler import SchedulingPolicy
+from repro.runtime.task import DataHandle, TaskDescriptor, arg_inout, arg_value
+
+
+class TestMaterializeArguments:
+    def test_region_and_value_order(self):
+        h = DataHandle("a", storage=np.zeros(4))
+        task = TaskDescriptor(
+            task_id=0, task_type="t", args=[arg_inout(h.whole()), arg_value(7)]
+        )
+        args = materialize_arguments(task)
+        assert args[0] is h.storage and args[1] == 7
+
+    def test_missing_storage_raises(self):
+        h = DataHandle("a", size_bytes=64)
+        task = TaskDescriptor(task_id=0, task_type="t", args=[arg_inout(h.whole())])
+        with pytest.raises(ValueError):
+            materialize_arguments(task)
+
+    def test_invoke_task_without_func_is_noop(self):
+        task = TaskDescriptor(task_id=0, task_type="t")
+        assert invoke_task(task) is None
+
+
+class TestTaskRuntimeFunctional:
+    def test_inout_chain_executes_in_order(self):
+        rt = TaskRuntime(n_workers=2)
+        a = rt.register_array("a", np.zeros(8))
+
+        def add_one(x):
+            x += 1
+
+        def double(x):
+            x *= 2
+
+        rt.submit(add_one, inout=[a.whole()], task_type="inc")
+        rt.submit(double, inout=[a.whole()], task_type="dbl")
+        result = rt.taskwait()
+        assert result.succeeded
+        np.testing.assert_allclose(a.storage, 2.0)
+
+    def test_independent_tasks_all_run(self):
+        rt = TaskRuntime(n_workers=4)
+        arrays = [rt.register_array(f"a{i}", np.zeros(4)) for i in range(10)]
+
+        def fill(x):
+            x += 3
+
+        for h in arrays:
+            rt.submit(fill, inout=[h.whole()], task_type="fill")
+        result = rt.taskwait()
+        assert result.tasks_executed == 10
+        for h in arrays:
+            np.testing.assert_allclose(h.storage, 3.0)
+
+    def test_values_passed_after_regions(self):
+        rt = TaskRuntime(n_workers=1)
+        a = rt.register_array("a", np.zeros(4))
+
+        def scale(x, factor):
+            x += factor
+
+        rt.submit(scale, inout=[a.whole()], values=[5.0], task_type="scale")
+        rt.taskwait()
+        np.testing.assert_allclose(a.storage, 5.0)
+
+    def test_dataflow_dependencies_between_arrays(self):
+        rt = TaskRuntime(n_workers=2)
+        a = rt.register_array("a", np.ones(4))
+        b = rt.register_array("b", np.zeros(4))
+
+        def copy(src, dst):
+            np.copyto(dst, src)
+
+        def incr(x):
+            x += 1
+
+        rt.submit(incr, inout=[a.whole()], task_type="inc")        # a = 2
+        rt.submit(copy, in_=[a.whole()], out=[b.whole()], task_type="copy")  # b = 2
+        rt.submit(incr, inout=[b.whole()], task_type="inc")        # b = 3
+        rt.taskwait()
+        np.testing.assert_allclose(b.storage, 3.0)
+
+    def test_taskwait_is_barrier_and_resets_graph(self):
+        rt = TaskRuntime(n_workers=1)
+        a = rt.register_array("a", np.zeros(2))
+
+        def inc(x):
+            x += 1
+
+        rt.submit(inc, inout=[a.whole()])
+        rt.taskwait()
+        assert len(rt.graph) == 0
+        rt.submit(inc, inout=[a.whole()])
+        rt.taskwait()
+        np.testing.assert_allclose(a.storage, 2.0)
+        assert len(rt.results()) == 2
+
+    def test_task_error_reported_not_raised(self):
+        rt = TaskRuntime(n_workers=1)
+        a = rt.register_array("a", np.zeros(2))
+
+        def broken(x):
+            raise RuntimeError("kernel failure")
+
+        rt.submit(broken, inout=[a.whole()])
+        result = rt.taskwait()
+        assert not result.succeeded
+        assert any("kernel failure" in e or "RuntimeError" in e for e in result.errors)
+
+    def test_events_recorded(self):
+        rt = TaskRuntime(n_workers=1)
+        a = rt.register_array("a", np.zeros(2))
+        rt.submit(lambda x: None, inout=[a.whole()])
+        rt.taskwait()
+        assert rt.events.count(EventKind.TASK_SUBMITTED) == 1
+        assert rt.events.count(EventKind.TASK_STARTED) == 1
+        assert rt.events.count(EventKind.TASK_FINISHED) == 1
+
+    def test_duplicate_handle_name_rejected(self):
+        rt = TaskRuntime(n_workers=1)
+        rt.register_array("a", np.zeros(2))
+        with pytest.raises(ValueError):
+            rt.register_array("a", np.zeros(2))
+        with pytest.raises(ValueError):
+            rt.register_region("a", 16)
+
+    def test_handle_lookup(self):
+        rt = TaskRuntime(n_workers=1)
+        h = rt.register_region("sim", 4096)
+        assert rt.handle("sim") is h
+        assert h in rt.handles()
+
+    def test_simulation_only_submission_builds_graph(self):
+        rt = TaskRuntime(n_workers=1)
+        h = rt.register_region("sim", 4096)
+        rt.submit(task_type="t", inout=[h.whole()], duration_s=0.5)
+        rt.submit(task_type="t", inout=[h.whole()], duration_s=0.5)
+        graph = rt.graph
+        assert len(graph) == 2
+        assert graph.predecessors(1) == {0}
+        assert graph.total_work_seconds() == pytest.approx(1.0)
+
+    def test_metadata_and_node_stored(self):
+        rt = TaskRuntime(n_workers=1)
+        h = rt.register_region("sim", 64)
+        t = rt.submit(task_type="t", inout=[h.whole()], node=3, metadata={"k": 1})
+        assert t.node == 3 and t.metadata["k"] == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(n_workers=0)
+
+
+class TestGraphExecutor:
+    def test_empty_graph(self):
+        from repro.runtime.graph import TaskGraph
+
+        result = GraphExecutor(n_workers=2).run(TaskGraph())
+        assert result.succeeded and result.tasks_executed == 0
+
+    def test_hook_wraps_every_task(self):
+        calls = []
+
+        class CountingHook:
+            def execute(self, task, invoke):
+                calls.append(task.task_id)
+                return invoke(task)
+
+        rt = TaskRuntime(n_workers=2, hook=CountingHook())
+        a = rt.register_array("a", np.zeros(4))
+        for _ in range(5):
+            rt.submit(lambda x: None, inout=[a.whole()])
+        rt.taskwait()
+        assert sorted(calls) == [0, 1, 2, 3, 4]
+
+    def test_passthrough_hook_invokes_body(self):
+        h = DataHandle("a", storage=np.zeros(2))
+        task = TaskDescriptor(
+            task_id=0, task_type="t", args=[arg_inout(h.whole())], func=lambda x: x.__iadd__(1)
+        )
+        PassthroughHook().execute(task, invoke_task)
+        np.testing.assert_allclose(h.storage, 1.0)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            GraphExecutor(n_workers=0)
+
+    def test_per_task_wall_times_recorded(self):
+        rt = TaskRuntime(n_workers=2)
+        a = rt.register_array("a", np.zeros(4))
+        rt.submit(lambda x: None, inout=[a.whole()])
+        result = rt.taskwait()
+        assert set(result.per_task_wall_s) == {0}
+        assert result.wall_time_s >= 0
+
+    def test_lifo_policy_supported(self):
+        rt = TaskRuntime(n_workers=1, config=RuntimeConfig(n_workers=1, scheduling_policy=SchedulingPolicy.LIFO))
+        order = []
+        a = [rt.register_array(f"x{i}", np.zeros(1)) for i in range(3)]
+        for i in range(3):
+            rt.submit(lambda x, i=i: order.append(i), inout=[a[i].whole()])
+        rt.taskwait()
+        assert order == [2, 1, 0]

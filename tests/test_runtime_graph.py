@@ -1,0 +1,127 @@
+"""Tests for repro.runtime.graph."""
+
+import pytest
+
+from repro.runtime.graph import TaskGraph
+from tests.conftest import make_chain_graph, make_fork_join_graph, make_independent_graph, make_task
+
+
+class TestConstruction:
+    def test_add_and_lookup(self):
+        g = TaskGraph()
+        g.add_task(make_task(0))
+        assert 0 in g and len(g) == 1
+        assert g.task(0).task_id == 0
+
+    def test_duplicate_id_rejected(self):
+        g = TaskGraph()
+        g.add_task(make_task(0))
+        with pytest.raises(ValueError):
+            g.add_task(make_task(0))
+
+    def test_edge_to_unknown_task_rejected(self):
+        g = TaskGraph()
+        g.add_task(make_task(0))
+        with pytest.raises(KeyError):
+            g.add_edge(0, 99)
+
+    def test_self_edge_rejected(self):
+        g = TaskGraph()
+        g.add_task(make_task(0))
+        with pytest.raises(ValueError):
+            g.add_edge(0, 0)
+
+    def test_add_task_with_deps(self):
+        g = TaskGraph()
+        g.add_task(make_task(0))
+        g.add_task(make_task(1), deps=[0])
+        assert g.predecessors(1) == {0}
+        assert g.successors(0) == {1}
+
+    def test_submission_order_preserved(self):
+        g = make_independent_graph(5)
+        assert g.task_ids() == [0, 1, 2, 3, 4]
+
+
+class TestTopology:
+    def test_roots_and_leaves_of_chain(self):
+        g = make_chain_graph(5)
+        assert g.roots() == [0]
+        assert g.leaves() == [4]
+
+    def test_topological_order_respects_edges(self):
+        g = make_fork_join_graph(4)
+        order = g.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+        for t in g.task_ids():
+            for s in g.successors(t):
+                assert pos[t] < pos[s]
+
+    def test_cycle_detected(self):
+        g = TaskGraph()
+        g.add_task(make_task(0))
+        g.add_task(make_task(1), deps=[0])
+        g.add_edge(1, 0)
+        assert not g.is_acyclic()
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_acyclic_for_dag(self):
+        assert make_fork_join_graph(3).is_acyclic()
+
+    def test_in_degree(self):
+        g = make_fork_join_graph(4)
+        sink = g.task_ids()[-1]
+        assert g.in_degree(sink) == 4
+
+    def test_n_edges(self):
+        assert make_chain_graph(5).n_edges() == 4
+
+
+class TestAnalysis:
+    def test_critical_path_of_chain(self):
+        g = make_chain_graph(5, duration_s=2.0)
+        assert g.critical_path_seconds() == pytest.approx(10.0)
+
+    def test_critical_path_of_independent_tasks(self):
+        g = make_independent_graph(10, duration_s=3.0)
+        assert g.critical_path_seconds() == pytest.approx(3.0)
+
+    def test_critical_path_fork_join(self):
+        g = make_fork_join_graph(8, duration_s=1.0)
+        assert g.critical_path_seconds() == pytest.approx(3.0)
+
+    def test_total_work(self):
+        g = make_independent_graph(10, duration_s=3.0)
+        assert g.total_work_seconds() == pytest.approx(30.0)
+
+    def test_total_argument_bytes(self):
+        g = make_independent_graph(4, size_bytes=100)
+        assert g.total_argument_bytes() == pytest.approx(400)
+
+    def test_max_width(self):
+        assert make_fork_join_graph(8).max_width() == 8
+        assert make_chain_graph(5).max_width() == 1
+
+    def test_stats_average_parallelism(self):
+        g = make_independent_graph(16, duration_s=1.0)
+        stats = g.stats()
+        assert stats.average_parallelism == pytest.approx(16.0)
+        assert stats.n_tasks == 16
+        assert stats.n_edges == 0
+
+    def test_stats_empty_graph(self):
+        stats = TaskGraph().stats()
+        assert stats.n_tasks == 0
+        assert stats.critical_path_s == 0.0
+
+    def test_type_histogram(self):
+        g = TaskGraph()
+        g.add_task(make_task(0, task_type="a"))
+        g.add_task(make_task(1, task_type="a"))
+        g.add_task(make_task(2, task_type="b"))
+        assert g.subgraph_types() == {"a": 2, "b": 1}
+
+    def test_iter_submission_order(self):
+        g = make_chain_graph(3)
+        assert [t.task_id for t in g.iter_submission_order()] == [0, 1, 2]

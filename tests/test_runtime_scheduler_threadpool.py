@@ -1,0 +1,157 @@
+"""Tests for repro.runtime.scheduler and repro.runtime.threadpool."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.scheduler import ReadyScheduler, SchedulingPolicy
+from repro.runtime.threadpool import ThreadPool
+from tests.conftest import make_chain_graph, make_fork_join_graph, make_independent_graph, make_task
+from repro.runtime.graph import TaskGraph
+
+
+class TestReadyScheduler:
+    def test_roots_initially_ready(self):
+        sched = ReadyScheduler(make_fork_join_graph(4))
+        assert sched.ready_count() == 1
+        assert sched.pop_ready() == 0
+
+    def test_pop_empty_returns_none(self):
+        sched = ReadyScheduler(make_chain_graph(2))
+        sched.pop_ready()
+        assert sched.pop_ready() is None
+
+    def test_successors_released_on_completion(self):
+        sched = ReadyScheduler(make_chain_graph(3))
+        t = sched.pop_ready()
+        newly = sched.mark_complete(t)
+        assert newly == [1]
+        assert sched.pop_ready() == 1
+
+    def test_join_waits_for_all_predecessors(self):
+        g = make_fork_join_graph(3)
+        sched = ReadyScheduler(g)
+        sched.mark_complete(sched.pop_ready())  # source
+        ids = [sched.pop_ready() for _ in range(3)]
+        sink = g.task_ids()[-1]
+        assert sched.mark_complete(ids[0]) == []
+        assert sched.mark_complete(ids[1]) == []
+        assert sched.mark_complete(ids[2]) == [sink]
+
+    def test_double_completion_rejected(self):
+        sched = ReadyScheduler(make_chain_graph(2))
+        t = sched.pop_ready()
+        sched.mark_complete(t)
+        with pytest.raises(ValueError):
+            sched.mark_complete(t)
+
+    def test_is_done(self):
+        sched = ReadyScheduler(make_independent_graph(3))
+        assert not sched.is_done()
+        for _ in range(3):
+            sched.mark_complete(sched.pop_ready())
+        assert sched.is_done()
+
+    def test_counts(self):
+        sched = ReadyScheduler(make_independent_graph(3))
+        sched.pop_ready()
+        assert sched.running_count() == 1
+        assert sched.completed_count() == 0
+
+    def test_fifo_order(self):
+        sched = ReadyScheduler(make_independent_graph(5), policy=SchedulingPolicy.FIFO)
+        assert [sched.pop_ready() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_lifo_order(self):
+        sched = ReadyScheduler(make_independent_graph(5), policy=SchedulingPolicy.LIFO)
+        assert [sched.pop_ready() for _ in range(5)] == [4, 3, 2, 1, 0]
+
+    def test_longest_first_order(self):
+        g = TaskGraph()
+        g.add_task(make_task(0, duration_s=1.0))
+        g.add_task(make_task(1, duration_s=5.0))
+        g.add_task(make_task(2, duration_s=3.0))
+        sched = ReadyScheduler(g, policy=SchedulingPolicy.LONGEST_FIRST)
+        assert [sched.pop_ready() for _ in range(3)] == [1, 2, 0]
+
+    def test_verify_quiescent_passes_when_running(self):
+        sched = ReadyScheduler(make_chain_graph(2))
+        sched.pop_ready()
+        sched.verify_quiescent()  # should not raise: one task is running
+
+    def test_verify_quiescent_detects_deadlock(self):
+        g = make_chain_graph(2)
+        g.add_edge(1, 0)  # introduce a cycle -> nothing ever becomes ready
+        # pending counts make task 0 non-ready from the start.
+        sched = ReadyScheduler(g)
+        with pytest.raises(RuntimeError):
+            sched.verify_quiescent()
+
+
+class TestThreadPool:
+    def test_executes_submitted_work(self):
+        results = []
+        with ThreadPool(2) as pool:
+            for i in range(10):
+                pool.submit(lambda i=i: results.append(i))
+            pool.wait_idle()
+        assert sorted(results) == list(range(10))
+
+    def test_completion_callback_receives_result(self):
+        seen = []
+        with ThreadPool(1) as pool:
+            pool.submit(lambda: 42, on_done=lambda result, err: seen.append((result, err)))
+            pool.wait_idle()
+        assert seen == [(42, None)]
+
+    def test_errors_collected(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        with ThreadPool(1) as pool:
+            pool.submit(boom)
+            pool.wait_idle()
+            errors = pool.errors()
+        assert len(errors) == 1
+        assert isinstance(errors[0][0], RuntimeError)
+
+    def test_error_passed_to_callback(self):
+        seen = []
+
+        def boom():
+            raise ValueError("nope")
+
+        with ThreadPool(1) as pool:
+            pool.submit(boom, on_done=lambda result, err: seen.append(err))
+            pool.wait_idle()
+        assert isinstance(seen[0], ValueError)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ThreadPool(0)
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = ThreadPool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_parallel_execution_uses_multiple_workers(self):
+        barrier = threading.Barrier(2, timeout=5)
+        done = []
+
+        def wait_at_barrier():
+            barrier.wait()
+            done.append(1)
+
+        with ThreadPool(2) as pool:
+            pool.submit(wait_at_barrier)
+            pool.submit(wait_at_barrier)
+            pool.wait_idle()
+        assert len(done) == 2
+
+    def test_shutdown_idempotent(self):
+        pool = ThreadPool(1)
+        pool.shutdown()
+        pool.shutdown()

@@ -1,0 +1,107 @@
+"""Tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import RngStream, spawn_streams
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(7)
+        b = RngStream(7)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seed_different_sequence(self):
+        a = RngStream(1)
+        b = RngStream(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_bernoulli_zero_and_one(self):
+        s = RngStream(0)
+        assert s.bernoulli(0.0) is False
+        assert s.bernoulli(1.0) is True
+
+    def test_bernoulli_rate_roughly_matches(self):
+        s = RngStream(3)
+        hits = sum(s.bernoulli(0.3) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_uniform_bounds(self):
+        s = RngStream(5)
+        for _ in range(100):
+            v = s.uniform(2.0, 3.0)
+            assert 2.0 <= v < 3.0
+
+    def test_integers_bounds(self):
+        s = RngStream(6)
+        values = {s.integers(0, 4) for _ in range(200)}
+        assert values == {0, 1, 2, 3}
+
+    def test_choice_single(self):
+        s = RngStream(8)
+        assert s.choice(["a", "b", "c"]) in {"a", "b", "c"}
+
+    def test_choice_multiple(self):
+        s = RngStream(8)
+        picked = s.choice(["a", "b", "c"], size=2)
+        assert len(picked) == 2
+        assert set(picked) <= {"a", "b", "c"}
+
+    def test_fork_streams_are_independent(self):
+        root = RngStream(9)
+        c1, c2 = root.fork(2)
+        assert [c1.random() for _ in range(4)] != [c2.random() for _ in range(4)]
+
+    def test_fork_is_deterministic(self):
+        a1, a2 = RngStream(11).fork(2)
+        b1, b2 = RngStream(11).fork(2)
+        assert a1.random() == b1.random()
+        assert a2.random() == b2.random()
+
+    def test_shuffle_preserves_elements(self):
+        s = RngStream(12)
+        items = list(range(20))
+        s.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+    def test_exponential_positive(self):
+        s = RngStream(13)
+        assert all(s.exponential(2.0) > 0 for _ in range(50))
+
+    def test_poisson_non_negative(self):
+        s = RngStream(14)
+        assert all(s.poisson(3.0) >= 0 for _ in range(50))
+
+
+class TestLognormalDuration:
+    def test_zero_cv_returns_mean(self):
+        assert RngStream(0).lognormal_duration(5.0, 0.0) == 5.0
+
+    def test_mean_roughly_preserved(self):
+        s = RngStream(1)
+        samples = [s.lognormal_duration(10.0, 0.5) for _ in range(4000)]
+        assert 9.0 < sum(samples) / len(samples) < 11.0
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(ValueError):
+            RngStream(0).lognormal_duration(0.0, 0.5)
+
+    def test_rejects_negative_cv(self):
+        with pytest.raises(ValueError):
+            RngStream(0).lognormal_duration(1.0, -0.1)
+
+
+class TestSpawnStreams:
+    def test_named_streams(self):
+        streams = spawn_streams(42, ["injector", "policy"])
+        assert set(streams) == {"injector", "policy"}
+
+    def test_deterministic_by_seed(self):
+        a = spawn_streams(42, ["x", "y"])
+        b = spawn_streams(42, ["x", "y"])
+        assert a["x"].random() == b["x"].random()
+        assert a["y"].random() == b["y"].random()
+
+    def test_streams_differ_from_each_other(self):
+        streams = spawn_streams(1, ["x", "y"])
+        assert streams["x"].random() != streams["y"].random()

@@ -1,0 +1,69 @@
+"""Tests for repro.util.units."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestFitConversions:
+    def test_fit_to_failures_per_hour(self):
+        assert units.fit_to_failures_per_hour(1e9) == pytest.approx(1.0)
+
+    def test_fit_round_trip_per_hour(self):
+        assert units.failures_per_hour_to_fit(units.fit_to_failures_per_hour(123.0)) == pytest.approx(123.0)
+
+    def test_fit_to_failures_per_second(self):
+        assert units.fit_to_failures_per_second(3.6e12) == pytest.approx(1.0)
+
+    def test_fit_round_trip_per_second(self):
+        assert units.failures_per_second_to_fit(units.fit_to_failures_per_second(42.0)) == pytest.approx(42.0)
+
+    def test_mtbf_from_fit(self):
+        # 1000 FIT -> one failure per million hours.
+        assert units.fit_to_mtbf_hours(1000.0) == pytest.approx(1e6)
+
+    def test_mtbf_round_trip(self):
+        assert units.mtbf_hours_to_fit(units.fit_to_mtbf_hours(7.0)) == pytest.approx(7.0)
+
+    def test_mtbf_rejects_zero_fit(self):
+        with pytest.raises(ValueError):
+            units.fit_to_mtbf_hours(0.0)
+
+    def test_mtbf_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.mtbf_hours_to_fit(-1.0)
+
+
+class TestSizeUnits:
+    def test_gib_round_trip(self):
+        assert units.bytes_to_gib(units.gib(3.0)) == pytest.approx(3.0)
+
+    def test_mib_round_trip(self):
+        assert units.bytes_to_mib(units.mib(7.5)) == pytest.approx(7.5)
+
+    def test_kib_value(self):
+        assert units.kib(2) == 2048
+
+    def test_unit_ordering(self):
+        assert units.KIB < units.MIB < units.GIB
+
+    def test_paper_scaling_example(self):
+        # The paper's worked example: 2.22e3 FIT for 32 GB -> 2.22 for 32 MB.
+        per_byte = 2.22e3 / (32 * units.GIB)
+        assert per_byte * 32 * units.MIB == pytest.approx(2.22e3 / 1024)
+
+
+class TestTimeUnits:
+    def test_hours(self):
+        assert units.hours(2) == 7200
+
+    def test_milliseconds(self):
+        assert units.milliseconds(1500) == pytest.approx(1.5)
+
+    def test_microseconds(self):
+        assert units.microseconds(2.0) == pytest.approx(2e-6)
+
+    def test_seconds_identity(self):
+        assert units.seconds(3.25) == 3.25

@@ -1,0 +1,127 @@
+"""Tests for repro.util.validation and repro.util.tables."""
+
+import pytest
+
+from repro.util import validation
+from repro.util.tables import TextTable, format_percent, summarize_series
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert validation.check_positive(2.5, "x") == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            validation.check_positive(0.0, "x")
+
+    def test_check_positive_rejects_bool(self):
+        with pytest.raises(TypeError):
+            validation.check_positive(True, "x")
+
+    def test_check_positive_rejects_string(self):
+        with pytest.raises(TypeError):
+            validation.check_positive("3", "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert validation.check_non_negative(0, "x") == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validation.check_non_negative(-0.1, "x")
+
+    def test_check_positive_int_accepts(self):
+        assert validation.check_positive_int(3, "n") == 3
+
+    def test_check_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            validation.check_positive_int(0, "n")
+
+    def test_check_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            validation.check_positive_int(2.0, "n")
+
+    def test_check_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            validation.check_positive_int(True, "n")
+
+    def test_check_probability_bounds(self):
+        assert validation.check_probability(0.0, "p") == 0.0
+        assert validation.check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            validation.check_probability(1.01, "p")
+
+    def test_check_fraction_alias(self):
+        assert validation.check_fraction(0.5, "f") == 0.5
+
+    def test_check_in(self):
+        assert validation.check_in("a", {"a", "b"}, "mode") == "a"
+        with pytest.raises(ValueError):
+            validation.check_in("c", {"a", "b"}, "mode")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValueError, match="threshold"):
+            validation.check_positive(-1, "threshold")
+
+
+class TestTextTable:
+    def test_basic_render_contains_data(self):
+        t = TextTable(["a", "b"])
+        t.add_row(1, 2.5)
+        out = t.render()
+        assert "1" in out and "2.500" in out
+
+    def test_title_rendered(self):
+        t = TextTable(["x"], title="My Table")
+        t.add_row("v")
+        assert t.render().startswith("My Table")
+
+    def test_column_count_enforced(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_bool_formatting(self):
+        t = TextTable(["ok"])
+        t.add_row(True)
+        t.add_row(False)
+        out = t.render()
+        assert "yes" in out and "no" in out
+
+    def test_scientific_formatting_for_small_values(self):
+        t = TextTable(["v"])
+        t.add_row(1.5e-7)
+        assert "e-07" in t.render()
+
+    def test_zero_formatting(self):
+        t = TextTable(["v"])
+        t.add_row(0.0)
+        assert "0" in t.render()
+
+    def test_alignment_consistent(self):
+        t = TextTable(["name", "value"])
+        t.add_row("short", 1)
+        t.add_row("a-much-longer-name", 2)
+        lines = t.render().splitlines()
+        assert len({len(line) for line in lines[-2:]}) == 1
+
+
+class TestHelpers:
+    def test_format_percent(self):
+        assert format_percent(0.5342) == "53.4%"
+
+    def test_format_percent_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_summarize_series(self):
+        s = summarize_series([1.0, 2.0, 3.0])
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["count"] == 3
+
+    def test_summarize_empty(self):
+        s = summarize_series([])
+        assert s["count"] == 0 and s["mean"] == 0.0
