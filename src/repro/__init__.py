@@ -13,7 +13,11 @@ The package provides:
   (:mod:`repro.simulator`) and a simulated cluster (:mod:`repro.distributed`),
 * generators for the paper's nine benchmarks (:mod:`repro.apps`),
 * experiment drivers that regenerate every table and figure of the paper's
-  evaluation (:mod:`repro.analysis`).
+  evaluation (:mod:`repro.analysis`), executed by a parallel experiment
+  engine (:mod:`repro.analysis.runner`) with a vectorized fault-evaluation
+  fast path (:mod:`repro.core.vectorized`, :mod:`repro.simulator.fastpath`);
+  every driver takes ``parallelism=``/``fast=`` knobs and ``fast=False``
+  falls back to the scalar reference implementations.
 
 Quickstart::
 

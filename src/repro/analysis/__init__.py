@@ -1,5 +1,22 @@
-"""Metrics and experiment drivers that regenerate the paper's tables and figures."""
+"""Metrics and experiment drivers that regenerate the paper's tables and figures.
 
+The drivers in :mod:`repro.analysis.experiments` run on the parallel
+experiment engine of :mod:`repro.analysis.runner`: each figure is a grid of
+independent :class:`~repro.analysis.runner.ExperimentSpec` cells that an
+:class:`~repro.analysis.runner.ExperimentEngine` executes serially or across
+a process pool, with generated task graphs memoised per worker.  Every driver
+accepts ``parallelism=`` and ``fast=`` knobs (``fast=False`` selects the
+scalar reference implementations; see ``examples/parallel_sweep.py``).
+"""
+
+from repro.analysis.runner import (
+    ExperimentEngine,
+    ExperimentResult,
+    ExperimentSpec,
+    configure_defaults,
+    derive_seed,
+    make_spec,
+)
 from repro.analysis.metrics import (
     AggregateReplication,
     OverheadMeasurement,
@@ -30,7 +47,10 @@ from repro.analysis.report import PAPER_REFERENCE, qualitative_checks
 __all__ = [
     "AblationPoliciesResult",
     "AggregateReplication",
+    "ExperimentEngine",
+    "ExperimentResult",
     "ExperimentRow",
+    "ExperimentSpec",
     "Figure3Result",
     "Figure4Result",
     "OverheadMeasurement",
@@ -43,6 +63,9 @@ __all__ = [
     "ablation_rate_sweep",
     "aggregate_replication",
     "appfit_single_benchmark",
+    "configure_defaults",
+    "derive_seed",
+    "make_spec",
     "figure3_appfit",
     "figure4_overheads",
     "figure5_scalability_shared",

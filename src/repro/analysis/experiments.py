@@ -6,15 +6,39 @@ producing the text table the benchmark harness prints.  ``scale=1.0``
 reproduces the Table I problem sizes; the benchmark harness uses smaller scales
 by default so the full suite completes in minutes (replication *percentages*
 and speedup *shapes* are insensitive to the scale, which the tests verify).
+
+Since the parallel-engine refactor each driver expresses its figure as a grid
+of independent :class:`~repro.analysis.runner.ExperimentSpec` cells executed
+by an :class:`~repro.analysis.runner.ExperimentEngine`:
+
+* ``parallelism`` fans the grid out over worker processes (default: one per
+  CPU, or ``REPRO_PARALLELISM``);
+* ``fast`` selects the vectorized fault-evaluation fast path (default on;
+  the scalar implementations remain the reference — pass ``fast=False``, set
+  ``REPRO_REFERENCE=1``, or use the benchmark harness's ``--reference`` flag);
+* generated task graphs are memoised per process keyed by
+  (benchmark, scale, node count), so a graph is built once per run instead of
+  once per policy x rate cell.
+
+Cell payloads are plain row dictionaries, so results are identical for any
+parallelism and worker scheduling order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.metrics import aggregate_replication
-from repro.apps import create_benchmark
+from repro.analysis.runner import (
+    ExperimentEngine,
+    ExperimentSpec,
+    benchmark_graph,
+    benchmark_instance,
+    cell_kind,
+    default_fast,
+    make_spec,
+    sim_cache,
+)
 from repro.apps.base import Benchmark
 from repro.apps.linpack import LinpackBenchmark
 from repro.apps.matmul import MatmulBenchmark
@@ -26,7 +50,7 @@ from repro.apps.registry import (
     shared_memory_benchmark_names,
 )
 from repro.core.engine import ReplicationDecisions, decide_for_graph
-from repro.core.estimator import ArgumentSizeEstimator
+from repro.core.estimator import ArgumentSizeEstimator, estimate_total_fits
 from repro.core.heuristic import AppFit
 from repro.core.knapsack import KnapsackOracle
 from repro.core.policies import (
@@ -34,10 +58,12 @@ from repro.core.policies import (
     RandomReplication,
     TopFitReplication,
 )
+from repro.core.vectorized import decide_for_graph_fast
 from repro.faults.model import FailureModel
 from repro.faults.rates import FitRateSpec
 from repro.runtime.graph import TaskGraph
-from repro.simulator.execution import SimulationConfig, simulate_graph
+from repro.simulator.execution import SimulationConfig
+from repro.simulator.fastpath import simulate
 from repro.simulator.machine import MachineSpec, marenostrum_cluster, shared_memory_node
 from repro.util.tables import TextTable
 
@@ -50,6 +76,17 @@ ExperimentRow = Dict[str, object]
 # ---------------------------------------------------------------------------------
 
 
+def _engine(
+    engine: Optional[ExperimentEngine],
+    parallelism: Optional[int],
+    fast: Optional[bool],
+) -> ExperimentEngine:
+    """The engine a driver uses: an explicit one, or one built from the knobs."""
+    if engine is not None:
+        return engine
+    return ExperimentEngine(parallelism=parallelism, fast=fast)
+
+
 def _machine_for(benchmark: Benchmark, cores_per_node: int = 16) -> MachineSpec:
     """The machine a benchmark is evaluated on (1 node shared / 64-node cluster)."""
     if benchmark.distributed:
@@ -58,14 +95,19 @@ def _machine_for(benchmark: Benchmark, cores_per_node: int = 16) -> MachineSpec:
     return shared_memory_node(cores=cores_per_node)
 
 
-def _appfit_threshold(graph: TaskGraph, rate_spec: FitRateSpec) -> float:
+def _appfit_threshold(graph: TaskGraph, rate_spec: FitRateSpec, fast: bool = False) -> float:
     """The benchmark's current (1x) FIT — the Figure 3 threshold.
 
     Per DESIGN.md this is the unprotected application FIT the runtime's own
     bookkeeping reports at today's error rates; dividing the exascale rates by
-    the multiplier (the paper's framing) is numerically identical.
+    the multiplier (the paper's framing) is numerically identical.  The fast
+    variant batches the per-task estimation but sums in the same order, so
+    both paths return the same float.
     """
-    return FailureModel(rate_spec.at_todays_rates()).graph_total_fit(graph)
+    model = FailureModel(rate_spec.at_todays_rates())
+    if fast:
+        return sum(model.graph_fit_array(graph).tolist())
+    return model.graph_total_fit(graph)
 
 
 def _unprotected_fit(graph: TaskGraph, replicated_ids, rate_spec: FitRateSpec) -> float:
@@ -103,6 +145,29 @@ def _distributed_benchmark(name: str, n_nodes: int, scale: float) -> Benchmark:
     raise KeyError(f"{name!r} is not a distributed benchmark")
 
 
+def _appfit_decisions(
+    graph: TaskGraph,
+    threshold: float,
+    estimator: ArgumentSizeEstimator,
+    residual_fit_factor: float,
+    fast: bool,
+) -> ReplicationDecisions:
+    """App_FIT over a whole graph: vectorized sweep or the scalar reference."""
+    if fast:
+        return decide_for_graph_fast(
+            graph, threshold, estimator, residual_fit_factor=residual_fit_factor
+        )
+    policy = AppFit(
+        threshold=threshold,
+        total_tasks=len(graph),
+        estimator=estimator,
+        residual_fit_factor=residual_fit_factor,
+    )
+    decisions = decide_for_graph(graph, policy)
+    decisions.audit = policy.audit()
+    return decisions
+
+
 # ---------------------------------------------------------------------------------
 # Table I
 # ---------------------------------------------------------------------------------
@@ -133,27 +198,33 @@ class Table1Result:
         return table.render()
 
 
+@cell_kind("table1_row")
+def _table1_row(spec: ExperimentSpec) -> ExperimentRow:
+    bench = benchmark_instance(spec.benchmark, spec.scale)
+    info = bench.info()
+    return {
+        "benchmark": info.name,
+        "description": info.description,
+        "problem": info.problem,
+        "block": info.block,
+        "distributed": info.distributed,
+        "n_tasks": info.n_tasks,
+        "input_mib": info.input_mib,
+    }
+
+
 def table1_benchmark_inventory(
-    scale: float = 1.0, benchmarks: Optional[Sequence[str]] = None
+    scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    engine: Optional[ExperimentEngine] = None,
+    parallelism: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> Table1Result:
     """Regenerate Table I (benchmark descriptions, sizes, blocks, task counts)."""
     names = list(benchmarks) if benchmarks is not None else all_benchmark_names()
-    result = Table1Result()
-    for name in names:
-        bench = create_benchmark(name, scale=scale)
-        info = bench.info()
-        result.rows.append(
-            {
-                "benchmark": info.name,
-                "description": info.description,
-                "problem": info.problem,
-                "block": info.block,
-                "distributed": info.distributed,
-                "n_tasks": info.n_tasks,
-                "input_mib": info.input_mib,
-            }
-        )
-    return result
+    eng = _engine(engine, parallelism, fast)
+    specs = [make_spec("table1_row", name, scale, fast=eng.fast) for name in names]
+    return Table1Result(rows=eng.map(specs))
 
 
 # ---------------------------------------------------------------------------------
@@ -207,12 +278,38 @@ class Figure3Result:
         return "\n".join(lines)
 
 
+@cell_kind("fig3_cell")
+def _fig3_cell(spec: ExperimentSpec) -> ExperimentRow:
+    rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
+    multiplier: float = spec.param("multiplier")
+    residual: float = spec.param("residual_fit_factor", 0.0)
+    graph = benchmark_graph(spec.benchmark, spec.scale)
+    threshold = _appfit_threshold(graph, rate_spec, fast=spec.fast)
+    estimator = ArgumentSizeEstimator(rate_spec.scaled(multiplier))
+    decisions = _appfit_decisions(graph, threshold, estimator, residual, spec.fast)
+    audit = decisions.audit
+    return {
+        "benchmark": spec.benchmark,
+        "multiplier": multiplier,
+        "n_tasks": decisions.total_tasks,
+        "task_fraction": decisions.task_fraction,
+        "time_fraction": decisions.time_fraction,
+        "threshold_fit": threshold,
+        "achieved_fit": audit.current_fit,
+        "threshold_respected": audit.threshold_respected,
+        "envelope_respected": audit.envelope_respected,
+    }
+
+
 def figure3_appfit(
     scale: float = 1.0,
     multipliers: Sequence[float] = (10.0, 5.0),
     rate_spec: Optional[FitRateSpec] = None,
     residual_fit_factor: float = 0.0,
     benchmarks: Optional[Sequence[str]] = None,
+    engine: Optional[ExperimentEngine] = None,
+    parallelism: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> Figure3Result:
     """Run App_FIT on every benchmark at the given exascale rate multipliers.
 
@@ -221,44 +318,30 @@ def figure3_appfit(
     """
     spec = rate_spec if rate_spec is not None else FitRateSpec()
     names = list(benchmarks) if benchmarks is not None else all_benchmark_names()
-    result = Figure3Result(multipliers=tuple(multipliers))
-    per_mult: Dict[float, Dict[str, ReplicationDecisions]] = {m: {} for m in multipliers}
-
-    for name in names:
-        bench = create_benchmark(name, scale=scale)
-        graph = bench.build_graph()
-        threshold = _appfit_threshold(graph, spec)
-        for mult in multipliers:
-            scaled_spec = spec.scaled(mult)
-            policy = AppFit(
-                threshold=threshold,
-                total_tasks=len(graph),
-                estimator=ArgumentSizeEstimator(scaled_spec),
-                residual_fit_factor=residual_fit_factor,
-            )
-            decisions = decide_for_graph(graph, policy)
-            audit = policy.audit()
-            per_mult[mult][name] = decisions
-            result.rows.append(
-                {
-                    "benchmark": name,
-                    "multiplier": mult,
-                    "n_tasks": decisions.total_tasks,
-                    "task_fraction": decisions.task_fraction,
-                    "time_fraction": decisions.time_fraction,
-                    "threshold_fit": threshold,
-                    "achieved_fit": audit.current_fit,
-                    "threshold_respected": audit.threshold_respected,
-                    "envelope_respected": audit.envelope_respected,
-                }
-            )
-
+    eng = _engine(engine, parallelism, fast)
+    specs = [
+        make_spec(
+            "fig3_cell",
+            name,
+            scale,
+            fast=eng.fast,
+            multiplier=mult,
+            rate_spec=spec,
+            residual_fit_factor=residual_fit_factor,
+        )
+        for name in names
+        for mult in multipliers
+    ]
+    result = Figure3Result(multipliers=tuple(multipliers), rows=eng.map(specs))
     for mult in multipliers:
-        agg = aggregate_replication(per_mult[mult])
-        result.averages[mult] = {
-            "task_fraction": agg.mean_task_fraction,
-            "time_fraction": agg.mean_time_fraction,
-        }
+        rows = result.rows_for(mult)
+        if rows:
+            result.averages[mult] = {
+                "task_fraction": sum(r["task_fraction"] for r in rows) / len(rows),
+                "time_fraction": sum(r["time_fraction"] for r in rows) / len(rows),
+            }
+        else:
+            result.averages[mult] = {"task_fraction": 0.0, "time_fraction": 0.0}
     return result
 
 
@@ -296,29 +379,51 @@ class Figure4Result:
         return table.render() + f"\n\naverage overhead: {self.average_overhead_percent:.2f}%"
 
 
+@cell_kind("fig4_row")
+def _fig4_row(spec: ExperimentSpec) -> ExperimentRow:
+    cores_per_node: int = spec.param("cores_per_node", 16)
+    bench = benchmark_instance(spec.benchmark, spec.scale)
+    graph = bench.build_graph()
+    machine = _machine_for(bench, cores_per_node)
+    cache = sim_cache(graph) if spec.fast else None
+    baseline = simulate(
+        graph,
+        machine,
+        SimulationConfig(collect_records=not spec.fast),
+        fast=spec.fast,
+        cache=cache,
+    )
+    replicated = simulate(
+        graph,
+        machine,
+        SimulationConfig(replicate_all=True, collect_records=not spec.fast),
+        fast=spec.fast,
+        cache=cache,
+    )
+    return {
+        "benchmark": spec.benchmark,
+        "baseline_makespan_s": baseline.makespan_s,
+        "replicated_makespan_s": replicated.makespan_s,
+        "overhead_percent": 100.0 * replicated.overhead_vs(baseline),
+    }
+
+
 def figure4_overheads(
     scale: float = 1.0,
     benchmarks: Optional[Sequence[str]] = None,
     cores_per_node: int = 16,
+    engine: Optional[ExperimentEngine] = None,
+    parallelism: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> Figure4Result:
     """Fault-free makespan overhead of complete replication vs no replication."""
     names = list(benchmarks) if benchmarks is not None else all_benchmark_names()
-    result = Figure4Result()
-    for name in names:
-        bench = create_benchmark(name, scale=scale)
-        graph = bench.build_graph()
-        machine = _machine_for(bench, cores_per_node)
-        baseline = simulate_graph(graph, machine, SimulationConfig())
-        replicated = simulate_graph(graph, machine, SimulationConfig(replicate_all=True))
-        result.rows.append(
-            {
-                "benchmark": name,
-                "baseline_makespan_s": baseline.makespan_s,
-                "replicated_makespan_s": replicated.makespan_s,
-                "overhead_percent": 100.0 * replicated.overhead_vs(baseline),
-            }
-        )
-    return result
+    eng = _engine(engine, parallelism, fast)
+    specs = [
+        make_spec("fig4_row", name, scale, fast=eng.fast, cores_per_node=cores_per_node)
+        for name in names
+    ]
+    return Figure4Result(rows=eng.map(specs))
 
 
 # ---------------------------------------------------------------------------------
@@ -358,45 +463,101 @@ class ScalabilityResult:
         return table.render()
 
 
+def _speedup_rows(
+    benchmark: str, fault_rate: float, x_points: Sequence[int], makespans: Sequence[float]
+) -> List[ExperimentRow]:
+    """Rows of one speedup curve, referenced to its first point."""
+    ref = makespans[0]
+    return [
+        {
+            "benchmark": benchmark,
+            "fault_rate": fault_rate,
+            "x": x,
+            "makespan_s": makespan,
+            "speedup": ref / makespan if makespan > 0 else 0.0,
+        }
+        for x, makespan in zip(x_points, makespans)
+    ]
+
+
+@cell_kind("fig5_curve")
+def _fig5_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
+    fault_rate: float = spec.param("fault_rate")
+    core_counts: Sequence[int] = spec.param("core_counts")
+    graph = benchmark_graph(spec.benchmark, spec.scale)
+    cache = sim_cache(graph) if spec.fast else None
+    makespans: List[float] = []
+    for cores in core_counts:
+        machine = shared_memory_node(cores=cores)
+        config = SimulationConfig(
+            replicate_all=True,
+            crash_probability=fault_rate,
+            seed=spec.seed,
+            collect_records=not spec.fast,
+        )
+        sim = simulate(graph, machine, config, fast=spec.fast, cache=cache)
+        makespans.append(sim.makespan_s)
+    return _speedup_rows(spec.benchmark, fault_rate, list(core_counts), makespans)
+
+
 def figure5_scalability_shared(
     scale: float = 1.0,
     core_counts: Sequence[int] = (1, 2, 4, 8, 16),
     fault_rates: Sequence[float] = (0.0, 0.01, 0.05),
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 0,
+    engine: Optional[ExperimentEngine] = None,
+    parallelism: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> ScalabilityResult:
     """Speedup over 1 core of complete replication for the shared-memory group."""
     names = (
         list(benchmarks) if benchmarks is not None else shared_memory_benchmark_names()
     )
+    eng = _engine(engine, parallelism, fast)
+    specs = [
+        make_spec(
+            "fig5_curve",
+            name,
+            scale,
+            seed=seed,
+            fast=eng.fast,
+            core_counts=tuple(core_counts),
+            fault_rate=rate,
+        )
+        for name in names
+        for rate in fault_rates
+    ]
     result = ScalabilityResult(
         title="Figure 5 — complete replication scalability (shared memory)",
         x_label="cores",
     )
-    for name in names:
-        bench = create_benchmark(name, scale=scale)
-        graph = bench.build_graph()
-        for rate in fault_rates:
-            makespans: List[float] = []
-            for cores in core_counts:
-                machine = shared_memory_node(cores=cores)
-                config = SimulationConfig(
-                    replicate_all=True, crash_probability=rate, seed=seed
-                )
-                sim = simulate_graph(graph, machine, config)
-                makespans.append(sim.makespan_s)
-            ref = makespans[0]
-            for cores, makespan in zip(core_counts, makespans):
-                result.rows.append(
-                    {
-                        "benchmark": name,
-                        "fault_rate": rate,
-                        "x": cores,
-                        "makespan_s": makespan,
-                        "speedup": ref / makespan if makespan > 0 else 0.0,
-                    }
-                )
+    for rows in eng.map(specs):
+        result.rows.extend(rows)
     return result
+
+
+@cell_kind("fig6_curve")
+def _fig6_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
+    fault_rate: float = spec.param("fault_rate")
+    node_counts: Sequence[int] = spec.param("node_counts")
+    cores_per_node: int = spec.param("cores_per_node", 16)
+    makespans: List[float] = []
+    core_points: List[int] = []
+    for n_nodes in node_counts:
+        graph = benchmark_graph(spec.benchmark, spec.scale, n_nodes)
+        cache = sim_cache(graph) if spec.fast else None
+        machine = marenostrum_cluster(n_nodes=n_nodes, cores_per_node=cores_per_node)
+        config = SimulationConfig(
+            replicate_all=True,
+            crash_probability=fault_rate,
+            seed=spec.seed,
+            collect_records=not spec.fast,
+        )
+        sim = simulate(graph, machine, config, fast=spec.fast, cache=cache)
+        makespans.append(sim.makespan_s)
+        core_points.append(n_nodes * cores_per_node)
+    return _speedup_rows(spec.benchmark, fault_rate, core_points, makespans)
 
 
 def figure6_scalability_distributed(
@@ -406,43 +567,36 @@ def figure6_scalability_distributed(
     fault_rates: Sequence[float] = (0.0, 0.01, 0.05),
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 0,
+    engine: Optional[ExperimentEngine] = None,
+    parallelism: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> ScalabilityResult:
     """Speedup over the smallest configuration (64 cores in the paper) for the
     distributed group, with complete replication and fixed per-task fault rates."""
     names = (
         list(benchmarks) if benchmarks is not None else distributed_benchmark_names()
     )
+    eng = _engine(engine, parallelism, fast)
+    specs = [
+        make_spec(
+            "fig6_curve",
+            name,
+            scale,
+            seed=seed,
+            fast=eng.fast,
+            node_counts=tuple(node_counts),
+            cores_per_node=cores_per_node,
+            fault_rate=rate,
+        )
+        for name in names
+        for rate in fault_rates
+    ]
     result = ScalabilityResult(
         title="Figure 6 — complete replication scalability (distributed)",
         x_label="cores",
     )
-    for name in names:
-        graphs = {
-            n_nodes: _distributed_benchmark(name, n_nodes, scale).build_graph()
-            for n_nodes in node_counts
-        }
-        for rate in fault_rates:
-            makespans: List[float] = []
-            core_points: List[int] = []
-            for n_nodes in node_counts:
-                machine = marenostrum_cluster(n_nodes=n_nodes, cores_per_node=cores_per_node)
-                config = SimulationConfig(
-                    replicate_all=True, crash_probability=rate, seed=seed
-                )
-                sim = simulate_graph(graphs[n_nodes], machine, config)
-                makespans.append(sim.makespan_s)
-                core_points.append(n_nodes * cores_per_node)
-            ref = makespans[0]
-            for cores, makespan in zip(core_points, makespans):
-                result.rows.append(
-                    {
-                        "benchmark": name,
-                        "fault_rate": rate,
-                        "x": cores,
-                        "makespan_s": makespan,
-                        "speedup": ref / makespan if makespan > 0 else 0.0,
-                    }
-                )
+    for rows in eng.map(specs):
+        result.rows.extend(rows)
     return result
 
 
@@ -488,19 +642,19 @@ def ablation_policies(
     benchmarks: Sequence[str] = ("cholesky", "stream", "linpack"),
     rate_spec: Optional[FitRateSpec] = None,
     seed: int = 13,
+    fast: Optional[bool] = None,
 ) -> AblationPoliciesResult:
     """Compare App_FIT with the knapsack oracle and FIT-oblivious baselines."""
     spec = rate_spec if rate_spec is not None else FitRateSpec()
+    use_fast = default_fast() if fast is None else bool(fast)
     result = AblationPoliciesResult()
     for name in benchmarks:
-        bench = create_benchmark(name, scale=scale)
-        graph = bench.build_graph()
-        threshold = _appfit_threshold(graph, spec)
+        graph = benchmark_graph(name, scale)
+        threshold = _appfit_threshold(graph, spec, fast=use_fast)
         scaled_spec = spec.scaled(multiplier)
         estimator = ArgumentSizeEstimator(scaled_spec)
 
-        appfit = AppFit(threshold, len(graph), estimator)
-        appfit_dec = decide_for_graph(graph, appfit)
+        appfit_dec = _appfit_decisions(graph, threshold, estimator, 0.0, use_fast)
 
         oracle = KnapsackOracle(threshold, estimator)
         oracle_sol = oracle.solve(graph.tasks())
@@ -516,10 +670,24 @@ def ablation_policies(
 
         complete_dec = decide_for_graph(graph, CompleteReplication())
 
-        total_duration = graph.total_work_seconds()
+        if use_fast:
+            tasks = graph.tasks()
+            fits = estimate_total_fits(estimator, tasks).tolist()
+
+            def unprotected_fit_of(replicated_ids):
+                return sum(
+                    fit
+                    for task, fit in zip(tasks, fits)
+                    if task.task_id not in replicated_ids
+                )
+
+        else:
+
+            def unprotected_fit_of(replicated_ids):
+                return _unprotected_fit(graph, replicated_ids, scaled_spec)
 
         def add_row(policy_name, replicated_ids, task_fraction, time_fraction):
-            unprotected = _unprotected_fit(graph, replicated_ids, scaled_spec)
+            unprotected = unprotected_fit_of(replicated_ids)
             result.rows.append(
                 {
                     "benchmark": name,
@@ -568,37 +736,50 @@ class RateSweepResult:
         return table.render()
 
 
+@cell_kind("rate_sweep_cell")
+def _rate_sweep_cell(spec: ExperimentSpec) -> ExperimentRow:
+    rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
+    multiplier: float = spec.param("multiplier")
+    residual: float = spec.param("residual_fit_factor", 0.0)
+    graph = benchmark_graph(spec.benchmark, spec.scale)
+    threshold = _appfit_threshold(graph, rate_spec, fast=spec.fast)
+    estimator = ArgumentSizeEstimator(rate_spec.scaled(multiplier))
+    decisions = _appfit_decisions(graph, threshold, estimator, residual, spec.fast)
+    return {
+        "multiplier": multiplier,
+        "residual_fit_factor": residual,
+        "task_fraction": decisions.task_fraction,
+        "time_fraction": decisions.time_fraction,
+    }
+
+
 def ablation_rate_sweep(
     benchmark: str = "cholesky",
     scale: float = 1.0,
     multipliers: Sequence[float] = (1.0, 2.0, 5.0, 10.0, 20.0),
     residual_factors: Sequence[float] = (0.0, 0.1),
     rate_spec: Optional[FitRateSpec] = None,
+    engine: Optional[ExperimentEngine] = None,
+    parallelism: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> RateSweepResult:
     """Sweep the error-rate multiplier (and residual model) for one benchmark."""
     spec = rate_spec if rate_spec is not None else FitRateSpec()
-    bench = create_benchmark(benchmark, scale=scale)
-    graph = bench.build_graph()
-    threshold = _appfit_threshold(graph, spec)
-    result = RateSweepResult(benchmark=benchmark)
-    for residual in residual_factors:
-        for mult in multipliers:
-            policy = AppFit(
-                threshold,
-                len(graph),
-                ArgumentSizeEstimator(spec.scaled(mult)),
-                residual_fit_factor=residual,
-            )
-            decisions = decide_for_graph(graph, policy)
-            result.rows.append(
-                {
-                    "multiplier": mult,
-                    "residual_fit_factor": residual,
-                    "task_fraction": decisions.task_fraction,
-                    "time_fraction": decisions.time_fraction,
-                }
-            )
-    return result
+    eng = _engine(engine, parallelism, fast)
+    specs = [
+        make_spec(
+            "rate_sweep_cell",
+            benchmark,
+            scale,
+            fast=eng.fast,
+            multiplier=mult,
+            residual_fit_factor=residual,
+            rate_spec=spec,
+        )
+        for residual in residual_factors
+        for mult in multipliers
+    ]
+    return RateSweepResult(benchmark=benchmark, rows=eng.map(specs))
 
 
 # ---------------------------------------------------------------------------------

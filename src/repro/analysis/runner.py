@@ -1,0 +1,262 @@
+"""The parallel experiment engine.
+
+Every paper figure/table is a grid of *independent* cells — one benchmark at
+one error-rate multiplier, one (benchmark, fault-rate) speedup curve, and so
+on.  This module expresses a cell as an :class:`ExperimentSpec` (a small,
+picklable value object), executes grids of them through an
+:class:`ExperimentEngine`, and memoises the expensive shared inputs (generated
+task graphs and their simulation caches) per worker process so each graph is
+built once per run instead of once per policy x rate cell.
+
+Key properties:
+
+* **Determinism** — a cell's result is a pure function of its spec: the RNG
+  stream is seeded from ``spec.seed`` (see :func:`derive_seed` for building
+  per-cell seeds from a base seed), so results are identical for any
+  ``parallelism`` and any worker scheduling order.  The determinism test suite
+  pins this down.
+* **Parallelism** — ``parallelism > 1`` fans cells out over a
+  ``ProcessPoolExecutor``; ``parallelism <= 1`` (or a single-cell grid) runs
+  inline, with the same memoisation, which is also the mode the portable
+  figure drivers default to on single-core machines.
+* **Fast/reference duality** — ``fast=True`` (default) routes cells through
+  the vectorized fault-evaluation fast path
+  (:mod:`repro.core.vectorized`, :mod:`repro.simulator.fastpath`);
+  ``fast=False`` runs the scalar reference implementations.  The benchmark
+  harness exposes this as the ``--reference`` escape hatch and the
+  ``REPRO_REFERENCE=1`` environment variable; ``REPRO_PARALLELISM`` overrides
+  the default worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import create_benchmark
+from repro.apps.base import Benchmark
+from repro.runtime.graph import TaskGraph
+from repro.simulator.fastpath import SimGraphCache
+
+# ---------------------------------------------------------------------------------
+# defaults / configuration
+# ---------------------------------------------------------------------------------
+
+_DEFAULTS: Dict[str, Any] = {"fast": None, "parallelism": None}
+
+
+def configure_defaults(
+    fast: Optional[bool] = None, parallelism: Optional[int] = None
+) -> None:
+    """Set process-wide defaults for drivers called without explicit knobs.
+
+    The benchmark harness's ``--reference`` flag calls
+    ``configure_defaults(fast=False, parallelism=1)`` so every driver in the
+    session runs the scalar reference path serially.
+    """
+    _DEFAULTS["fast"] = fast
+    _DEFAULTS["parallelism"] = parallelism
+
+
+def default_fast() -> bool:
+    """Whether drivers use the vectorized fast path by default."""
+    if _DEFAULTS["fast"] is not None:
+        return bool(_DEFAULTS["fast"])
+    return os.environ.get("REPRO_REFERENCE", "") not in ("1", "true", "yes")
+
+
+def default_parallelism() -> int:
+    """Worker count used when a driver is called without ``parallelism``."""
+    if _DEFAULTS["parallelism"] is not None:
+        return max(1, int(_DEFAULTS["parallelism"]))
+    env = os.environ.get("REPRO_PARALLELISM")
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+def derive_seed(base_seed: int, *parts: Any) -> int:
+    """A deterministic per-spec seed from a base seed and spec key parts.
+
+    Stable across processes and Python hash randomisation (uses SHA-256 of the
+    repr of the parts), so a grid re-run with the same base seed reproduces
+    every cell's stream no matter how cells are scheduled.
+    """
+    digest = hashlib.sha256(repr((base_seed, parts)).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+# ---------------------------------------------------------------------------------
+# specs
+# ---------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One independent experiment cell: a pure function of its fields.
+
+    ``kind`` selects a registered cell function (see :func:`cell_kind`);
+    ``params`` carries the kind-specific inputs as a sorted tuple of
+    ``(name, value)`` pairs so specs are hashable and picklable.
+    """
+
+    kind: str
+    benchmark: str
+    scale: float
+    seed: int = 0
+    fast: bool = True
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look up one kind-specific parameter."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+
+def make_spec(
+    kind: str,
+    benchmark: str,
+    scale: float,
+    seed: int = 0,
+    fast: bool = True,
+    **params: Any,
+) -> ExperimentSpec:
+    """Build an :class:`ExperimentSpec` with normalised parameter ordering."""
+    return ExperimentSpec(
+        kind=kind,
+        benchmark=benchmark,
+        scale=scale,
+        seed=seed,
+        fast=fast,
+        params=tuple(sorted(params.items())),
+    )
+
+
+# ---------------------------------------------------------------------------------
+# per-process memoisation of generated graphs
+# ---------------------------------------------------------------------------------
+
+_BENCH_CACHE: Dict[Tuple[str, float, Optional[int]], Benchmark] = {}
+_SIM_CACHES: Dict[int, SimGraphCache] = {}
+
+
+def benchmark_instance(
+    name: str, scale: float, n_nodes: Optional[int] = None
+) -> Benchmark:
+    """A memoised benchmark instance (its generated graph is cached inside).
+
+    ``n_nodes`` selects the Figure 6 distributed variants; ``None`` is the
+    registry configuration.  The memo is per process: pool workers build each
+    graph at most once regardless of how many cells they execute.
+    """
+    key = (name, scale, n_nodes)
+    bench = _BENCH_CACHE.get(key)
+    if bench is None:
+        if n_nodes is None:
+            bench = create_benchmark(name, scale=scale)
+        else:
+            # Imported lazily: experiments imports this module.
+            from repro.analysis.experiments import _distributed_benchmark
+
+            bench = _distributed_benchmark(name, n_nodes, scale)
+        _BENCH_CACHE[key] = bench
+    return bench
+
+
+def benchmark_graph(name: str, scale: float, n_nodes: Optional[int] = None) -> TaskGraph:
+    """The memoised task graph of a benchmark configuration."""
+    return benchmark_instance(name, scale, n_nodes).build_graph()
+
+
+def sim_cache(graph: TaskGraph) -> SimGraphCache:
+    """The memoised :class:`SimGraphCache` of a graph (keyed by identity)."""
+    cache = _SIM_CACHES.get(id(graph))
+    if cache is None:
+        cache = SimGraphCache(graph)
+        _SIM_CACHES[id(graph)] = cache
+    return cache
+
+
+def clear_caches() -> None:
+    """Drop all memoised benchmarks and simulation caches (mainly for tests)."""
+    _BENCH_CACHE.clear()
+    _SIM_CACHES.clear()
+
+
+# ---------------------------------------------------------------------------------
+# cell registry and execution
+# ---------------------------------------------------------------------------------
+
+_CELL_KINDS: Dict[str, Callable[[ExperimentSpec], Any]] = {}
+
+
+def cell_kind(name: str) -> Callable[[Callable[[ExperimentSpec], Any]], Callable]:
+    """Register a cell function under ``name`` (used by the experiment drivers)."""
+
+    def decorate(func: Callable[[ExperimentSpec], Any]) -> Callable:
+        _CELL_KINDS[name] = func
+        return func
+
+    return decorate
+
+
+def run_cell(spec: ExperimentSpec) -> Any:
+    """Execute one cell in the current process (module-level, hence picklable)."""
+    func = _CELL_KINDS.get(spec.kind)
+    if func is None:
+        # A spawn-started worker has this module but not the driver module
+        # whose import registers the standard cells; pull it in once.
+        import repro.analysis.experiments  # noqa: F401  (registers cell kinds)
+
+        func = _CELL_KINDS.get(spec.kind)
+    if func is None:
+        raise KeyError(
+            f"unknown experiment kind {spec.kind!r}; known: {sorted(_CELL_KINDS)}"
+        )
+    return func(spec)
+
+
+class ExperimentEngine:
+    """Executes grids of :class:`ExperimentSpec` cells, serially or in parallel."""
+
+    def __init__(
+        self,
+        parallelism: Optional[int] = None,
+        fast: Optional[bool] = None,
+    ) -> None:
+        self.parallelism = (
+            default_parallelism() if parallelism is None else max(1, int(parallelism))
+        )
+        self.fast = default_fast() if fast is None else bool(fast)
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> List[Any]:
+        """Run every cell and return their payloads in spec order.
+
+        With ``parallelism > 1`` the cells are distributed over a process
+        pool; results are re-assembled in submission order, so callers see the
+        same sequence either way.
+        """
+        specs = list(specs)
+        workers = min(self.parallelism, len(specs))
+        if workers <= 1:
+            return [run_cell(spec) for spec in specs]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_cell, specs))
+
+    def run_grid(self, specs: Sequence[ExperimentSpec]) -> List["ExperimentResult"]:
+        """Like :meth:`map`, but pairs every payload with its spec."""
+        payloads = self.map(specs)
+        return [ExperimentResult(spec=s, payload=p) for s, p in zip(specs, payloads)]
+
+
+@dataclass
+class ExperimentResult:
+    """One executed cell: the spec that produced it plus its payload."""
+
+    spec: ExperimentSpec
+    payload: Any = field(default=None)

@@ -77,6 +77,7 @@ class Benchmark(abc.ABC):
             return self._graph_cache
         runtime = TaskRuntime(n_workers=1, config=None)
         runtime.config.graph_name = self.name
+        runtime.config.record_submissions = False
         self._build(runtime)
         graph = runtime.graph
         if use_cache:

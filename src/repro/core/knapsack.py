@@ -23,7 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.estimator import ArgumentSizeEstimator, FailureRateEstimator
+from repro.core.estimator import (
+    ArgumentSizeEstimator,
+    FailureRateEstimator,
+    estimate_total_fits,
+)
 from repro.runtime.task import TaskDescriptor
 from repro.util.validation import check_non_negative, check_positive_int
 
@@ -82,6 +86,7 @@ class KnapsackOracle:
             keep = self._solve_exact(items)
         else:
             keep = self._solve_greedy(items)
+        self._enforce_feasible(items, keep)
         return self._solution(items, keep)
 
     # -- internals ----------------------------------------------------------------
@@ -89,9 +94,9 @@ class KnapsackOracle:
     def _items(self, tasks: Sequence[TaskDescriptor]) -> List[Tuple[int, float, float]]:
         """(task_id, fit_weight, value) triples; value defaults to FIT when no durations."""
         have_durations = any(t.duration_s > 0 for t in tasks)
+        fits = estimate_total_fits(self.estimator, tasks).tolist()
         items: List[Tuple[int, float, float]] = []
-        for t in tasks:
-            fit = self.estimator.estimate(t).total_fit
+        for t, fit in zip(tasks, fits):
             value = t.duration_s if have_durations else fit
             items.append((t.task_id, fit, value))
         return items
@@ -123,7 +128,16 @@ class KnapsackOracle:
         import math
 
         scale = self.grid_size / self.threshold
-        weights = [min(self.grid_size + 1, int(math.ceil(it[1] * scale))) for it in positive]
+        if not math.isfinite(scale):
+            # The threshold is so small (denormal) that the grid degenerates:
+            # no positive-FIT task fits, so only the zero-FIT ones stay bare.
+            return free
+        weights: List[int] = []
+        for it in positive:
+            w = it[1] * scale
+            # NaN/inf/oversized weights can never be packed; clamp instead of
+            # letting ``int(ceil(inf))`` overflow.
+            weights.append(int(math.ceil(w)) if w <= self.grid_size else self.grid_size + 1)
         values = [it[2] for it in positive]
         capacity = self.grid_size
         n = len(positive)
@@ -147,6 +161,26 @@ class KnapsackOracle:
                 keep.add(positive[i][0])
                 c -= weights[i]
         return keep
+
+    def _enforce_feasible(self, items: List[Tuple[int, float, float]], keep: Set[int]) -> None:
+        """Repair ``keep`` in place so the unprotected FIT respects the threshold.
+
+        Both solvers work on rounded/decremented weights, so accumulated
+        floating-point error can leave the chosen set a hair over the budget
+        (the hypothesis suite found a denormal-threshold case).  Evicting the
+        lowest value-density items first restores feasibility while giving up
+        the least replication cost avoided.
+        """
+        kept = [it for it in items if it[0] in keep and it[1] > 0]
+        unprotected_fit = sum(it[1] for it in kept)
+        if unprotected_fit <= self.threshold:
+            return
+        kept.sort(key=lambda it: (it[2] / it[1]) if it[1] > 0 else float("inf"))
+        for task_id, fit, _value in kept:
+            keep.discard(task_id)
+            unprotected_fit = sum(it[1] for it in items if it[0] in keep)
+            if unprotected_fit <= self.threshold:
+                return
 
     def _solution(
         self, items: List[Tuple[int, float, float]], keep: Set[int]

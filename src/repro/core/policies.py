@@ -147,11 +147,12 @@ class TopFitReplication(_CountingPolicy):
 
     def prepare(self, tasks: List[TaskDescriptor]) -> None:
         """Pick the top-FIT fraction of the task list."""
-        ranked = sorted(
-            tasks, key=lambda t: self.estimator.estimate(t).total_fit, reverse=True
-        )
+        from repro.core.estimator import estimate_total_fits
+
+        fits = estimate_total_fits(self.estimator, tasks)
+        ranked = sorted(zip(tasks, fits.tolist()), key=lambda tf: tf[1], reverse=True)
         k = int(round(self.fraction * len(ranked)))
-        self._selected = {t.task_id for t in ranked[:k]}
+        self._selected = {t.task_id for t, _fit in ranked[:k]}
         self._prepared = True
 
     def decide(self, task: TaskDescriptor) -> SelectionDecision:

@@ -48,14 +48,24 @@ class TaskGraph:
 
     def add_task(self, task: TaskDescriptor, deps: Iterable[int] = ()) -> None:
         """Add ``task`` with dependencies on already-present task ids."""
-        if task.task_id in self._tasks:
-            raise ValueError(f"duplicate task id {task.task_id}")
-        self._tasks[task.task_id] = task
-        self._succ[task.task_id] = set()
-        self._pred[task.task_id] = set()
-        self._order.append(task.task_id)
+        tid = task.task_id
+        if tid in self._tasks:
+            raise ValueError(f"duplicate task id {tid}")
+        self._tasks[tid] = task
+        succ = self._succ
+        succ[tid] = set()
+        pred = self._pred[tid] = set()
+        self._order.append(tid)
+        # Inlined add_edge (this loop inserts millions of edges for the Table I
+        # graphs); the validation is the same, dst is known by construction.
         for dep in deps:
-            self.add_edge(dep, task.task_id)
+            dep_succ = succ.get(dep)
+            if dep_succ is None:
+                raise KeyError(f"unknown source task {dep}")
+            if dep == tid:
+                raise ValueError(f"self-dependency on task {dep}")
+            dep_succ.add(tid)
+            pred.add(dep)
 
     def add_edge(self, src: int, dst: int) -> None:
         """Add a dependency edge ``src -> dst`` (dst depends on src)."""

@@ -48,6 +48,9 @@ class RuntimeConfig:
     scheduling_policy: SchedulingPolicy = SchedulingPolicy.FIFO
     #: Name given to graphs produced by this runtime instance.
     graph_name: str = "app"
+    #: Whether TASK_SUBMITTED events are logged.  Benchmark graph generation
+    #: submits hundreds of thousands of tasks nobody replays, so it opts out.
+    record_submissions: bool = True
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_workers, "n_workers")
@@ -138,14 +141,16 @@ class TaskRuntime:
         )
         deps = self._deps.register(task)
         self._graph.add_task(task, deps)
-        self.events.record(EventKind.TASK_SUBMITTED, task_id=task.task_id)
+        if self.config.record_submissions:
+            self.events.record(EventKind.TASK_SUBMITTED, task_id=task.task_id)
         return task
 
     def submit_task(self, task: TaskDescriptor) -> TaskDescriptor:
         """Add a pre-built descriptor (dependencies still inferred from its regions)."""
         deps = self._deps.register(task)
         self._graph.add_task(task, deps)
-        self.events.record(EventKind.TASK_SUBMITTED, task_id=task.task_id)
+        if self.config.record_submissions:
+            self.events.record(EventKind.TASK_SUBMITTED, task_id=task.task_id)
         return task
 
     def next_task_id(self) -> int:

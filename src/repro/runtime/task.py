@@ -70,6 +70,7 @@ class DataHandle:
         if size_bytes is None:
             size_bytes = float(storage.nbytes)  # type: ignore[union-attr]
         self.size_bytes = check_non_negative(size_bytes, "size_bytes")
+        self._whole: Optional[DataRegion] = None
 
     def region(self, offset: float = 0.0, size_bytes: float | None = None) -> "DataRegion":
         """A region covering ``[offset, offset+size)`` of this handle."""
@@ -78,8 +79,10 @@ class DataHandle:
         return DataRegion(self, offset, size_bytes)
 
     def whole(self) -> "DataRegion":
-        """The region covering the entire handle."""
-        return DataRegion(self, 0.0, self.size_bytes)
+        """The region covering the entire handle (cached — regions are frozen)."""
+        if self._whole is None:
+            self._whole = DataRegion(self, 0.0, self.size_bytes)
+        return self._whole
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DataHandle({self.name!r}, {self.size_bytes:.0f} B)"

@@ -12,6 +12,13 @@ machine model with
 * a replication cost model (input checkpointing, output comparison, recovery
   re-executions),
 * an inter-node network for the distributed benchmarks.
+
+Two interchangeable executions of the same model exist:
+:func:`~repro.simulator.execution.simulate_graph` is the scalar reference
+loop, and :func:`~repro.simulator.fastpath.simulate_graph_fast` is the
+vectorized fast path (precomputed per-graph arrays, chunked fault draws) that
+produces bit-identical results; :func:`~repro.simulator.fastpath.simulate`
+dispatches between them.
 """
 
 from repro.simulator.machine import MachineSpec, shared_memory_node, marenostrum_cluster
@@ -23,15 +30,19 @@ from repro.simulator.execution import (
     SimulationResult,
     simulate_graph,
 )
+from repro.simulator.fastpath import SimGraphCache, simulate, simulate_graph_fast
 
 __all__ = [
     "EventQueue",
     "MachineSpec",
     "ReplicationCostModel",
+    "SimGraphCache",
     "SimulatedTaskRecord",
     "SimulationConfig",
     "SimulationResult",
     "marenostrum_cluster",
     "shared_memory_node",
+    "simulate",
     "simulate_graph",
+    "simulate_graph_fast",
 ]

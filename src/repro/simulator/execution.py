@@ -61,6 +61,10 @@ class SimulationConfig:
     model_memory_contention: bool = True
     #: Seed for the fault draws.
     seed: int = 0
+    #: Whether per-task :class:`SimulatedTaskRecord` objects are materialised.
+    #: The experiment drivers only consume the aggregate numbers and switch
+    #: this off; the scalar reference path always collects.
+    collect_records: bool = True
 
     def __post_init__(self) -> None:
         check_probability(self.crash_probability, "crash_probability")
@@ -345,7 +349,10 @@ def simulate_graph(
             node.free_spares += 1
         elif kind == "complete":
             finish_time[tid] = now
-            for succ_id in graph.successors(tid):
+            # Sorted iteration pins the tie-break order of successors that
+            # become ready at the same timestamp, so runs are reproducible and
+            # the vectorized fast path can match this path bit for bit.
+            for succ_id in sorted(graph.successors(tid)):
                 succ = tasks[succ_id]
                 delay = 0.0
                 if n_nodes > 1 and node_of(succ) != nid:

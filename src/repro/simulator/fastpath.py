@@ -1,0 +1,411 @@
+"""Vectorized fast path of the machine simulator.
+
+:func:`repro.simulator.execution.simulate_graph` is the reference
+implementation: a readable event loop that re-derives every per-task quantity
+(costs, memory traffic, node placement) from the descriptors on each call.
+The experiment drivers, however, replay the *same* graph many times — once per
+fault rate and machine size — so this module splits the work:
+
+* :class:`SimGraphCache` precomputes, once per graph, everything that does not
+  depend on the simulated machine or fault configuration: per-task durations,
+  memory traffic, replication cost terms (vectorized with NumPy), sorted
+  successor lists, in-degrees and cross-node edge payloads;
+* :func:`simulate_graph_fast` replays the cached arrays through a flat
+  ``heapq`` event loop over primitive floats and ints, drawing fault Bernoullis
+  from a chunk-buffered NumPy stream that consumes the *same* underlying
+  uniform sequence as the reference path's per-call draws.
+
+Every arithmetic expression mirrors the reference loop operation for
+operation, and events are pushed in the same order with the same FIFO
+tie-breaking, so the fast path is bit-identical to the reference — which the
+equivalence test suite asserts.  Use ``fast=False`` (or the benchmark
+harness's ``--reference`` flag) to fall back to the reference implementation.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.graph import TaskGraph
+from repro.simulator.costs import ReplicationCostModel
+from repro.simulator.execution import (
+    SimulatedTaskRecord,
+    SimulationConfig,
+    SimulationResult,
+    _edge_comm_bytes,
+    simulate_graph,
+)
+from repro.simulator.machine import MachineSpec
+
+#: Event kinds of the flat loop (values never compared — the heap tuples are
+#: ordered by (time, sequence number) alone, as in the reference EventQueue).
+_READY, _FREE, _SPARE_FREE, _COMPLETE = 0, 1, 2, 3
+
+
+class _DrawBuffer:
+    """Chunked uniform draws that replay ``Generator.random()`` call-for-call.
+
+    NumPy's ``Generator.random(n)`` consumes the identical double sequence as
+    ``n`` successive ``Generator.random()`` calls, so buffering in chunks keeps
+    the fault draws bit-identical to the reference path while amortising the
+    per-call overhead.
+    """
+
+    __slots__ = ("_gen", "_buf", "_pos", "_chunk")
+
+    def __init__(self, gen: np.random.Generator, chunk: int = 4096) -> None:
+        self._gen = gen
+        self._buf: List[float] = []
+        self._pos = 0
+        self._chunk = chunk
+
+    def bernoulli(self, p: float) -> bool:
+        """Mirror :meth:`RngStream.bernoulli`: no draw at the 0/1 extremes."""
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        if self._pos >= len(self._buf):
+            self._buf = self._gen.random(self._chunk).tolist()
+            self._pos = 0
+        value = self._buf[self._pos]
+        self._pos += 1
+        return value < p
+
+
+class SimGraphCache:
+    """Machine-independent precomputation for repeated simulations of one graph."""
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.graph = graph
+        tasks = graph.tasks()
+        n = self.n = len(tasks)
+        self.task_ids: List[int] = [t.task_id for t in tasks]
+        index = {tid: i for i, tid in enumerate(self.task_ids)}
+        durations = np.empty(n, dtype=np.float64)
+        mem_bytes = np.empty(n, dtype=np.float64)
+        input_bytes = np.empty(n, dtype=np.float64)
+        output_bytes = np.empty(n, dtype=np.float64)
+        node_attr: List[int] = [-1] * n
+        for i, t in enumerate(tasks):
+            durations[i] = t.duration_s
+            in_b = 0.0
+            out_b = 0.0
+            all_b = 0.0
+            for a in t.args:
+                size = a.size_bytes
+                direction = a.direction
+                all_b += size
+                if direction.reads:
+                    in_b += size
+                if direction.writes:
+                    out_b += size
+            mem = t.metadata.get("mem_bytes")
+            mem_bytes[i] = float(all_b if mem is None else mem)
+            input_bytes[i] = in_b
+            output_bytes[i] = out_b
+            if t.node is not None:
+                node_attr[i] = t.node
+        self.durations = durations
+        self.mem_bytes = mem_bytes
+        self.input_bytes = input_bytes
+        self.output_bytes = output_bytes
+        #: Explicit node placements (-1 when the runtime is free to choose).
+        self.node_attr = node_attr
+        self.in_degree: List[int] = [graph.in_degree(tid) for tid in self.task_ids]
+        #: Successors as dense indices, sorted like the reference loop iterates.
+        succ_map = graph._succ
+        self.successors: List[List[int]] = [
+            [index[s] for s in sorted(succ_map[tid])] for tid in self.task_ids
+        ]
+        self._tasks = tasks
+        self._cost_arrays: Dict[ReplicationCostModel, Tuple[List[float], ...]] = {}
+        self._node_maps: Dict[int, List[int]] = {}
+        self._edge_bytes: Dict[Tuple[int, int], float] = {}
+
+    # -- memoised derived quantities ----------------------------------------
+
+    def cost_arrays(
+        self, costs: ReplicationCostModel
+    ) -> Tuple[List[float], List[float], List[float], List[float]]:
+        """(checkpoint, compare, restore, vote) seconds per task under ``costs``."""
+        cached = self._cost_arrays.get(costs)
+        if cached is None:
+            checkpoint = (
+                costs.checkpoint_latency_s + self.input_bytes / costs.checkpoint_bandwidth_Bps
+            )
+            restore = (
+                costs.restore_latency_s + self.input_bytes / costs.checkpoint_bandwidth_Bps
+            )
+            compare = (
+                costs.compare_latency_s + self.output_bytes / costs.compare_bandwidth_Bps
+            )
+            vote = costs.compare_latency_s + self.output_bytes / costs.vote_bandwidth_Bps
+            cached = (
+                checkpoint.tolist(),
+                compare.tolist(),
+                restore.tolist(),
+                vote.tolist(),
+            )
+            self._cost_arrays[costs] = cached
+        return cached
+
+    def node_map(self, n_nodes: int) -> List[int]:
+        """Node of every task on an ``n_nodes`` machine (reference placement rule)."""
+        cached = self._node_maps.get(n_nodes)
+        if cached is None:
+            if n_nodes == 1:
+                cached = [0] * self.n
+            else:
+                cached = [
+                    (attr % n_nodes) if attr >= 0 else (i % n_nodes)
+                    for i, attr in enumerate(self.node_attr)
+                ]
+            self._node_maps[n_nodes] = cached
+        return cached
+
+    def effective_durations(self, machine: MachineSpec) -> List[float]:
+        """Roofline-bounded per-task durations: ``max(compute, mem / bandwidth)``."""
+        return np.maximum(
+            self.durations, self.mem_bytes / machine.memory_bandwidth_Bps
+        ).tolist()
+
+
+
+def simulate_graph_fast(
+    graph: TaskGraph,
+    machine: MachineSpec,
+    config: Optional[SimulationConfig] = None,
+    cache: Optional[SimGraphCache] = None,
+) -> SimulationResult:
+    """Drop-in replacement for :func:`simulate_graph`, bit-identical results.
+
+    Pass a :class:`SimGraphCache` to amortise the per-graph precomputation
+    across fault rates and machine sizes (the experiment engine does).
+    """
+    config = config if config is not None else SimulationConfig()
+    if cache is None:
+        cache = SimGraphCache(graph)
+    costs = config.costs
+    n = cache.n
+    n_nodes = machine.n_nodes
+
+    checkpoint_s, compare_s, restore_s, vote_s = cache.cost_arrays(costs)
+    contention = config.model_memory_contention
+    if contention:
+        duration_of = cache.effective_durations(machine)
+    else:
+        duration_of = cache.durations.tolist()
+    mem_bytes = cache.mem_bytes.tolist()
+    node_of = cache.node_map(n_nodes)
+    base_successors = cache.successors
+
+    if config.replicate_all:
+        is_replicated = [True] * n
+    elif config.replicated_ids is not None:
+        replicated_ids = config.replicated_ids
+        is_replicated = [tid in replicated_ids for tid in cache.task_ids]
+    else:
+        is_replicated = [False] * n
+
+    draws = _DrawBuffer(np.random.default_rng(np.random.SeedSequence(config.seed)))
+    p_crash = config.crash_probability
+    p_sdc = config.sdc_probability
+    decision_s = costs.decision_s
+    replica_creation_s = costs.replica_creation_s
+
+    free_cores = [machine.cores_per_node] * n_nodes
+    free_spares = [machine.spare_cores_per_node] * n_nodes
+    node_ready: List[List[int]] = [[] for _ in range(n_nodes)]
+    node_mem = [0.0] * n_nodes
+
+    pending = list(cache.in_degree)
+    earliest = [0.0] * n
+    start_at = [0.0] * n
+    finish_at = [0.0] * n
+    overhead_at = [0.0] * n
+    recovery_at = [0.0] * n
+    duration_at = [0.0] * n
+    started = [False] * n
+
+    crashes = 0
+    sdcs = 0
+    total_overhead = 0.0
+    total_recovery = 0.0
+    total_work = 0.0
+    replicated_count = 0
+    n_started = 0
+
+    heap: List[Tuple[float, int, int, int]] = []
+    seq = 0
+    for i in range(n):
+        if pending[i] == 0:
+            heap.append((0.0, seq, _READY, i))
+            seq += 1
+
+    # The event loop is written flat (task start inlined, locals only): it
+    # executes a handful of times per task and closure/attribute lookups are
+    # measurable at Table I task counts.  The arithmetic and event/push order
+    # mirror the reference loop exactly.
+    bernoulli = draws.bernoulli
+    edge_bytes_of = cache._edge_bytes
+    tasks_of = cache._tasks
+    net_latency = machine.network_latency_s
+    net_bandwidth = machine.network_bandwidth_Bps
+    multi_node = n_nodes > 1
+    while heap:
+        now, _, kind, i = heappop(heap)
+        nid = node_of[i]
+        if kind == _READY:
+            heappush(node_ready[nid], i)
+        elif kind == _FREE:
+            free_cores[nid] += 1
+        elif kind == _SPARE_FREE:
+            free_spares[nid] += 1
+            continue
+        else:  # _COMPLETE
+            for s in base_successors[i]:
+                delay = 0.0
+                if multi_node and node_of[s] != nid:
+                    comm_bytes = edge_bytes_of.get((i, s))
+                    if comm_bytes is None:
+                        comm_bytes = _edge_comm_bytes(tasks_of[i], tasks_of[s])
+                        edge_bytes_of[(i, s)] = comm_bytes
+                    delay = net_latency + comm_bytes / net_bandwidth
+                arrival = now + delay
+                if arrival > earliest[s]:
+                    earliest[s] = arrival
+                pending[s] -= 1
+                if pending[s] == 0:
+                    at = now if now > earliest[s] else earliest[s]
+                    heappush(heap, (at, seq, _READY, s))
+                    seq += 1
+
+        # try_start(nid): drain the node's ready heap while cores are free.
+        ready = node_ready[nid]
+        while free_cores[nid] > 0 and ready:
+            i = heappop(ready)
+            nid_t = node_of[i]
+            replicated = is_replicated[i]
+
+            free_cores[nid_t] -= 1
+            use_spare = False
+            if replicated:
+                replicated_count += 1
+                if free_spares[nid_t] > 0:
+                    free_spares[nid_t] -= 1
+                    use_spare = True
+
+            duration = duration_of[i]
+            if contention:
+                node_mem[nid_t] += mem_bytes[i]
+
+            core_busy = decision_s + duration
+            completion = core_busy
+            overhead = decision_s
+            recovery = 0.0
+
+            if replicated:
+                core_busy += replica_creation_s
+                overhead += replica_creation_s
+                replica_path = checkpoint_s[i] + duration + compare_s[i]
+                overhead += checkpoint_s[i] + compare_s[i]
+                if not use_spare:
+                    core_busy += replica_path
+                completion = max(core_busy, replica_creation_s + replica_path)
+
+                crash0 = bernoulli(p_crash)
+                crash1 = bernoulli(p_crash)
+                sdc0 = (not crash0) and bernoulli(p_sdc)
+                sdc1 = (not crash1) and bernoulli(p_sdc)
+                crashes += int(crash0) + int(crash1)
+                sdcs += int(sdc0) + int(sdc1)
+                if crash0 and crash1:
+                    recovery += restore_s[i] + duration
+                elif (sdc0 != sdc1) and not (crash0 or crash1):
+                    recovery += restore_s[i] + duration + vote_s[i]
+                completion += recovery
+            else:
+                crash0 = bernoulli(p_crash)
+                sdc0 = (not crash0) and bernoulli(p_sdc)
+                crashes += int(crash0)
+                sdcs += int(sdc0)
+                if crash0:
+                    recovery += duration
+                core_busy += recovery
+                completion = core_busy
+
+            total_overhead += overhead
+            total_recovery += recovery
+            total_work += duration
+
+            start_at[i] = now
+            finish_at[i] = now + completion
+            overhead_at[i] = overhead
+            recovery_at[i] = recovery
+            duration_at[i] = duration
+            started[i] = True
+            n_started += 1
+            # Spare release precedes core release at equal timestamps, as in
+            # the reference loop, so a task started by the freed core sees the
+            # spare available.
+            if use_spare:
+                heappush(heap, (now + core_busy, seq, _SPARE_FREE, i))
+                seq += 1
+            heappush(heap, (now + core_busy, seq, _FREE, i))
+            seq += 1
+            heappush(heap, (now + completion, seq, _COMPLETE, i))
+            seq += 1
+
+    if n_started != n:
+        raise RuntimeError(
+            f"simulation finished with {n - n_started} unexecuted tasks; "
+            "the graph probably contains a cycle"
+        )
+
+    records: Dict[int, SimulatedTaskRecord] = {}
+    if config.collect_records:
+        for i, tid in enumerate(cache.task_ids):
+            records[tid] = SimulatedTaskRecord(
+                task_id=tid,
+                node=node_of[i],
+                start_s=start_at[i],
+                finish_s=finish_at[i],
+                replicated=is_replicated[i],
+                base_duration_s=duration_at[i],
+                overhead_s=overhead_at[i],
+                recovery_s=recovery_at[i],
+            )
+
+    makespan = max(finish_at) if n else 0.0
+    if contention and n_nodes > 0:
+        bandwidth_bound = max(node_mem) / machine.memory_bandwidth_Bps
+        makespan = max(makespan, bandwidth_bound)
+    return SimulationResult(
+        makespan_s=makespan,
+        machine=machine,
+        config=config,
+        records=records,
+        total_work_s=total_work,
+        total_overhead_s=total_overhead,
+        total_recovery_s=total_recovery,
+        crashes_injected=crashes,
+        sdcs_injected=sdcs,
+        replicated_tasks=replicated_count,
+    )
+
+
+def simulate(
+    graph: TaskGraph,
+    machine: MachineSpec,
+    config: Optional[SimulationConfig] = None,
+    fast: bool = True,
+    cache: Optional[SimGraphCache] = None,
+) -> SimulationResult:
+    """Dispatch to the fast path (default) or the scalar reference loop."""
+    if fast:
+        return simulate_graph_fast(graph, machine, config, cache=cache)
+    return simulate_graph(graph, machine, config)

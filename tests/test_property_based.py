@@ -16,7 +16,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import example, given
 from hypothesis import strategies as st
 
 from repro.core.comparator import BitwiseComparator, majority_vote
@@ -34,7 +34,9 @@ from repro.simulator.execution import SimulationConfig, simulate_graph
 from repro.simulator.machine import shared_memory_node
 from tests.conftest import make_task
 
-SLOW = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+# Example counts, deadlines and health-check suppression come from the
+# hypothesis profiles registered in the root conftest ("repro" by default,
+# "quick" under `pytest -m quick`).
 
 
 # -- FIT accounting ---------------------------------------------------------------
@@ -44,7 +46,6 @@ SLOW = settings(max_examples=30, deadline=None, suppress_health_check=[HealthChe
     threshold=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
     fits=st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=1, max_size=300),
 )
-@SLOW
 def test_fit_account_never_exceeds_threshold(threshold, fits):
     account = FitAccount(threshold=threshold, total_tasks=len(fits))
     for fit in fits:
@@ -59,7 +60,6 @@ def test_fit_account_never_exceeds_threshold(threshold, fits):
     sizes=st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=2, max_size=200),
     multiplier=st.floats(min_value=1.0, max_value=50.0),
 )
-@SLOW
 def test_appfit_threshold_respected_for_any_task_sizes(sizes, multiplier):
     graph = TaskGraph()
     for i, size in enumerate(sizes):
@@ -99,7 +99,6 @@ def access_patterns(draw):
 
 
 @given(pattern=access_patterns())
-@SLOW
 def test_dependency_tracker_produces_acyclic_graphs(pattern):
     n_handles, accesses = pattern
     handles = [DataHandle(f"h{i}", size_bytes=1024) for i in range(n_handles)]
@@ -116,7 +115,6 @@ def test_dependency_tracker_produces_acyclic_graphs(pattern):
 
 
 @given(pattern=access_patterns())
-@SLOW
 def test_writers_to_same_handle_are_totally_ordered(pattern):
     n_handles, accesses = pattern
     handles = [DataHandle(f"h{i}", size_bytes=1024) for i in range(n_handles)]
@@ -153,7 +151,6 @@ def _reachability(graph):
 
 
 @given(pattern=access_patterns())
-@SLOW
 def test_scheduler_executes_every_task_exactly_once(pattern):
     n_handles, accesses = pattern
     handles = [DataHandle(f"h{i}", size_bytes=1024) for i in range(n_handles)]
@@ -181,7 +178,6 @@ def test_scheduler_executes_every_task_exactly_once(pattern):
     n_elements=st.integers(min_value=1, max_value=64),
     corrupt_index=st.integers(min_value=0, max_value=2),
 )
-@SLOW
 def test_majority_vote_never_elects_single_corrupted_candidate(n_elements, corrupt_index):
     clean = [np.arange(n_elements, dtype=np.float64)]
     candidates = []
@@ -196,7 +192,6 @@ def test_majority_vote_never_elects_single_corrupted_candidate(n_elements, corru
 
 
 @given(data=st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=64))
-@SLOW
 def test_bitwise_comparator_reflexive(data):
     a = np.array(data)
     assert BitwiseComparator().equal(a, a.copy())
@@ -209,7 +204,10 @@ def test_bitwise_comparator_reflexive(data):
     sizes=st.lists(st.floats(min_value=0.0, max_value=1e8), min_size=1, max_size=60),
     budget_fraction=st.floats(min_value=0.0, max_value=1.0),
 )
-@SLOW
+@example(
+    sizes=[1.0],
+    budget_fraction=2.225073858507e-311,
+).via("discovered failure")
 def test_knapsack_solution_always_feasible(sizes, budget_fraction):
     graph = TaskGraph()
     for i, size in enumerate(sizes):
@@ -243,7 +241,6 @@ def random_dags(draw):
 
 
 @given(graph=random_dags(), cores=st.integers(min_value=1, max_value=8))
-@SLOW
 def test_simulated_makespan_respects_lower_bounds(graph, cores):
     result = simulate_graph(graph, shared_memory_node(cores))
     assert result.makespan_s >= graph.critical_path_seconds() - 1e-9
@@ -252,7 +249,6 @@ def test_simulated_makespan_respects_lower_bounds(graph, cores):
 
 
 @given(graph=random_dags())
-@SLOW
 def test_replication_never_speeds_up_fault_free_execution(graph):
     machine = shared_memory_node(4)
     base = simulate_graph(graph, machine, SimulationConfig())

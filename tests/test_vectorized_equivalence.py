@@ -1,0 +1,179 @@
+"""Equivalence of the vectorized fast path and the scalar reference path.
+
+The fast implementations (batch FIT estimation, the vectorized App_FIT sweep
+and the array-based simulator loop) are designed to mirror the scalar
+reference arithmetic operation for operation, so everything here asserts
+*exact* float equality — any drift means the two implementations diverged.
+Figure-level summaries are additionally checked through the public drivers,
+which exercises the experiment engine's fast/reference duality end to end.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    _appfit_threshold,
+    _distributed_benchmark,
+    figure3_appfit,
+    figure4_overheads,
+    figure5_scalability_shared,
+)
+from repro.apps import create_benchmark
+from repro.apps.registry import all_benchmark_names, distributed_benchmark_names
+from repro.core.engine import decide_for_graph
+from repro.core.estimator import ArgumentSizeEstimator, estimate_total_fits
+from repro.core.heuristic import AppFit
+from repro.core.vectorized import decide_for_graph_fast
+from repro.faults.model import FailureModel
+from repro.faults.rates import FitRateSpec
+from repro.simulator.execution import SimulationConfig, simulate_graph
+from repro.simulator.fastpath import SimGraphCache, simulate_graph_fast
+from repro.simulator.machine import marenostrum_cluster, shared_memory_node
+
+#: Small scale so all nine Table I graphs build in a few seconds.
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    """One small graph per registered benchmark."""
+    built = {}
+    for name in all_benchmark_names():
+        built[name] = create_benchmark(name, scale=SCALE).build_graph()
+    return built
+
+
+class TestBatchEstimation:
+    def test_fit_arrays_match_scalar_rates(self, graphs):
+        model = FailureModel(FitRateSpec().scaled(10.0))
+        for name, graph in graphs.items():
+            tasks = graph.tasks()
+            crash, sdc = model.task_fit_arrays(tasks)
+            for i, task in enumerate(tasks):
+                rates = model.task_rates(task)
+                assert crash[i] == rates.crash_fit, name
+                assert sdc[i] == rates.sdc_fit, name
+
+    def test_estimate_batch_matches_estimate(self, graphs):
+        estimator = ArgumentSizeEstimator(FitRateSpec().scaled(5.0))
+        for name, graph in graphs.items():
+            tasks = graph.tasks()
+            batch = estimate_total_fits(estimator, tasks)
+            for i, task in enumerate(tasks):
+                assert batch[i] == estimator.estimate(task).total_fit, name
+
+    def test_threshold_same_on_both_paths(self, graphs):
+        spec = FitRateSpec()
+        for name, graph in graphs.items():
+            assert _appfit_threshold(graph, spec, fast=True) == _appfit_threshold(
+                graph, spec, fast=False
+            ), name
+
+
+class TestAppFitSweepEquivalence:
+    @pytest.mark.parametrize("multiplier", [5.0, 10.0])
+    @pytest.mark.parametrize("residual", [0.0, 0.1])
+    def test_decisions_identical_across_all_benchmarks(self, graphs, multiplier, residual):
+        spec = FitRateSpec()
+        for name, graph in graphs.items():
+            threshold = _appfit_threshold(graph, spec)
+            estimator = ArgumentSizeEstimator(spec.scaled(multiplier))
+            policy = AppFit(threshold, len(graph), estimator, residual_fit_factor=residual)
+            ref = decide_for_graph(graph, policy)
+            ref_audit = policy.audit()
+            fast = decide_for_graph_fast(
+                graph, threshold, estimator, residual_fit_factor=residual
+            )
+            assert fast.replicated_ids == ref.replicated_ids, name
+            assert fast.task_fraction == ref.task_fraction, name
+            assert fast.time_fraction == ref.time_fraction, name
+            assert fast.total_duration_s == ref.total_duration_s, name
+            assert fast.audit.current_fit == ref_audit.current_fit, name
+            assert fast.audit.max_envelope_excess == ref_audit.max_envelope_excess, name
+            assert fast.audit.threshold_respected == ref_audit.threshold_respected, name
+
+
+class TestSimulatorEquivalence:
+    def _compare(self, graph, machine, config, cache):
+        ref = simulate_graph(graph, machine, config)
+        fast = simulate_graph_fast(graph, machine, config, cache=cache)
+        assert fast.makespan_s == ref.makespan_s
+        assert fast.total_work_s == ref.total_work_s
+        assert fast.total_overhead_s == ref.total_overhead_s
+        assert fast.total_recovery_s == ref.total_recovery_s
+        assert fast.crashes_injected == ref.crashes_injected
+        assert fast.sdcs_injected == ref.sdcs_injected
+        assert fast.replicated_tasks == ref.replicated_tasks
+        for tid, rec in ref.records.items():
+            frec = fast.records[tid]
+            assert frec.start_s == rec.start_s
+            assert frec.finish_s == rec.finish_s
+            assert frec.node == rec.node
+            assert frec.replicated == rec.replicated
+
+    def test_shared_memory_benchmarks(self, graphs):
+        distributed = set(distributed_benchmark_names())
+        for name, graph in graphs.items():
+            if name in distributed:
+                continue
+            cache = SimGraphCache(graph)
+            for cores in (1, 8):
+                for rate in (0.0, 0.05):
+                    config = SimulationConfig(
+                        replicate_all=True,
+                        crash_probability=rate,
+                        sdc_probability=0.01,
+                        seed=5,
+                    )
+                    self._compare(graph, shared_memory_node(cores), config, cache)
+
+    def test_distributed_benchmarks(self):
+        for name in distributed_benchmark_names():
+            graph = _distributed_benchmark(name, 4, SCALE).build_graph()
+            cache = SimGraphCache(graph)
+            for rate in (0.0, 0.02):
+                config = SimulationConfig(
+                    replicate_all=True, crash_probability=rate, seed=1
+                )
+                self._compare(graph, marenostrum_cluster(n_nodes=4), config, cache)
+
+    def test_partial_replication_and_no_contention(self, graphs):
+        graph = graphs["cholesky"]
+        cache = SimGraphCache(graph)
+        ids = set(graph.task_ids()[::3])
+        config = SimulationConfig(
+            replicated_ids=ids,
+            crash_probability=0.03,
+            sdc_probability=0.02,
+            seed=9,
+            model_memory_contention=False,
+        )
+        self._compare(graph, shared_memory_node(4), config, cache)
+
+
+class TestDriverEquivalence:
+    """Figure summary numbers match between fast and reference paths."""
+
+    def test_figure3_rows_and_averages(self):
+        kwargs = dict(scale=SCALE, multipliers=(10.0, 5.0), parallelism=1)
+        fast = figure3_appfit(fast=True, **kwargs)
+        ref = figure3_appfit(fast=False, **kwargs)
+        assert fast.rows == ref.rows
+        assert fast.averages == ref.averages
+
+    def test_figure4_rows(self):
+        kwargs = dict(scale=SCALE, benchmarks=("cholesky", "stream"), parallelism=1)
+        fast = figure4_overheads(fast=True, **kwargs)
+        ref = figure4_overheads(fast=False, **kwargs)
+        assert fast.rows == ref.rows
+
+    def test_figure5_rows(self):
+        kwargs = dict(
+            scale=0.2,
+            core_counts=(1, 4, 16),
+            fault_rates=(0.0, 0.05),
+            benchmarks=("cholesky", "stream"),
+            parallelism=1,
+        )
+        fast = figure5_scalability_shared(fast=True, **kwargs)
+        ref = figure5_scalability_shared(fast=False, **kwargs)
+        assert fast.rows == ref.rows
