@@ -9,13 +9,14 @@ meet the reliability target.
 from conftest import record
 
 from repro.analysis.experiments import ablation_policies
+from repro.analysis.targets import ABLATION_POLICY_BENCHMARKS
 
 
 def test_ablation_selection_policies(benchmark, scale, results_dir):
     """Compare selection policies at the 10x exascale threshold."""
     result = benchmark.pedantic(
         ablation_policies,
-        kwargs={"scale": scale, "benchmarks": ("cholesky", "stream", "linpack")},
+        kwargs={"scale": scale, "benchmarks": ABLATION_POLICY_BENCHMARKS},
         rounds=1,
         iterations=1,
     )

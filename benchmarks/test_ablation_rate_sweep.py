@@ -10,15 +10,15 @@ shrinks with more modest rate increases; this quantifies that curve.
 from conftest import record
 
 from repro.analysis.experiments import ablation_rate_sweep
+from repro.analysis.targets import ABLATION_RATE_BENCHMARKS, rate_sweep_recorded_text
 
 
 def test_ablation_rate_sweep(benchmark, scale, results_dir):
     """Replication demanded by App_FIT as error rates grow (1x..20x)."""
-    texts = []
 
     def run_all():
         results = []
-        for bench in ("cholesky", "stream", "matmul"):
+        for bench in ABLATION_RATE_BENCHMARKS:
             results.append(
                 ablation_rate_sweep(
                     bench,
@@ -30,9 +30,9 @@ def test_ablation_rate_sweep(benchmark, scale, results_dir):
         return results
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    for result in results:
-        texts.append(result.render())
-    record(results_dir, "ablation_rate_sweep", "\n\n".join(texts))
+    # Composed by the shared targets helper so `repro run ablation-rates`
+    # regenerates this artifact byte-identically.
+    record(results_dir, "ablation_rate_sweep", rate_sweep_recorded_text(results))
 
     for result in results:
         no_residual = [r for r in result.rows if r["residual_fit_factor"] == 0.0]

@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
 """Overheads and scalability of task replication on the simulated cluster.
 
+A thin wrapper over the unified CLI — equivalent to::
+
+    repro run fig4 fig5 fig6 --scale <scale> --out results/
+
 Reproduces the shapes of the paper's Figures 4-6 at a reduced problem scale:
+fault-free overhead of complete replication (Figure 4), shared-memory speedup
+on 1-16 cores (Figure 5, which enforces a 0.5 scale floor so the graphs have
+enough parallelism) and distributed speedup on 64-1024 cores (Figure 6), each
+with and without per-task fault injection.
 
-* fault-free overhead of complete replication for every benchmark,
-* speedup of the shared-memory benchmarks on 1-16 cores,
-* speedup of the distributed benchmarks on 64-1024 cores (4-64 nodes),
-
-each with and without per-task fault injection.
+Note: unlike the pre-CLI version of this script (which ran hand-picked
+benchmark/core-count subsets), the CLI targets run the *full* figure grids —
+every benchmark of each group — so a cold run does a few times more
+simulation (about a minute at the default scale).  Results are cell-cached
+in ``.repro_cache/``, so a second run at the same scale recomputes nothing.
 
 Run with:  python examples/distributed_scaling.py [scale]
 """
@@ -17,38 +25,10 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.analysis.experiments import (
-    figure4_overheads,
-    figure5_scalability_shared,
-    figure6_scalability_distributed,
-)
-
-
-def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
-
-    print(f"Simulating replication overheads and scalability (scale {scale})...\n")
-
-    fig4 = figure4_overheads(scale=scale)
-    print(fig4.render())
-    print()
-
-    fig5 = figure5_scalability_shared(
-        scale=max(scale, 0.4), core_counts=(1, 4, 16), fault_rates=(0.0, 0.05),
-        benchmarks=("cholesky", "stream", "perlin"),
-    )
-    print(fig5.render())
-    print()
-
-    fig6 = figure6_scalability_distributed(
-        scale=scale, node_counts=(4, 16, 64), fault_rates=(0.0, 0.01),
-        benchmarks=("nbody", "linpack"),
-    )
-    print(fig6.render())
-    print()
-    print("Complete replication adds only a few percent of fault-free overhead and")
-    print("does not change the scalability shape — the paper's Takeaway-2.")
-
+from repro.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    main()
+    scale = sys.argv[1] if len(sys.argv) > 1 else "0.15"
+    raise SystemExit(
+        main(["run", "fig4", "fig5", "fig6", "--scale", scale, "--out", "results", "--verbose"])
+    )

@@ -1,16 +1,20 @@
-"""Multi-benchmark, multi-rate sweep on the parallel experiment engine.
+"""Multi-benchmark, multi-rate sweep — a thin wrapper over ``repro sweep``.
 
-Demonstrates the post-refactor experiment workflow:
+Equivalent to::
 
-* one :class:`~repro.analysis.runner.ExperimentEngine` shared by several
-  drivers (graphs are memoised per worker process, so e.g. the Figure 3 cells
-  and the scalability cells of one benchmark reuse the same generated graph);
-* the ``parallelism`` knob (defaults to one worker per CPU; every grid cell
-  is an independent, deterministically seeded spec, so results are identical
-  for any worker count);
-* the ``--reference`` escape hatch that re-runs everything on the scalar
-  reference implementations — handy for validating the vectorized fast path
-  on new machines (the output should be identical).
+    repro sweep --benchmarks <names> --policies app_fit \
+        --multipliers 2 5 10 20 --scale <scale> [--reference] [--parallelism N]
+
+Demonstrates the unified CLI workflow:
+
+* every (benchmark, policy, multiplier) combination is one independent,
+  deterministically seeded cell, fanned out over the process pool and cached
+  in the content-addressed results store — re-running an overlapping grid
+  recomputes only the new combinations;
+* the ``--reference`` escape hatch re-runs everything on the scalar reference
+  implementations, serially — handy for validating the vectorized fast path
+  on new machines (the output should be identical, and reference results are
+  cached under their own keys).
 
 Run, for example::
 
@@ -21,19 +25,14 @@ Run, for example::
 import argparse
 import os
 import sys
-import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.analysis.experiments import (  # noqa: E402
-    figure3_appfit,
-    figure5_scalability_shared,
-)
-from repro.analysis.runner import ExperimentEngine  # noqa: E402
-from repro.apps.registry import shared_memory_benchmark_names  # noqa: E402
+from repro.cli import main  # noqa: E402
 
 
-def main() -> None:
+def _translate(argv=None):
+    """Map this example's historical flags onto a ``repro sweep`` invocation."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--scale", type=float, default=0.1, help="problem scale (1.0 = Table I)")
     parser.add_argument(
@@ -51,13 +50,6 @@ def main() -> None:
         help="error-rate multipliers for the App_FIT sweep",
     )
     parser.add_argument(
-        "--fault-rates",
-        nargs="+",
-        type=float,
-        default=(0.0, 0.01, 0.05),
-        help="per-task crash probabilities for the scalability sweep",
-    )
-    parser.add_argument(
         "--parallelism",
         type=int,
         default=None,
@@ -68,38 +60,20 @@ def main() -> None:
         action="store_true",
         help="run the scalar reference path serially instead of the fast path",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
+
+    from repro.apps.registry import shared_memory_benchmark_names
 
     benchmarks = args.benchmarks or shared_memory_benchmark_names()
+    cli = ["sweep", "--benchmarks", *benchmarks, "--scale", str(args.scale)]
+    cli += ["--multipliers", *(str(m) for m in args.multipliers)]
+    cli += ["--out", "results", "--name", "parallel_sweep"]
+    if args.parallelism is not None:
+        cli += ["--parallelism", str(args.parallelism)]
     if args.reference:
-        engine = ExperimentEngine(parallelism=1, fast=False)
-    else:
-        engine = ExperimentEngine(parallelism=args.parallelism, fast=True)
-    mode = "reference (scalar, serial)" if args.reference else (
-        f"fast path, {engine.parallelism} worker(s)"
-    )
-    print(f"sweeping {len(benchmarks)} benchmark(s) at scale {args.scale} — {mode}\n")
-
-    t0 = time.time()
-    fig3 = figure3_appfit(
-        scale=args.scale,
-        multipliers=tuple(args.multipliers),
-        benchmarks=benchmarks,
-        engine=engine,
-    )
-    print(fig3.render())
-    print()
-
-    fig5 = figure5_scalability_shared(
-        scale=args.scale,
-        core_counts=(1, 2, 4, 8, 16),
-        fault_rates=tuple(args.fault_rates),
-        benchmarks=benchmarks,
-        engine=engine,
-    )
-    print(fig5.render())
-    print(f"\ntotal sweep time: {time.time() - t0:.2f} s")
+        cli.append("--reference")
+    return cli
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(_translate()))

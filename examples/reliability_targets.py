@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
 """Application-specific reliability targets (the paper's Figure 3 scenario).
 
-For each Table I benchmark, the user keeps today's application FIT as the
-target while error rates grow 10x (pessimistic exascale) or 5x (moderate);
-App_FIT then decides at runtime which tasks to replicate.  The script prints
-the per-benchmark replication percentages and the cross-benchmark averages —
-the reproduction of Figure 3 — plus a sweep of relaxed targets for one
-benchmark, showing how much replication a *less* strict target buys back.
+The Figure 3 reproduction itself is a thin wrapper over the unified CLI
+(``repro run fig3 --scale <scale> --out results/``): for each Table I
+benchmark, the user keeps today's application FIT as the target while error
+rates grow 10x (pessimistic exascale) or 5x (moderate); App_FIT then decides
+at runtime which tasks to replicate.  On top of that this example keeps one
+direct-API sweep: how much replication a *less* strict target buys back.
 
 Run with:  python examples/reliability_targets.py [scale]
 """
@@ -16,8 +16,8 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.analysis.experiments import figure3_appfit
 from repro.apps import create_benchmark
+from repro.cli import main
 from repro.core import AppFit, decide_for_graph
 from repro.core.estimator import ArgumentSizeEstimator
 from repro.faults import FailureModel, FitRateSpec
@@ -43,18 +43,20 @@ def relaxed_target_sweep(benchmark_name: str, scale: float) -> str:
     return table.render()
 
 
-def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
-
+def run(scale: float) -> int:
+    """Figure 3 through the CLI, then the relaxed-target sweep on the API."""
     print(f"Running App_FIT over all Table I benchmarks (scale {scale})...\n")
-    fig3 = figure3_appfit(scale=scale, multipliers=(10.0, 5.0))
-    print(fig3.render())
-    print()
+    status = main(["run", "fig3", "--scale", str(scale), "--out", "results"])
+    if status != 0:
+        return status
+    with open(os.path.join("results", "fig3_appfit.txt"), encoding="utf-8") as fh:
+        print(fh.read())
     print(relaxed_target_sweep("cholesky", scale))
     print()
     print("Takeaway: complete replication is not needed to absorb a 10x error-rate")
     print("increase, and relaxing the target reduces the replicated share further.")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(run(float(sys.argv[1]) if len(sys.argv) > 1 else 0.15))

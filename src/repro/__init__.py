@@ -17,13 +17,26 @@ The package provides:
   engine (:mod:`repro.analysis.runner`) with a vectorized fault-evaluation
   fast path (:mod:`repro.core.vectorized`, :mod:`repro.simulator.fastpath`);
   every driver takes ``parallelism=``/``fast=`` knobs and ``fast=False``
-  falls back to the scalar reference implementations.
+  falls back to the scalar reference implementations,
+* a content-addressed results store with cell-level caching and resume
+  (:mod:`repro.analysis.store`) behind every driver,
+* the unified ``repro`` CLI (:mod:`repro.cli`; also ``python -m repro``)
+  with ``run`` / ``sweep`` / ``report`` / ``cache`` subcommands.
+
+Configuration environment variables (``REPRO_PARALLELISM``,
+``REPRO_REFERENCE``, ``REPRO_BENCH_SCALE``, ``REPRO_CACHE_DIR``,
+``REPRO_CODE_VERSION``) are documented in one place: the Configuration
+section of the top-level README.
 
 Quickstart::
 
     from repro import quickstart_appfit
     report = quickstart_appfit()
     print(report)
+
+or, from a shell::
+
+    python -m repro run fig3 --scale 0.1 --out results/
 """
 
 from repro.core import (
@@ -37,7 +50,10 @@ from repro.core import (
 from repro.faults import FailureModel, FaultInjector, FitRateSpec, exascale_scenario
 from repro.runtime import TaskRuntime, TaskGraph
 
-__version__ = "1.0.0"
+#: Package version.  Note: the results store hashes this into every cache key
+#: (see :func:`repro.analysis.store.spec_key`), so bumping it invalidates all
+#: cached cells — run ``repro cache gc`` to reclaim the old generation.
+__version__ = "1.1.0"
 
 __all__ = [
     "AppFit",

@@ -1,4 +1,4 @@
-"""Metrics and experiment drivers that regenerate the paper's tables and figures.
+"""Metrics, experiment drivers, results store and targets for the paper's evaluation.
 
 The drivers in :mod:`repro.analysis.experiments` run on the parallel
 experiment engine of :mod:`repro.analysis.runner`: each figure is a grid of
@@ -6,10 +6,20 @@ independent :class:`~repro.analysis.runner.ExperimentSpec` cells that an
 :class:`~repro.analysis.runner.ExperimentEngine` executes serially or across
 a process pool, with generated task graphs memoised per worker.  Every driver
 accepts ``parallelism=`` and ``fast=`` knobs (``fast=False`` selects the
-scalar reference implementations; see ``examples/parallel_sweep.py``).
+scalar reference implementations; see ``examples/parallel_sweep.py``) or a
+pre-built ``engine=``.
+
+Since the results-store refactor, an engine can carry a
+:class:`~repro.analysis.store.ResultStore`: cell payloads are persisted as
+content-addressed JSON records (keyed by a hash of the spec plus the code
+version), so re-running any figure/table skips already-computed cells and
+interrupted sweeps resume mid-grid — see :mod:`repro.analysis.store` for the
+invariants and :mod:`repro.analysis.targets` for the named figure/table
+registry the ``repro`` CLI (:mod:`repro.cli`) exposes.
 """
 
 from repro.analysis.runner import (
+    CellProgress,
     ExperimentEngine,
     ExperimentResult,
     ExperimentSpec,
@@ -17,6 +27,7 @@ from repro.analysis.runner import (
     derive_seed,
     make_spec,
 )
+from repro.analysis.store import ResultStore, StoreRecord, code_version, spec_key
 from repro.analysis.metrics import (
     AggregateReplication,
     OverheadMeasurement,
@@ -33,6 +44,7 @@ from repro.analysis.experiments import (
     Table1Result,
     AblationPoliciesResult,
     RateSweepResult,
+    SweepResult,
     appfit_single_benchmark,
     ablation_policies,
     ablation_rate_sweep,
@@ -40,13 +52,16 @@ from repro.analysis.experiments import (
     figure4_overheads,
     figure5_scalability_shared,
     figure6_scalability_distributed,
+    sweep_policies,
     table1_benchmark_inventory,
 )
 from repro.analysis.report import PAPER_REFERENCE, qualitative_checks
+from repro.analysis.targets import TARGETS, Target, TargetOutput, resolve_targets
 
 __all__ = [
     "AblationPoliciesResult",
     "AggregateReplication",
+    "CellProgress",
     "ExperimentEngine",
     "ExperimentResult",
     "ExperimentRow",
@@ -56,13 +71,20 @@ __all__ = [
     "OverheadMeasurement",
     "PAPER_REFERENCE",
     "RateSweepResult",
+    "ResultStore",
     "ScalabilityCurve",
     "ScalabilityResult",
+    "StoreRecord",
+    "SweepResult",
+    "TARGETS",
     "Table1Result",
+    "Target",
+    "TargetOutput",
     "ablation_policies",
     "ablation_rate_sweep",
     "aggregate_replication",
     "appfit_single_benchmark",
+    "code_version",
     "configure_defaults",
     "derive_seed",
     "make_spec",
@@ -72,6 +94,9 @@ __all__ = [
     "figure6_scalability_distributed",
     "overhead_percent",
     "qualitative_checks",
+    "resolve_targets",
+    "spec_key",
     "speedup_series",
+    "sweep_policies",
     "table1_benchmark_inventory",
 ]

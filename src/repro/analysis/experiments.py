@@ -200,6 +200,7 @@ class Table1Result:
 
 @cell_kind("table1_row")
 def _table1_row(spec: ExperimentSpec) -> ExperimentRow:
+    """One Table I row: build the benchmark and report its inventory facts."""
     bench = benchmark_instance(spec.benchmark, spec.scale)
     info = bench.info()
     return {
@@ -280,6 +281,7 @@ class Figure3Result:
 
 @cell_kind("fig3_cell")
 def _fig3_cell(spec: ExperimentSpec) -> ExperimentRow:
+    """One Figure 3 cell: App_FIT on one benchmark at one rate multiplier."""
     rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
     multiplier: float = spec.param("multiplier")
     residual: float = spec.param("residual_fit_factor", 0.0)
@@ -381,6 +383,7 @@ class Figure4Result:
 
 @cell_kind("fig4_row")
 def _fig4_row(spec: ExperimentSpec) -> ExperimentRow:
+    """One Figure 4 row: simulate one benchmark bare and fully replicated."""
     cores_per_node: int = spec.param("cores_per_node", 16)
     bench = benchmark_instance(spec.benchmark, spec.scale)
     graph = bench.build_graph()
@@ -482,6 +485,7 @@ def _speedup_rows(
 
 @cell_kind("fig5_curve")
 def _fig5_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
+    """One Figure 5 curve: a core-count sweep at one fixed fault rate."""
     fault_rate: float = spec.param("fault_rate")
     core_counts: Sequence[int] = spec.param("core_counts")
     graph = benchmark_graph(spec.benchmark, spec.scale)
@@ -539,6 +543,7 @@ def figure5_scalability_shared(
 
 @cell_kind("fig6_curve")
 def _fig6_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
+    """One Figure 6 curve: a node-count sweep at one fixed fault rate."""
     fault_rate: float = spec.param("fault_rate")
     node_counts: Sequence[int] = spec.param("node_counts")
     cores_per_node: int = spec.param("cores_per_node", 16)
@@ -636,80 +641,130 @@ class AblationPoliciesResult:
         return table.render()
 
 
+def _unprotected_fit_fn(graph, estimator, scaled_spec, use_fast):
+    """A ``replicated_ids -> unprotected FIT`` function (vectorized when fast).
+
+    Shared by the policies ablation and ``repro sweep`` so both price the
+    unprotected remainder identically on either path.
+    """
+    if use_fast:
+        tasks = graph.tasks()
+        fits = estimate_total_fits(estimator, tasks).tolist()
+
+        def unprotected_fit_of(replicated_ids):
+            return sum(
+                fit for task, fit in zip(tasks, fits) if task.task_id not in replicated_ids
+            )
+
+        return unprotected_fit_of
+    return lambda replicated_ids: _unprotected_fit(graph, replicated_ids, scaled_spec)
+
+
+def _policy_decision(graph, policy_name, threshold, estimator, appfit_dec, seed):
+    """(replicated_ids, task_fraction, time_fraction) of one named policy.
+
+    The single dispatch shared by the policies ablation and ``repro sweep``:
+    the budget-bounded baselines (``top_fit``, ``random``) reuse App_FIT's
+    replica budget (``appfit_dec.task_fraction``), so comparisons isolate
+    *selection quality* from budget size.  ``appfit_dec`` may be ``None`` for
+    the policies that never consult it (``knapsack_oracle``, ``complete``).
+    """
+    if policy_name == "app_fit":
+        return appfit_dec.replicated_ids, appfit_dec.task_fraction, appfit_dec.time_fraction
+    if policy_name == "knapsack_oracle":
+        solution = KnapsackOracle(threshold, estimator).solve(graph.tasks())
+        return (
+            solution.replicate_ids,
+            solution.replication_task_fraction,
+            solution.replication_time_fraction,
+        )
+    if policy_name == "top_fit":
+        decided = decide_for_graph(
+            graph, TopFitReplication(appfit_dec.task_fraction, estimator)
+        )
+    elif policy_name == "random":
+        from repro.util.rng import RngStream
+
+        decided = decide_for_graph(
+            graph,
+            RandomReplication(appfit_dec.task_fraction, rng=RngStream(seed)),
+        )
+    elif policy_name == "complete":
+        decided = decide_for_graph(graph, CompleteReplication())
+    else:
+        raise KeyError(f"unknown sweep policy {policy_name!r}; known: {SWEEP_POLICIES}")
+    return decided.replicated_ids, decided.task_fraction, decided.time_fraction
+
+
+@cell_kind("ablation_policies_cell")
+def _ablation_policies_cell(spec: ExperimentSpec) -> List[ExperimentRow]:
+    """All five selection policies on one benchmark (one cached cell).
+
+    The policies share the App_FIT decision (its task fraction is the replica
+    budget of the FIT-oblivious baselines) and the per-task FIT estimates, so
+    the whole benchmark is one cell rather than five.
+    """
+    name = spec.benchmark
+    rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
+    multiplier: float = spec.param("multiplier")
+    use_fast = spec.fast
+    rows: List[ExperimentRow] = []
+
+    graph = benchmark_graph(name, spec.scale)
+    threshold = _appfit_threshold(graph, rate_spec, fast=use_fast)
+    scaled_spec = rate_spec.scaled(multiplier)
+    estimator = ArgumentSizeEstimator(scaled_spec)
+
+    appfit_dec = _appfit_decisions(graph, threshold, estimator, 0.0, use_fast)
+    unprotected_fit_of = _unprotected_fit_fn(graph, estimator, scaled_spec, use_fast)
+
+    for policy_name in ("app_fit", "knapsack_oracle", "random", "top_fit", "complete"):
+        replicated_ids, task_fraction, time_fraction = _policy_decision(
+            graph, policy_name, threshold, estimator, appfit_dec, spec.seed
+        )
+        unprotected = unprotected_fit_of(replicated_ids)
+        rows.append(
+            {
+                "benchmark": name,
+                "policy": policy_name,
+                "task_fraction": task_fraction,
+                "time_fraction": time_fraction,
+                "unprotected_fit": unprotected,
+                "threshold": threshold,
+                "meets_threshold": unprotected <= threshold * (1 + 1e-9),
+            }
+        )
+    return rows
+
+
 def ablation_policies(
     scale: float = 1.0,
     multiplier: float = 10.0,
     benchmarks: Sequence[str] = ("cholesky", "stream", "linpack"),
     rate_spec: Optional[FitRateSpec] = None,
     seed: int = 13,
+    engine: Optional[ExperimentEngine] = None,
+    parallelism: Optional[int] = None,
     fast: Optional[bool] = None,
 ) -> AblationPoliciesResult:
     """Compare App_FIT with the knapsack oracle and FIT-oblivious baselines."""
     spec = rate_spec if rate_spec is not None else FitRateSpec()
-    use_fast = default_fast() if fast is None else bool(fast)
-    result = AblationPoliciesResult()
-    for name in benchmarks:
-        graph = benchmark_graph(name, scale)
-        threshold = _appfit_threshold(graph, spec, fast=use_fast)
-        scaled_spec = spec.scaled(multiplier)
-        estimator = ArgumentSizeEstimator(scaled_spec)
-
-        appfit_dec = _appfit_decisions(graph, threshold, estimator, 0.0, use_fast)
-
-        oracle = KnapsackOracle(threshold, estimator)
-        oracle_sol = oracle.solve(graph.tasks())
-
-        fraction = appfit_dec.task_fraction
-        from repro.util.rng import RngStream
-
-        random_policy = RandomReplication(fraction, rng=RngStream(seed))
-        random_dec = decide_for_graph(graph, random_policy)
-
-        topfit = TopFitReplication(fraction, estimator)
-        topfit_dec = decide_for_graph(graph, topfit)
-
-        complete_dec = decide_for_graph(graph, CompleteReplication())
-
-        if use_fast:
-            tasks = graph.tasks()
-            fits = estimate_total_fits(estimator, tasks).tolist()
-
-            def unprotected_fit_of(replicated_ids):
-                return sum(
-                    fit
-                    for task, fit in zip(tasks, fits)
-                    if task.task_id not in replicated_ids
-                )
-
-        else:
-
-            def unprotected_fit_of(replicated_ids):
-                return _unprotected_fit(graph, replicated_ids, scaled_spec)
-
-        def add_row(policy_name, replicated_ids, task_fraction, time_fraction):
-            unprotected = unprotected_fit_of(replicated_ids)
-            result.rows.append(
-                {
-                    "benchmark": name,
-                    "policy": policy_name,
-                    "task_fraction": task_fraction,
-                    "time_fraction": time_fraction,
-                    "unprotected_fit": unprotected,
-                    "threshold": threshold,
-                    "meets_threshold": unprotected <= threshold * (1 + 1e-9),
-                }
-            )
-
-        add_row("app_fit", appfit_dec.replicated_ids, appfit_dec.task_fraction, appfit_dec.time_fraction)
-        add_row(
-            "knapsack_oracle",
-            oracle_sol.replicate_ids,
-            oracle_sol.replication_task_fraction,
-            oracle_sol.replication_time_fraction,
+    eng = _engine(engine, parallelism, fast)
+    specs = [
+        make_spec(
+            "ablation_policies_cell",
+            name,
+            scale,
+            seed=seed,
+            fast=eng.fast,
+            multiplier=multiplier,
+            rate_spec=spec,
         )
-        add_row("random", random_dec.replicated_ids, random_dec.task_fraction, random_dec.time_fraction)
-        add_row("top_fit", topfit_dec.replicated_ids, topfit_dec.task_fraction, topfit_dec.time_fraction)
-        add_row("complete", complete_dec.replicated_ids, complete_dec.task_fraction, complete_dec.time_fraction)
+        for name in benchmarks
+    ]
+    result = AblationPoliciesResult()
+    for rows in eng.map(specs):
+        result.rows.extend(rows)
     return result
 
 
@@ -738,6 +793,7 @@ class RateSweepResult:
 
 @cell_kind("rate_sweep_cell")
 def _rate_sweep_cell(spec: ExperimentSpec) -> ExperimentRow:
+    """One rate-sweep cell: App_FIT demand at one (multiplier, residual) point."""
     rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
     multiplier: float = spec.param("multiplier")
     residual: float = spec.param("residual_fit_factor", 0.0)
@@ -780,6 +836,140 @@ def ablation_rate_sweep(
         for mult in multipliers
     ]
     return RateSweepResult(benchmark=benchmark, rows=eng.map(specs))
+
+
+# ---------------------------------------------------------------------------------
+# Arbitrary benchmark x policy x rate sweeps (the `repro sweep` command)
+# ---------------------------------------------------------------------------------
+
+#: Replication-selection policies `repro sweep` can grid over.
+SWEEP_POLICIES: Tuple[str, ...] = (
+    "app_fit",
+    "knapsack_oracle",
+    "top_fit",
+    "random",
+    "complete",
+)
+
+
+@dataclass
+class SweepResult:
+    """An arbitrary benchmark x policy x rate-multiplier grid."""
+
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Plain-text sweep table (one row per benchmark/policy/multiplier)."""
+        table = TextTable(
+            [
+                "benchmark",
+                "policy",
+                "rate",
+                "% tasks replicated",
+                "% time replicated",
+                "unprotected FIT",
+                "meets threshold",
+            ],
+            title="Sweep — replication policies across benchmarks and error rates",
+        )
+        for row in sorted(
+            self.rows, key=lambda r: (r["benchmark"], r["policy"], r["multiplier"])
+        ):
+            table.add_row(
+                row["benchmark"],
+                row["policy"],
+                f"{row['multiplier']:g}x",
+                100.0 * row["task_fraction"],
+                100.0 * row["time_fraction"],
+                row["unprotected_fit"],
+                row["meets_threshold"],
+            )
+        return table.render()
+
+
+@cell_kind("policy_cell")
+def _policy_cell(spec: ExperimentSpec) -> ExperimentRow:
+    """One sweep cell: a named policy on one benchmark at one rate multiplier.
+
+    The budget-bounded baselines (``top_fit``, ``random``) reuse App_FIT's
+    replica budget, so the comparison isolates *selection quality* from
+    budget size — the same framing as the policies ablation.
+    """
+    policy_name: str = spec.param("policy")
+    multiplier: float = spec.param("multiplier")
+    rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
+    residual: float = spec.param("residual_fit_factor", 0.0)
+
+    graph = benchmark_graph(spec.benchmark, spec.scale)
+    threshold = _appfit_threshold(graph, rate_spec, fast=spec.fast)
+    scaled_spec = rate_spec.scaled(multiplier)
+    estimator = ArgumentSizeEstimator(scaled_spec)
+
+    # complete/knapsack_oracle never consult the App_FIT decision — skip the
+    # whole-graph sweep for those cells.
+    appfit_dec = (
+        _appfit_decisions(graph, threshold, estimator, residual, spec.fast)
+        if policy_name in ("app_fit", "top_fit", "random")
+        else None
+    )
+    replicated_ids, task_fraction, time_fraction = _policy_decision(
+        graph, policy_name, threshold, estimator, appfit_dec, spec.seed
+    )
+    unprotected = _unprotected_fit_fn(graph, estimator, scaled_spec, spec.fast)(
+        set(replicated_ids)
+    )
+    return {
+        "benchmark": spec.benchmark,
+        "policy": policy_name,
+        "multiplier": multiplier,
+        "task_fraction": task_fraction,
+        "time_fraction": time_fraction,
+        "unprotected_fit": unprotected,
+        "threshold": threshold,
+        "meets_threshold": unprotected <= threshold * (1 + 1e-9),
+    }
+
+
+def sweep_policies(
+    benchmarks: Sequence[str],
+    policies: Sequence[str] = ("app_fit",),
+    multipliers: Sequence[float] = (10.0,),
+    scale: float = 1.0,
+    seed: int = 13,
+    rate_spec: Optional[FitRateSpec] = None,
+    residual_fit_factor: float = 0.0,
+    engine: Optional[ExperimentEngine] = None,
+    parallelism: Optional[int] = None,
+    fast: Optional[bool] = None,
+) -> SweepResult:
+    """Run an arbitrary benchmark x policy x rate grid on the engine.
+
+    Each (benchmark, policy, multiplier) combination is one independent
+    cached cell, so repeated sweeps over overlapping grids recompute only
+    the new combinations.
+    """
+    spec = rate_spec if rate_spec is not None else FitRateSpec()
+    for policy in policies:
+        if policy not in SWEEP_POLICIES:
+            raise KeyError(f"unknown sweep policy {policy!r}; known: {SWEEP_POLICIES}")
+    eng = _engine(engine, parallelism, fast)
+    specs = [
+        make_spec(
+            "policy_cell",
+            name,
+            scale,
+            seed=seed,
+            fast=eng.fast,
+            policy=policy,
+            multiplier=mult,
+            rate_spec=spec,
+            residual_fit_factor=residual_fit_factor,
+        )
+        for name in benchmarks
+        for policy in policies
+        for mult in multipliers
+    ]
+    return SweepResult(rows=eng.map(specs))
 
 
 # ---------------------------------------------------------------------------------

@@ -26,20 +26,33 @@ Key properties:
   harness exposes this as the ``--reference`` escape hatch and the
   ``REPRO_REFERENCE=1`` environment variable; ``REPRO_PARALLELISM`` overrides
   the default worker count.
+* **Cell-level caching** — because a cell is a pure function of its spec, an
+  engine given a :class:`~repro.analysis.store.ResultStore` consults it
+  before dispatching: cached cells are returned without computation (and
+  without touching the pool), freshly computed ones are persisted, so
+  re-runs are incremental and interrupted grids resume where they stopped.
+  ``force=True`` recomputes (and overwrites) everything; a ``progress``
+  callback observes every cell with its hit/miss disposition.  See
+  :mod:`repro.analysis.store` for the content-addressing scheme and the
+  ``repro cache`` CLI for maintenance.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import create_benchmark
 from repro.apps.base import Benchmark
 from repro.runtime.graph import TaskGraph
 from repro.simulator.fastpath import SimGraphCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us)
+    from repro.analysis.store import ResultStore
 
 # ---------------------------------------------------------------------------------
 # defaults / configuration
@@ -221,32 +234,116 @@ def run_cell(spec: ExperimentSpec) -> Any:
     return func(spec)
 
 
+@dataclass
+class CellProgress:
+    """One engine progress event: a cell finished (from cache or computed)."""
+
+    spec: ExperimentSpec
+    index: int
+    total: int
+    cached: bool
+    elapsed_s: Optional[float] = None
+
+
+#: Progress callback signature: called once per cell, in completion order.
+ProgressCallback = Callable[[CellProgress], None]
+
+
 class ExperimentEngine:
-    """Executes grids of :class:`ExperimentSpec` cells, serially or in parallel."""
+    """Executes grids of :class:`ExperimentSpec` cells, serially or in parallel.
+
+    When constructed with a :class:`~repro.analysis.store.ResultStore`, the
+    engine becomes incremental: before dispatching a grid it partitions the
+    specs into cache hits (returned as-is, zero computation) and misses (run
+    serially or over the process pool, then persisted).  The cumulative
+    ``cells_computed`` / ``cells_cached`` counters and the per-call
+    ``last_stats`` expose the split — the warm-cache tests pin
+    ``cells_computed == 0`` on a second run.
+    """
 
     def __init__(
         self,
         parallelism: Optional[int] = None,
         fast: Optional[bool] = None,
+        store: Optional["ResultStore"] = None,
+        force: bool = False,
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
         self.parallelism = (
             default_parallelism() if parallelism is None else max(1, int(parallelism))
         )
         self.fast = default_fast() if fast is None else bool(fast)
+        self.store = store
+        self.force = bool(force)
+        self.progress = progress
+        #: Cumulative counts since construction (all :meth:`map` calls).
+        self.cells_computed = 0
+        self.cells_cached = 0
+        #: The (computed, cached) split of the most recent :meth:`map` call.
+        self.last_stats: Tuple[int, int] = (0, 0)
 
     def map(self, specs: Sequence[ExperimentSpec]) -> List[Any]:
         """Run every cell and return their payloads in spec order.
 
-        With ``parallelism > 1`` the cells are distributed over a process
-        pool; results are re-assembled in submission order, so callers see the
-        same sequence either way.
+        With ``parallelism > 1`` the cache misses are distributed over a
+        process pool; results are re-assembled in submission order, so
+        callers see the same sequence for any parallelism and any cache
+        temperature.
         """
         specs = list(specs)
-        workers = min(self.parallelism, len(specs))
+        total = len(specs)
+        payloads: List[Any] = [None] * total
+
+        # Partition into cache hits and cells still to compute.
+        missing: List[int] = []
+        for i, spec in enumerate(specs):
+            record = None
+            if self.store is not None and not self.force:
+                record = self.store.get(spec)
+            if record is not None:
+                payloads[i] = record.payload
+                self.cells_cached += 1
+                self._notify(CellProgress(spec, i, total, cached=True))
+            else:
+                missing.append(i)
+
+        # Compute the misses (serially or over the pool) and persist them.
+        workers = min(self.parallelism, len(missing))
         if workers <= 1:
-            return [run_cell(spec) for spec in specs]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_cell, specs))
+            for i in missing:
+                t0 = time.perf_counter()
+                payloads[i] = run_cell(specs[i])
+                self._record(specs[i], payloads[i], i, total, time.perf_counter() - t0)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # Per-cell wall time is not observable from here (cells overlap
+                # across workers), so records honestly carry elapsed_s=None
+                # rather than the gap between result arrivals.
+                for i, payload in zip(missing, pool.map(run_cell, [specs[i] for i in missing])):
+                    payloads[i] = payload
+                    self._record(specs[i], payload, i, total, None)
+
+        self.last_stats = (len(missing), total - len(missing))
+        return payloads
+
+    def _record(
+        self,
+        spec: ExperimentSpec,
+        payload: Any,
+        index: int,
+        total: int,
+        elapsed: Optional[float],
+    ) -> None:
+        """Persist one computed cell and fire the progress callback."""
+        if self.store is not None:
+            self.store.put(spec, payload, elapsed_s=elapsed)
+        self.cells_computed += 1
+        self._notify(CellProgress(spec, index, total, cached=False, elapsed_s=elapsed))
+
+    def _notify(self, event: CellProgress) -> None:
+        """Deliver one progress event to the callback, if any."""
+        if self.progress is not None:
+            self.progress(event)
 
     def run_grid(self, specs: Sequence[ExperimentSpec]) -> List["ExperimentResult"]:
         """Like :meth:`map`, but pairs every payload with its spec."""

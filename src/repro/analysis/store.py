@@ -1,0 +1,371 @@
+"""Content-addressed results store: cell-level caching for experiment grids.
+
+Every paper figure/table is a grid of independent
+:class:`~repro.analysis.runner.ExperimentSpec` cells, and a cell's payload is
+a pure function of its spec (see the determinism notes in
+:mod:`repro.analysis.runner`).  That makes cell results *content-addressable*:
+this module keys each record by the SHA-256 of a canonical JSON encoding of
+the spec — kind, benchmark, scale, seed, fast/reference flag, and every
+kind-specific parameter — plus the code version, and persists the payload as
+one small JSON file under the cache root.
+
+Consequences the rest of the system builds on:
+
+* **Cache hits skip computation** — re-running any figure/table with a warm
+  cache does zero cell computations (the :class:`~repro.analysis.runner.
+  ExperimentEngine` consults the store before dispatching cells, unless
+  ``force=True``).
+* **Resume mid-grid** — an interrupted sweep leaves its finished cells behind;
+  the next invocation recomputes only the missing ones.
+* **Bit-reproducibility** — payloads are plain JSON values (dicts/lists of
+  numbers, strings, bools), and Python's JSON round-trip is exact for floats,
+  so a cached result is bit-identical to a fresh one for the same spec.
+* **Safe invalidation** — records embed the code version used to produce
+  them; a version bump makes old keys unreachable, and ``repro cache gc``
+  reclaims them.  Corrupted records (truncated writes, bad JSON) are treated
+  as misses and quarantined (deleted) on first read.
+
+The cache root defaults to ``.repro_cache/`` in the current directory and can
+be overridden with the ``REPRO_CACHE_DIR`` environment variable or the CLI's
+``--cache-dir`` flag (see the Configuration section of the README).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.analysis.runner import ExperimentSpec
+
+#: Bump when the record layout changes (distinct from the code version, which
+#: tracks the *semantics* of cell functions).
+RECORD_FORMAT: int = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV: str = "REPRO_CACHE_DIR"
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR: str = ".repro_cache"
+
+
+def code_version() -> str:
+    """The code version stamped into (and hashed into the key of) records.
+
+    Defaults to the package version; ``REPRO_CODE_VERSION`` overrides it so
+    development builds can segregate their caches without editing source.
+    """
+    env = os.environ.get("REPRO_CODE_VERSION")
+    if env:
+        return env
+    from repro import __version__
+
+    return __version__
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to canonical JSON-encodable data, deterministically.
+
+    Handles the value types that appear in spec parameters: plain scalars,
+    tuples/lists, dicts, and (frozen) dataclasses such as
+    :class:`~repro.faults.rates.FitRateSpec`, which are tagged with their
+    class name so different spec types can never collide.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: _canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+        return {"__dataclass__": type(obj).__name__, **fields}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(f"spec parameter of unsupported type {type(obj).__name__}: {obj!r}")
+
+
+def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
+    """The canonical JSON-encodable form of a spec (what gets hashed)."""
+    return {
+        "kind": spec.kind,
+        "benchmark": spec.benchmark,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "fast": spec.fast,
+        "params": _canonical(dict(spec.params)),
+    }
+
+
+def spec_key(spec: ExperimentSpec, version: Optional[str] = None) -> str:
+    """Content hash of a spec: SHA-256 hex over canonical JSON + code version.
+
+    Stable across processes, platforms, and Python hash randomisation — the
+    encoding is explicit canonical JSON with sorted keys, never ``repr`` or
+    ``hash``.  Two specs share a key iff they are the same experiment run by
+    the same code, which is exactly when their payloads are interchangeable.
+    """
+    payload = {
+        "format": RECORD_FORMAT,
+        "code_version": version if version is not None else code_version(),
+        "spec": spec_to_dict(spec),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreRecord:
+    """One persisted cell: its key, spec snapshot, payload, and provenance."""
+
+    key: str
+    spec: Dict[str, Any]
+    payload: Any
+    code_version: str
+    created_at: float
+    elapsed_s: Optional[float] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        """The JSON document written to disk."""
+        return {
+            "format": RECORD_FORMAT,
+            "key": self.key,
+            "spec": self.spec,
+            "payload": self.payload,
+            "code_version": self.code_version,
+            "created_at": self.created_at,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class ResultStore:
+    """A directory of content-addressed cell records.
+
+    Records live two levels deep (``<root>/<key[:2]>/<key>.json``) so even
+    very large sweeps keep directory listings manageable.  Writes go through
+    a temp file + ``os.replace`` so interrupted runs never leave a partially
+    written record behind — at worst the temp file is orphaned and ``gc``
+    collects it.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = os.path.abspath(root)
+
+    # -- paths ----------------------------------------------------------------
+
+    def path_for(self, key: str) -> str:
+        """The record file of a key."""
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def key(self, spec: ExperimentSpec) -> str:
+        """The content hash of a spec (see :func:`spec_key`)."""
+        return spec_key(spec)
+
+    # -- read -----------------------------------------------------------------
+
+    def get(self, spec: ExperimentSpec) -> Optional[StoreRecord]:
+        """The record of a spec, or ``None`` on miss.
+
+        A record that cannot be parsed, or whose key field disagrees with its
+        file name (a torn or tampered write), is quarantined: deleted and
+        reported as a miss, so the cell is simply recomputed.
+        """
+        key = self.key(spec)
+        record = self._load(self.path_for(key))
+        if record is None or record.key != key:
+            if record is not None:
+                self._quarantine(self.path_for(key))
+            return None
+        return record
+
+    def contains(self, spec: ExperimentSpec) -> bool:
+        """Whether a valid record exists for a spec."""
+        return self.get(spec) is not None
+
+    def _load(self, path: str) -> Optional[StoreRecord]:
+        """Parse one record file; malformed content is quarantined.
+
+        Only *content* problems (bad JSON, missing fields) delete the file; a
+        transient I/O error (fd exhaustion, a momentary lock) is reported as a
+        miss but leaves the record on disk for the next read.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except ValueError:  # bad JSON — the record itself is broken
+            self._quarantine(path)
+            return None
+        except OSError:  # transient read failure — the record may be fine
+            return None
+        try:
+            return StoreRecord(
+                key=doc["key"],
+                spec=doc["spec"],
+                payload=doc["payload"],
+                code_version=doc["code_version"],
+                created_at=doc["created_at"],
+                elapsed_s=doc.get("elapsed_s"),
+            )
+        except (KeyError, TypeError):  # parseable JSON, wrong shape
+            self._quarantine(path)
+            return None
+
+    @staticmethod
+    def _quarantine(path: str) -> None:
+        """Best-effort removal of a record file that must not be served again."""
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # -- write ----------------------------------------------------------------
+
+    def put(
+        self, spec: ExperimentSpec, payload: Any, elapsed_s: Optional[float] = None
+    ) -> StoreRecord:
+        """Persist one computed cell and return its record."""
+        key = self.key(spec)
+        record = StoreRecord(
+            key=key,
+            spec=spec_to_dict(spec),
+            payload=payload,
+            code_version=code_version(),
+            created_at=time.time(),
+            elapsed_s=elapsed_s,
+        )
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record.to_json(), fh)
+        os.replace(tmp, path)
+        return record
+
+    # -- maintenance -----------------------------------------------------------
+
+    def records(self) -> Iterator[StoreRecord]:
+        """Iterate every valid record in the store (corrupt ones are skipped)."""
+        for path in self._record_paths():
+            record = self._load(path)
+            if record is not None:
+                yield record
+
+    def _record_paths(self) -> List[str]:
+        """Every record file currently on disk, in stable (sharded) order."""
+        paths: List[str] = []
+        if not os.path.isdir(self.root):
+            return paths
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    paths.append(os.path.join(shard_dir, name))
+        return paths
+
+    def ls(self) -> List[Dict[str, Any]]:
+        """One summary dict per record (for ``repro cache ls``)."""
+        rows: List[Dict[str, Any]] = []
+        for record in self.records():
+            spec = record.spec
+            rows.append(
+                {
+                    "key": record.key[:12],
+                    "kind": spec.get("kind", "?"),
+                    "benchmark": spec.get("benchmark", "?"),
+                    "scale": spec.get("scale", "?"),
+                    "seed": spec.get("seed", "?"),
+                    "fast": spec.get("fast", "?"),
+                    "code_version": record.code_version,
+                    "created_at": record.created_at,
+                }
+            )
+        return rows
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate store statistics (record count, bytes, versions)."""
+        paths = self._record_paths()
+        n_bytes = 0
+        versions: Dict[str, int] = {}
+        n_records = 0
+        for path in paths:
+            try:
+                n_bytes += os.path.getsize(path)
+            except OSError:
+                continue
+            record = self._load(path)
+            if record is None:
+                continue
+            n_records += 1
+            versions[record.code_version] = versions.get(record.code_version, 0) + 1
+        return {
+            "root": self.root,
+            "records": n_records,
+            "bytes": n_bytes,
+            "code_versions": versions,
+        }
+
+    def gc(self) -> Dict[str, int]:
+        """Drop stale records: wrong code version, corrupt files, orphan temps.
+
+        Returns counts of what was removed.  Records written by the *current*
+        code version are untouched, so ``gc`` after an upgrade reclaims
+        exactly the unreachable generation.
+        """
+        current = code_version()
+        removed_stale = 0
+        removed_corrupt = 0
+        removed_tmp = 0
+        if not os.path.isdir(self.root):
+            return {"stale": 0, "corrupt": 0, "tmp": 0}
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                path = os.path.join(shard_dir, name)
+                if ".tmp." in name:
+                    self._quarantine(path)
+                    removed_tmp += 1
+                    continue
+                if not name.endswith(".json"):
+                    continue
+                record = self._load(path)
+                if record is None:
+                    # _load only deletes on *content* corruption; a transient
+                    # read error leaves the file behind and is not a removal.
+                    if not os.path.exists(path):
+                        removed_corrupt += 1
+                    continue
+                if record.code_version != current:
+                    self._quarantine(path)
+                    removed_stale += 1
+            if not os.listdir(shard_dir):
+                try:
+                    os.rmdir(shard_dir)
+                except OSError:
+                    pass
+        return {"stale": removed_stale, "corrupt": removed_corrupt, "tmp": removed_tmp}
+
+    def clear(self) -> int:
+        """Delete every record (the root directory itself is kept). Returns count."""
+        removed = 0
+        for path in self._record_paths():
+            self._quarantine(path)
+            removed += 1
+        if os.path.isdir(self.root):
+            for shard in os.listdir(self.root):
+                shard_dir = os.path.join(self.root, shard)
+                if os.path.isdir(shard_dir) and not os.listdir(shard_dir):
+                    try:
+                        os.rmdir(shard_dir)
+                    except OSError:
+                        pass
+        return removed

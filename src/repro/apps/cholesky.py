@@ -48,17 +48,21 @@ class CholeskyBenchmark(Benchmark):
 
     @property
     def input_bytes(self) -> float:
+        """Total input footprint in bytes (Table I's "input MiB" column)."""
         return float(self.matrix_size) ** 2 * DOUBLE
 
     @property
     def problem_label(self) -> str:
+        """Human-readable problem-size label (Table I's "problem" column)."""
         return f"Matrix size {self.matrix_size}x{self.matrix_size} doubles"
 
     @property
     def block_label(self) -> str:
+        """Human-readable block/granularity label (Table I's "block" column)."""
         return f"{self.block_size}x{self.block_size}"
 
     def _build(self, runtime: TaskRuntime) -> None:
+        """Submit the right-looking tiled factorisation (potrf/trsm/syrk/gemm)."""
         nb = self.n_blocks
         bs = self.block_size
         block_bytes = float(bs * bs * DOUBLE)

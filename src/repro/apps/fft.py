@@ -54,14 +54,17 @@ class FFTBenchmark(Benchmark):
 
     @property
     def input_bytes(self) -> float:
+        """Total input footprint in bytes (Table I's "input MiB" column)."""
         return float(self.matrix_size) ** 2 * COMPLEX_DOUBLE
 
     @property
     def problem_label(self) -> str:
+        """Human-readable problem-size label (Table I's "problem" column)."""
         return f"Matrix size {self.matrix_size}x{self.matrix_size} complex doubles"
 
     @property
     def block_label(self) -> str:
+        """Human-readable block/granularity label (Table I's "block" column)."""
         return f"{self.matrix_size}x{self.panel_rows}"
 
     @property
@@ -70,6 +73,7 @@ class FFTBenchmark(Benchmark):
         return float(self.matrix_size) * self.panel_rows * COMPLEX_DOUBLE
 
     def _build(self, runtime: TaskRuntime) -> None:
+        """Submit the staged blocked FFT: butterfly stages with transposes between."""
         n = self.n_panels
         panel_bytes = self.panel_bytes
         tile_bytes = panel_bytes / n

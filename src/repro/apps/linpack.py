@@ -70,17 +70,21 @@ class LinpackBenchmark(Benchmark):
 
     @property
     def input_bytes(self) -> float:
+        """Total input footprint in bytes (Table I's "input MiB" column)."""
         return float(self.matrix_size) ** 2 * DOUBLE
 
     @property
     def problem_label(self) -> str:
+        """Human-readable problem-size label (Table I's "problem" column)."""
         return f"Matrix size {self.matrix_size} doubles"
 
     @property
     def block_label(self) -> str:
+        """Human-readable block/granularity label (Table I's "block" column)."""
         return f"{self.block_size}, {self.mapping.grid_rows}x{self.mapping.grid_cols} grid"
 
     def _build(self, runtime: TaskRuntime) -> None:
+        """Submit the blocked LU sweep: panel factor, broadcast, trailing updates."""
         n = self.matrix_size
         bs = self.block_size
         n_panels = self.n_panels

@@ -58,18 +58,22 @@ class MatmulBenchmark(Benchmark):
 
     @property
     def input_bytes(self) -> float:
+        """Total input footprint in bytes (Table I's "input MiB" column)."""
         # A and B are inputs; C is the output.
         return 2.0 * float(self.matrix_size) ** 2 * DOUBLE
 
     @property
     def problem_label(self) -> str:
+        """Human-readable problem-size label (Table I's "problem" column)."""
         return f"Matrix size {self.matrix_size}x{self.matrix_size} doubles"
 
     @property
     def block_label(self) -> str:
+        """Human-readable block/granularity label (Table I's "block" column)."""
         return f"{self.block_size}x{self.block_size}"
 
     def _build(self, runtime: TaskRuntime) -> None:
+        """Submit the blocked matrix-multiply iterations plus result gathers."""
         nb = self.n_blocks
         bs = self.block_size
         block_bytes = float(bs * bs * DOUBLE)

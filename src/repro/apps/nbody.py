@@ -59,17 +59,21 @@ class NbodyBenchmark(Benchmark):
 
     @property
     def input_bytes(self) -> float:
+        """Total input footprint in bytes (Table I's "input MiB" column)."""
         return float(self.n_bodies) * BODY_BYTES
 
     @property
     def problem_label(self) -> str:
+        """Human-readable problem-size label (Table I's "problem" column)."""
         return f"Array size {self.n_bodies} bodies"
 
     @property
     def block_label(self) -> str:
+        """Human-readable block/granularity label (Table I's "block" column)."""
         return f"{self.block_bodies} bodies per block ({self.n_nodes} nodes)"
 
     def _build(self, runtime: TaskRuntime) -> None:
+        """Submit the timestep loop: all-pairs force tasks, then position updates."""
         nb = self.n_body_blocks
         block_bytes = float(self.block_bodies * BODY_BYTES)
         partial_force_bytes = float(self.block_bodies * 3 * 8)

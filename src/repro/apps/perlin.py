@@ -57,17 +57,21 @@ class PerlinNoiseBenchmark(Benchmark):
 
     @property
     def input_bytes(self) -> float:
+        """Total input footprint in bytes (Table I's "input MiB" column)."""
         return float(self.n_pixels) * PIXEL_BYTES
 
     @property
     def problem_label(self) -> str:
+        """Human-readable problem-size label (Table I's "problem" column)."""
         return f"Array of pixels with size of {self.n_pixels}"
 
     @property
     def block_label(self) -> str:
+        """Human-readable block/granularity label (Table I's "block" column)."""
         return f"{self.block_size}"
 
     def _build(self, runtime: TaskRuntime) -> None:
+        """Submit per-frame setup tasks followed by independent noise blocks."""
         block_bytes = float(self.block_size * PIXEL_BYTES)
         buffer_handle = runtime.register_region("pixels", self.input_bytes)
         gradient_handle = runtime.register_region("gradients", 256 * 2 * 8)

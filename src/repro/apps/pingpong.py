@@ -54,18 +54,22 @@ class PingpongBenchmark(Benchmark):
 
     @property
     def input_bytes(self) -> float:
+        """Total input footprint in bytes (Table I's "input MiB" column)."""
         # One array per pair of nodes.
         return (self.n_nodes / 2) * self.array_elements * DOUBLE
 
     @property
     def problem_label(self) -> str:
+        """Human-readable problem-size label (Table I's "problem" column)."""
         return f"Array size {self.array_elements} doubles"
 
     @property
     def block_label(self) -> str:
+        """Human-readable block/granularity label (Table I's "block" column)."""
         return f"{self.block_elements}"
 
     def _build(self, runtime: TaskRuntime) -> None:
+        """Submit alternating ping/pong compute tasks between node pairs."""
         block_bytes = float(self.block_elements * DOUBLE)
         n_pairs = self.n_nodes // 2
         # Each pair ping-pongs a subset of the blocks to keep the task count in

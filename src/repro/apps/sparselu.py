@@ -70,10 +70,12 @@ class SparseLUBenchmark(Benchmark):
 
     @property
     def problem_label(self) -> str:
+        """Human-readable problem-size label (Table I's "problem" column)."""
         return f"Matrix size {self.matrix_size}x{self.matrix_size} doubles"
 
     @property
     def block_label(self) -> str:
+        """Human-readable block/granularity label (Table I's "block" column)."""
         return f"{self.block_size}x{self.block_size}"
 
     # -- structure ----------------------------------------------------------------------
@@ -92,6 +94,7 @@ class SparseLUBenchmark(Benchmark):
         return pattern
 
     def _build(self, runtime: TaskRuntime) -> None:
+        """Submit the sparse LU sweep (lu0/fwd/bdiv/bmod over allocated blocks)."""
         nb = self.n_blocks
         bs = self.block_size
         block_bytes = float(bs * bs * DOUBLE)

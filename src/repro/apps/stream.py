@@ -52,17 +52,21 @@ class StreamBenchmark(Benchmark):
 
     @property
     def input_bytes(self) -> float:
+        """Total input footprint in bytes (Table I's "input MiB" column)."""
         return 3.0 * self.array_elements * DOUBLE
 
     @property
     def problem_label(self) -> str:
+        """Human-readable problem-size label (Table I's "problem" column)."""
         return f"Array size 2048x2048 (doubles), {self.array_elements} elements per array"
 
     @property
     def block_label(self) -> str:
+        """Human-readable block/granularity label (Table I's "block" column)."""
         return f"{self.block_elements}"
 
     def _build(self, runtime: TaskRuntime) -> None:
+        """Submit the STREAM copy/scale/add/triad kernels over blocked arrays."""
         block_bytes = float(self.block_elements * DOUBLE)
         arrays = {
             name: runtime.register_region(name, self.array_elements * DOUBLE)

@@ -1,0 +1,480 @@
+"""The unified ``repro`` command-line interface.
+
+One entry point replaces the per-example argparse copies::
+
+    repro run fig3 fig5            # compute (cache-aware) + write artifacts
+    repro run all --scale 0.1      # every figure/table at a reduced scale
+    repro sweep --benchmarks cholesky fft --policies app_fit top_fit
+    repro report fig3              # re-render artifacts from stored records
+    repro cache ls|stats|gc|clear  # inspect / maintain the results store
+    repro targets                  # list runnable targets
+
+Installed as a ``repro`` console script by ``setup.py`` and also runnable as
+``python -m repro``.  Every run/sweep/report invocation shares the same knobs:
+``--scale``, ``--seed``, ``--parallelism`` (or ``REPRO_PARALLELISM``),
+``--reference`` (scalar reference path, serial; or ``REPRO_REFERENCE=1``),
+``--out`` (artifact directory), ``--cache-dir`` (or ``REPRO_CACHE_DIR``),
+``--force`` (recompute cached cells) and ``--no-cache``.
+
+Artifacts: each target writes ``<artifact>.txt`` (byte-identical to the
+benchmark harness's ``benchmarks/results/*.txt`` files), ``<artifact>.json``
+(structured rows plus provenance) and ``<artifact>.csv`` (flat rows).
+Computation is cell-cached through :mod:`repro.analysis.store`, so a second
+``repro run fig5`` with a warm cache does zero cell computations and an
+interrupted sweep resumes where it stopped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.runner import CellProgress, ExperimentEngine
+from repro.analysis.store import ResultStore, code_version
+from repro.analysis.targets import TARGETS, Target, TargetOutput, resolve_targets
+
+#: Default artifact directory.  Deliberately NOT ``benchmarks/results`` — the
+#: committed goldens live there, and a casual `repro run fig3` (default scale
+#: 1.0) must not overwrite them; regenerating the goldens is an explicit
+#: ``repro run all --scale 0.2 --out benchmarks/results``.
+DEFAULT_OUT_DIR = "results"
+
+
+class MissingRecordError(RuntimeError):
+    """Raised by ``repro report --strict`` when a cell is not in the cache."""
+
+
+class _StrictStore(ResultStore):
+    """A store view that refuses to compute: every miss is an error."""
+
+    def __init__(self, inner: ResultStore) -> None:
+        super().__init__(inner.root)
+
+    def get(self, spec):
+        """Like :meth:`ResultStore.get`, but a miss raises instead of returning None."""
+        record = super().get(spec)
+        if record is None:
+            raise MissingRecordError(
+                f"cell not in cache: kind={spec.kind} benchmark={spec.benchmark} "
+                f"scale={spec.scale} seed={spec.seed} fast={spec.fast} "
+                f"(run `repro run` first, or drop --strict)"
+            )
+        return record
+
+
+# ---------------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------------
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """The run/sweep/report knobs shared by every computing subcommand."""
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="problem scale (1.0 = the paper's Table I sizes; default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed (default 0)")
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="worker processes (default: one per CPU, or REPRO_PARALLELISM)",
+    )
+    parser.add_argument(
+        "--reference",
+        action="store_true",
+        help="run the scalar reference path serially instead of the vectorized "
+        "fast path (equivalent to REPRO_REFERENCE=1 REPRO_PARALLELISM=1)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT_DIR,
+        metavar="DIR",
+        help=f"artifact output directory (default: {DEFAULT_OUT_DIR})",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="results-store root (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cell even when a cached record exists",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the results store entirely (no reads, no writes)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress progress/summary output"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="print one line per finished cell"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for the docs smoke test)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the figures and tables of Subasi et al., "
+        "'A Runtime Heuristic to Selectively Replicate Tasks for "
+        "Application-Specific Reliability Targets' (IEEE CLUSTER 2016), "
+        "with cell-level caching and resume.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    run = sub.add_parser(
+        "run",
+        help="compute figure/table targets (cache-aware) and write artifacts",
+        description="Compute one or more targets and write .txt/.json/.csv "
+        "artifacts. Cells already in the results store are not recomputed.",
+    )
+    run.add_argument(
+        "targets",
+        nargs="*",
+        default=["all"],
+        metavar="TARGET",
+        help=f"targets to run: {', '.join(TARGETS)}, or 'all' (default)",
+    )
+    _add_engine_options(run)
+
+    report = sub.add_parser(
+        "report",
+        help="re-render artifacts from stored records (no recomputation needed)",
+        description="Render targets back into the benchmarks/results/*.txt "
+        "formats (plus .json/.csv) from the results store. Missing cells are "
+        "computed unless --strict is given.",
+    )
+    report.add_argument(
+        "targets",
+        nargs="*",
+        default=["all"],
+        metavar="TARGET",
+        help=f"targets to render: {', '.join(TARGETS)}, or 'all' (default)",
+    )
+    _add_engine_options(report)
+    report.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail instead of computing when a cell is missing from the cache",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an arbitrary benchmark x policy x rate grid",
+        description="Grid arbitrary benchmarks, replication policies and "
+        "error-rate multipliers; each combination is one cached cell.",
+    )
+    sweep.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="benchmarks to sweep (default: all nine Table I benchmarks)",
+    )
+    sweep.add_argument(
+        "--policies",
+        nargs="+",
+        default=["app_fit"],
+        metavar="POLICY",
+        help="replication policies (app_fit, knapsack_oracle, top_fit, random, "
+        "complete; default: app_fit)",
+    )
+    sweep.add_argument(
+        "--multipliers",
+        nargs="+",
+        type=float,
+        default=[10.0, 5.0],
+        metavar="X",
+        help="error-rate multipliers (default: 10 5)",
+    )
+    sweep.add_argument(
+        "--residual-fit-factor",
+        type=float,
+        default=0.0,
+        help="residual FIT factor charged to replicated tasks (default 0)",
+    )
+    sweep.add_argument(
+        "--name",
+        default="sweep",
+        help="artifact stem for the sweep output files (default: sweep)",
+    )
+    _add_engine_options(sweep)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the content-addressed results store",
+        description="Cache maintenance. The store root is --cache-dir, "
+        "REPRO_CACHE_DIR, or .repro_cache.",
+    )
+    cache.add_argument(
+        "action",
+        choices=("ls", "stats", "gc", "clear"),
+        help="ls: list records; stats: totals; gc: drop stale/corrupt records; "
+        "clear: drop everything",
+    )
+    cache.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    targets_cmd = sub.add_parser("targets", help="list the runnable figure/table targets")
+    targets_cmd.set_defaults(command="targets")
+
+    parser.add_argument(
+        "--version", action="store_true", help="print the package version and exit"
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------------
+# artifact output
+# ---------------------------------------------------------------------------------
+
+
+def _write_artifacts(
+    out_dir: str,
+    artifact: str,
+    output: TargetOutput,
+    meta: Dict[str, Any],
+) -> List[str]:
+    """Write the .txt/.json/.csv artifacts of one target; return their paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+
+    txt_path = os.path.join(out_dir, f"{artifact}.txt")
+    with open(txt_path, "w", encoding="utf-8") as fh:
+        fh.write(output.text + "\n")
+    paths.append(txt_path)
+
+    json_path = os.path.join(out_dir, f"{artifact}.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump({**meta, "rows": output.rows}, fh, indent=2)
+        fh.write("\n")
+    paths.append(json_path)
+
+    csv_path = os.path.join(out_dir, f"{artifact}.csv")
+    fieldnames: List[str] = []
+    for row in output.rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(csv_path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in output.rows:
+            writer.writerow(row)
+    paths.append(csv_path)
+    return paths
+
+
+# ---------------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------------
+
+
+def _make_engine(args: argparse.Namespace, strict: bool = False) -> ExperimentEngine:
+    """Build the (cache-aware) engine an invocation runs on."""
+    store: Optional[ResultStore]
+    if args.no_cache:
+        store = None
+    else:
+        store = ResultStore(args.cache_dir)
+        if strict:
+            store = _StrictStore(store)
+
+    progress = None
+    if args.verbose and not args.quiet:
+
+        def progress(event: CellProgress) -> None:
+            state = "cached  " if event.cached else "computed"
+            timing = f" ({event.elapsed_s:.2f} s)" if event.elapsed_s else ""
+            print(
+                f"  [{event.index + 1}/{event.total}] {state} "
+                f"{event.spec.kind} {event.spec.benchmark}{timing}"
+            )
+
+    if args.reference:
+        return ExperimentEngine(
+            parallelism=1, fast=False, store=store, force=args.force, progress=progress
+        )
+    return ExperimentEngine(
+        parallelism=args.parallelism, store=store, force=args.force, progress=progress
+    )
+
+
+def _run_targets(args: argparse.Namespace, strict: bool = False) -> int:
+    """`repro run` / `repro report`: build targets, write artifacts."""
+    if strict and (args.no_cache or args.force):
+        # Either flag would bypass the strict store's get(), silently turning
+        # "fail instead of computing" into a full recomputation.
+        print("repro: --strict cannot be combined with --no-cache or --force", file=sys.stderr)
+        return 2
+    try:
+        targets = resolve_targets(args.targets)
+    except KeyError as exc:
+        print(f"repro: {exc.args[0]}", file=sys.stderr)
+        return 2
+    engine = _make_engine(args, strict=strict)
+    meta_base = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "fast": engine.fast,
+        "code_version": code_version(),
+    }
+    for target in targets:
+        t0 = time.perf_counter()
+        # Deltas of the cumulative counters: a target may issue several
+        # engine.map calls (e.g. ablation-rates runs one grid per benchmark),
+        # and last_stats would only reflect the final one.
+        computed0, cached0 = engine.cells_computed, engine.cells_cached
+        try:
+            output = target.build(args.scale, args.seed, engine)
+        except MissingRecordError as exc:
+            print(f"repro: {target.name}: {exc}", file=sys.stderr)
+            return 1
+        computed = engine.cells_computed - computed0
+        cached = engine.cells_cached - cached0
+        paths = _write_artifacts(
+            args.out,
+            target.artifact,
+            output,
+            {**meta_base, "target": target.name, **output.meta},
+        )
+        if not args.quiet:
+            print(
+                f"{target.name}: {computed + cached} cells "
+                f"({computed} computed, {cached} cached) "
+                f"in {time.perf_counter() - t0:.2f} s -> {paths[0]}"
+            )
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """`repro sweep`: an arbitrary benchmark x policy x multiplier grid."""
+    from repro.analysis.experiments import sweep_policies
+    from repro.apps.registry import all_benchmark_names
+
+    benchmarks = args.benchmarks or all_benchmark_names()
+    engine = _make_engine(args)
+    t0 = time.perf_counter()
+    computed0, cached0 = engine.cells_computed, engine.cells_cached
+    try:
+        result = sweep_policies(
+            benchmarks=benchmarks,
+            policies=args.policies,
+            multipliers=args.multipliers,
+            scale=args.scale,
+            seed=args.seed,
+            residual_fit_factor=args.residual_fit_factor,
+            engine=engine,
+        )
+    except KeyError as exc:
+        print(f"repro: {exc.args[0]}", file=sys.stderr)
+        return 2
+    computed = engine.cells_computed - computed0
+    cached = engine.cells_cached - cached0
+    output = TargetOutput(result=result, text=result.render(), rows=list(result.rows))
+    meta = {
+        "target": "sweep",
+        "benchmarks": list(benchmarks),
+        "policies": list(args.policies),
+        "multipliers": list(args.multipliers),
+        "scale": args.scale,
+        "seed": args.seed,
+        "fast": engine.fast,
+        "code_version": code_version(),
+    }
+    paths = _write_artifacts(args.out, args.name, output, meta)
+    if not args.quiet:
+        print(output.text)
+        print(
+            f"\nsweep: {computed + cached} cells ({computed} computed, "
+            f"{cached} cached) in {time.perf_counter() - t0:.2f} s -> {paths[0]}"
+        )
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """`repro cache ls|stats|gc|clear`."""
+    store = ResultStore(args.cache_dir)
+    if args.action == "ls":
+        rows = store.ls()
+        if not rows:
+            print(f"cache at {store.root}: empty")
+            return 0
+        header = f"{'key':<14} {'kind':<24} {'benchmark':<10} {'scale':>6} {'seed':>6} {'fast':>5}  version"
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            print(
+                f"{row['key']:<14} {row['kind']:<24} {row['benchmark']:<10} "
+                f"{row['scale']:>6} {row['seed']:>6} {str(row['fast']):>5}  "
+                f"{row['code_version']}"
+            )
+        print(f"\n{len(rows)} record(s) in {store.root}")
+        return 0
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"root         : {stats['root']}")
+        print(f"records      : {stats['records']}")
+        print(f"bytes        : {stats['bytes']}")
+        versions = ", ".join(f"{v} x{n}" for v, n in sorted(stats["code_versions"].items()))
+        print(f"code versions: {versions or '(none)'}")
+        return 0
+    if args.action == "gc":
+        removed = store.gc()
+        print(
+            f"gc: removed {removed['stale']} stale, {removed['corrupt']} corrupt, "
+            f"{removed['tmp']} temp record(s) from {store.root}"
+        )
+        return 0
+    removed = store.clear()
+    print(f"clear: removed {removed} record(s) from {store.root}")
+    return 0
+
+
+def _run_list_targets() -> int:
+    """`repro targets`: list the registry."""
+    width = max(len(name) for name in TARGETS)
+    for name, target in TARGETS.items():
+        print(f"{name:<{width}}  {target.description}  [{target.artifact}.txt]")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (the ``repro`` console script and ``python -m repro``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "version", False) and args.command is None:
+        from repro import __version__
+
+        print(__version__)
+        return 0
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "run":
+        return _run_targets(args)
+    if args.command == "report":
+        return _run_targets(args, strict=args.strict)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    if args.command == "cache":
+        return _run_cache(args)
+    if args.command == "targets":
+        return _run_list_targets()
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

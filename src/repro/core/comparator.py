@@ -50,6 +50,7 @@ class _BaseComparator:
         return ComparisonResult.MATCH
 
     def equal(self, a: np.ndarray, b: np.ndarray) -> bool:  # pragma: no cover - abstract
+        """Whether two arrays are considered equal (subclass contract)."""
         raise NotImplementedError
 
 

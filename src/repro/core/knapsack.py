@@ -185,6 +185,7 @@ class KnapsackOracle:
     def _solution(
         self, items: List[Tuple[int, float, float]], keep: Set[int]
     ) -> KnapsackSolution:
+        """Assemble the solution record for the kept (replicated) item set."""
         unprotected_fit = sum(fit for tid, fit, _ in items if tid in keep)
         replicate_ids = {tid for tid, _, _ in items if tid not in keep}
         total_duration = sum(v for _, _, v in items)

@@ -26,6 +26,7 @@ class _CountingPolicy(SelectionPolicy):
         self.decisions: List[SelectionDecision] = []
 
     def _record(self, task: TaskDescriptor, replicate: bool, task_fit: float = 0.0) -> SelectionDecision:
+        """Build the decision and update the running replication counters."""
         decision = SelectionDecision(
             task_id=task.task_id,
             replicate=replicate,

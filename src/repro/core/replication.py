@@ -281,6 +281,7 @@ class TaskReplicator:
     # -- recovery helpers ---------------------------------------------------------
 
     def _restore(self, task: TaskDescriptor) -> None:
+        """Roll the task's inputs back from their checkpoints before a re-run."""
         if self.config.checkpoint_inputs:
             restored = self.checkpoints.restore(task)
             if restored:
@@ -306,5 +307,6 @@ class TaskReplicator:
         return None
 
     def _finish(self, task: TaskDescriptor) -> None:
+        """Release the task's checkpoints once its result is accepted."""
         if self.config.checkpoint_inputs:
             self.checkpoints.release(task.task_id)

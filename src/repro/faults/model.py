@@ -132,6 +132,7 @@ class FailureModel:
 
     @staticmethod
     def _probability(fit: float, task: TaskDescriptor, duration_s: Optional[float]) -> float:
+        """Poisson fault probability of one task from its FIT and duration."""
         import math
 
         t = task.duration_s if duration_s is None else duration_s

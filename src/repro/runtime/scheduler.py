@@ -56,6 +56,7 @@ class ReadyScheduler:
     # -- internal helpers -----------------------------------------------------
 
     def _priority(self, task_id: int) -> tuple:
+        """The heap key of a task under the configured scheduling policy."""
         order = self._submitted_order[task_id]
         if self.policy is SchedulingPolicy.FIFO:
             return (order,)
@@ -65,6 +66,7 @@ class ReadyScheduler:
         return (-task.duration_s, order)
 
     def _push(self, task_id: int) -> None:
+        """Push a ready task with a tie-breaking submission counter."""
         self._counter += 1
         heapq.heappush(self._heap, (*self._priority(task_id), self._counter, task_id))
 

@@ -44,6 +44,7 @@ class ThreadPool:
             self._threads.append(t)
 
     def _worker_loop(self) -> None:
+        """Worker thread body: drain the queue until the shutdown sentinel."""
         while True:
             item = self._queue.get()
             if item is None:

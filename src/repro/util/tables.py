@@ -30,6 +30,7 @@ class TextTable:
 
     @staticmethod
     def _fmt(value) -> str:
+        """Render one cell: booleans as yes/no, floats with 3 decimals."""
         if isinstance(value, bool):
             return "yes" if value else "no"
         if isinstance(value, float):

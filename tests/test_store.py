@@ -1,0 +1,294 @@
+"""The content-addressed results store: keys, round-trips, caching, recovery.
+
+Pins the invariants documented in :mod:`repro.analysis.store`:
+
+* spec keys are stable across processes (no dependence on hash randomisation),
+* cache hits skip computation and return bit-identical payloads,
+* interrupted grids resume (only missing cells recompute),
+* corrupted records are quarantined and recomputed, never served,
+* ``gc``/``clear`` maintenance behaves.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.experiments import figure3_appfit, table1_benchmark_inventory
+from repro.analysis.runner import ExperimentEngine, clear_caches, make_spec
+from repro.analysis.store import ResultStore, code_version, spec_key
+from repro.faults.rates import FitRateSpec
+
+SCALE = 0.05
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Per-process graph memos must not leak across cache tests."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _spec(seed: int = 0, multiplier: float = 10.0, **extra):
+    return make_spec(
+        "fig3_cell",
+        "cholesky",
+        SCALE,
+        seed=seed,
+        multiplier=multiplier,
+        rate_spec=FitRateSpec(),
+        residual_fit_factor=0.0,
+        **extra,
+    )
+
+
+# ---------------------------------------------------------------------------------
+# key derivation
+# ---------------------------------------------------------------------------------
+
+
+def test_spec_key_is_deterministic_and_discriminating():
+    """Equal specs share a key; any field change produces a fresh key."""
+    assert spec_key(_spec()) == spec_key(_spec())
+    keys = {
+        spec_key(_spec()),
+        spec_key(_spec(seed=1)),
+        spec_key(_spec(multiplier=5.0)),
+        spec_key(make_spec("fig3_cell", "fft", SCALE, multiplier=10.0)),
+        spec_key(make_spec("fig4_row", "cholesky", SCALE)),
+        spec_key(_spec(), version="0.0.0-other"),
+    }
+    assert len(keys) == 6
+
+
+def test_spec_key_ignores_parameter_ordering():
+    """make_spec normalises params, so keyword order cannot change the key."""
+    a = make_spec("k", "cholesky", 1.0, alpha=1, beta=2.0, gamma="x")
+    b = make_spec("k", "cholesky", 1.0, gamma="x", alpha=1, beta=2.0)
+    assert spec_key(a) == spec_key(b)
+
+
+def test_spec_key_stable_across_processes():
+    """The key must not depend on Python hash randomisation or process state."""
+    script = (
+        "from repro.analysis.runner import make_spec\n"
+        "from repro.analysis.store import spec_key\n"
+        "from repro.faults.rates import FitRateSpec\n"
+        f"spec = make_spec('fig3_cell', 'cholesky', {SCALE}, seed=0, "
+        "multiplier=10.0, rate_spec=FitRateSpec(), residual_fit_factor=0.0)\n"
+        "print(spec_key(spec))\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    keys = set()
+    for hashseed in ("1", "2"):
+        env["PYTHONHASHSEED"] = hashseed
+        out = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert out.returncode == 0, out.stderr
+        keys.add(out.stdout.strip())
+    keys.add(spec_key(_spec()))
+    assert len(keys) == 1
+
+
+def test_spec_key_rejects_unhashable_parameter_types():
+    """Opaque objects in params would make keys meaningless — refuse them."""
+
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError):
+        spec_key(make_spec("k", "cholesky", 1.0, thing=Opaque()))
+
+
+# ---------------------------------------------------------------------------------
+# record round-trips
+# ---------------------------------------------------------------------------------
+
+
+def test_put_get_round_trip(tmp_path):
+    """A stored payload comes back equal, with provenance attached."""
+    store = ResultStore(str(tmp_path))
+    spec = _spec()
+    payload = {"benchmark": "cholesky", "task_fraction": 0.8125, "n_tasks": 56, "ok": True}
+    store.put(spec, payload, elapsed_s=0.25)
+    record = store.get(spec)
+    assert record is not None
+    assert record.payload == payload
+    assert record.code_version == code_version()
+    assert record.elapsed_s == 0.25
+    assert store.contains(spec)
+    assert not store.contains(_spec(seed=99))
+
+
+def test_corrupted_record_is_quarantined(tmp_path):
+    """Truncated/garbage records read as misses and are deleted."""
+    store = ResultStore(str(tmp_path))
+    spec = _spec()
+    store.put(spec, {"x": 1})
+    path = store.path_for(store.key(spec))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('{"key": "truncated')
+    assert store.get(spec) is None
+    assert not os.path.exists(path)
+    # The store heals: the next put/get cycle works again.
+    store.put(spec, {"x": 2})
+    assert store.get(spec).payload == {"x": 2}
+
+
+def test_mismatched_key_record_is_quarantined(tmp_path):
+    """A record whose body disagrees with its file name is not trusted."""
+    store = ResultStore(str(tmp_path))
+    spec = _spec()
+    store.put(spec, {"x": 1})
+    path = store.path_for(store.key(spec))
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    doc["key"] = "0" * 64
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    assert store.get(spec) is None
+    assert not os.path.exists(path)
+
+
+def test_gc_drops_stale_versions_and_orphan_temps(tmp_path, monkeypatch):
+    """gc reclaims records of other code versions but keeps the current ones."""
+    store = ResultStore(str(tmp_path))
+    monkeypatch.setenv("REPRO_CODE_VERSION", "old-gen")
+    store.put(_spec(seed=1), {"x": 1})
+    monkeypatch.delenv("REPRO_CODE_VERSION")
+    store.put(_spec(seed=2), {"x": 2})
+    orphan = os.path.join(store.root, "ab")
+    os.makedirs(orphan, exist_ok=True)
+    with open(os.path.join(orphan, "deadbeef.json.tmp.123"), "w") as fh:
+        fh.write("partial")
+
+    removed = store.gc()
+    assert removed == {"stale": 1, "corrupt": 0, "tmp": 1}
+    remaining = list(store.records())
+    assert len(remaining) == 1
+    assert remaining[0].payload == {"x": 2}
+
+
+def test_clear_and_stats(tmp_path):
+    """clear empties the store; stats reports counts and versions."""
+    store = ResultStore(str(tmp_path))
+    for seed in range(4):
+        store.put(_spec(seed=seed), {"seed": seed})
+    stats = store.stats()
+    assert stats["records"] == 4
+    assert stats["bytes"] > 0
+    assert stats["code_versions"] == {code_version(): 4}
+    assert len(store.ls()) == 4
+    assert store.clear() == 4
+    assert store.stats()["records"] == 0
+
+
+def test_cache_dir_env_override(tmp_path, monkeypatch):
+    """REPRO_CACHE_DIR selects the default store root."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    assert ResultStore().root == str(tmp_path / "envcache")
+
+
+# ---------------------------------------------------------------------------------
+# engine integration: hit/miss/resume/force
+# ---------------------------------------------------------------------------------
+
+
+def test_engine_cold_then_warm(tmp_path):
+    """Second run of the same grid computes nothing and is bit-identical."""
+    store = ResultStore(str(tmp_path))
+    cold_engine = ExperimentEngine(parallelism=1, fast=True, store=store)
+    cold = figure3_appfit(scale=SCALE, multipliers=(10.0, 5.0), engine=cold_engine)
+    assert cold_engine.last_stats == (18, 0)
+
+    warm_engine = ExperimentEngine(parallelism=1, fast=True, store=store)
+    warm = figure3_appfit(scale=SCALE, multipliers=(10.0, 5.0), engine=warm_engine)
+    assert warm_engine.last_stats == (0, 18)
+    assert warm_engine.cells_computed == 0
+    assert warm.rows == cold.rows
+    assert warm.averages == cold.averages
+
+
+def test_engine_resume_recomputes_only_missing_cells(tmp_path):
+    """An interrupted grid resumes: cached cells are not re-run."""
+    store = ResultStore(str(tmp_path))
+    engine = ExperimentEngine(parallelism=1, fast=True, store=store)
+    cold = figure3_appfit(scale=SCALE, multipliers=(10.0, 5.0), engine=engine)
+
+    # Drop 5 records — as if the sweep had been interrupted mid-grid.
+    records = list(store.records())
+    for record in records[:5]:
+        os.remove(store.path_for(record.key))
+
+    resume_engine = ExperimentEngine(parallelism=1, fast=True, store=store)
+    resumed = figure3_appfit(scale=SCALE, multipliers=(10.0, 5.0), engine=resume_engine)
+    assert resume_engine.last_stats == (5, 13)
+    assert resumed.rows == cold.rows
+
+
+def test_engine_force_recomputes_everything(tmp_path):
+    """force=True ignores (and refreshes) existing records."""
+    store = ResultStore(str(tmp_path))
+    result = table1_benchmark_inventory(
+        scale=SCALE, engine=ExperimentEngine(parallelism=1, store=store)
+    )
+    forced_engine = ExperimentEngine(parallelism=1, store=store, force=True)
+    forced = table1_benchmark_inventory(scale=SCALE, engine=forced_engine)
+    assert forced_engine.last_stats == (9, 0)
+    assert forced.rows == result.rows
+
+
+def test_engine_progress_callback_reports_disposition(tmp_path):
+    """The progress callback sees every cell with its cached/computed flag."""
+    store = ResultStore(str(tmp_path))
+    events = []
+    engine = ExperimentEngine(parallelism=1, store=store, progress=events.append)
+    table1_benchmark_inventory(scale=SCALE, engine=engine)
+    assert len(events) == 9
+    assert all(not e.cached for e in events)
+    assert {e.index for e in events} == set(range(9))
+    assert all(e.total == 9 for e in events)
+
+    events.clear()
+    warm = ExperimentEngine(parallelism=1, store=store, progress=events.append)
+    table1_benchmark_inventory(scale=SCALE, engine=warm)
+    assert len(events) == 9
+    assert all(e.cached for e in events)
+
+
+def test_engine_without_store_still_works():
+    """store=None (the --no-cache path) is the original engine behaviour."""
+    engine = ExperimentEngine(parallelism=1, fast=True)
+    result = table1_benchmark_inventory(scale=SCALE, engine=engine)
+    assert engine.last_stats == (9, 0)
+    assert len(result.rows) == 9
+
+
+def test_parallel_engine_shares_cache_with_serial(tmp_path):
+    """Cells cached by a serial run are hits for a parallel run, and vice versa."""
+    store = ResultStore(str(tmp_path))
+    serial = ExperimentEngine(parallelism=1, fast=True, store=store)
+    cold = figure3_appfit(scale=SCALE, multipliers=(10.0,), engine=serial)
+
+    parallel = ExperimentEngine(parallelism=2, fast=True, store=store)
+    warm = figure3_appfit(scale=SCALE, multipliers=(10.0,), engine=parallel)
+    assert parallel.last_stats == (0, 9)
+    assert warm.rows == cold.rows
+
+
+def test_reference_and_fast_results_are_cached_separately(tmp_path):
+    """fast/reference runs must never serve each other's records."""
+    store = ResultStore(str(tmp_path))
+    fast_engine = ExperimentEngine(parallelism=1, fast=True, store=store)
+    figure3_appfit(scale=SCALE, multipliers=(10.0,), engine=fast_engine)
+
+    ref_engine = ExperimentEngine(parallelism=1, fast=False, store=store)
+    figure3_appfit(scale=SCALE, multipliers=(10.0,), engine=ref_engine)
+    assert ref_engine.last_stats == (9, 0)  # nothing served from the fast run
+    assert len(list(store.records())) == 18

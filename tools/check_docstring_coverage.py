@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate (an offline, stdlib-only `interrogate`).
+
+Walks a package tree with :mod:`ast` and reports the fraction of documented
+nodes — modules, classes, and functions/methods.  ``__init__`` methods are
+exempt (their contract belongs to the class docstring); every other def,
+including private helpers, counts.  The CI docs job fails the build when
+coverage drops below the threshold.
+
+Usage::
+
+    python tools/check_docstring_coverage.py --min 90 src/repro
+    python tools/check_docstring_coverage.py --verbose src/repro   # list misses
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+#: (path, qualified name, node kind) of one documentable definition.
+Definition = Tuple[str, str, str]
+
+
+def _is_magic(name: str) -> bool:
+    """Dunder methods (``__repr__``, ``__len__``, ...) — self-describing."""
+    return name.startswith("__") and name.endswith("__")
+
+
+def iter_definitions(
+    path: str, tree: ast.Module, ignore_nested: bool, ignore_magic: bool
+) -> Iterator[Tuple[Definition, bool]]:
+    """Yield every documentable definition in a module with its documented flag."""
+    yield (path, "<module>", "module"), ast.get_docstring(tree) is not None
+
+    def walk(node: ast.AST, prefix: str, in_function: bool) -> Iterator[Tuple[Definition, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = f"{prefix}{child.name}"
+                is_func = not isinstance(child, ast.ClassDef)
+                kind = "function" if is_func else "class"
+                skip = (
+                    child.name == "__init__"
+                    or (ignore_magic and is_func and _is_magic(child.name))
+                    or (ignore_nested and is_func and in_function)
+                )
+                if not skip:
+                    yield (path, name, kind), ast.get_docstring(child) is not None
+                yield from walk(child, f"{name}.", in_function or is_func)
+            else:
+                yield from walk(child, prefix, in_function)
+
+    yield from walk(tree, "", False)
+
+
+def scan(
+    root: str, ignore_nested: bool, ignore_magic: bool
+) -> Tuple[List[Definition], List[Definition]]:
+    """All (documented, undocumented) definitions under ``root``."""
+    documented: List[Definition] = []
+    undocumented: List[Definition] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, "r", encoding="utf-8") as fh:
+                tree = ast.parse(fh.read(), filename=path)
+            for definition, has_doc in iter_definitions(path, tree, ignore_nested, ignore_magic):
+                (documented if has_doc else undocumented).append(definition)
+    return documented, undocumented
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("roots", nargs="+", help="package directories to scan")
+    parser.add_argument(
+        "--min",
+        dest="minimum",
+        type=float,
+        default=90.0,
+        help="fail when coverage (in percent) is below this (default 90)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="list every undocumented definition"
+    )
+    parser.add_argument(
+        "--count-nested",
+        action="store_true",
+        help="also count functions nested inside other functions (closures)",
+    )
+    parser.add_argument(
+        "--count-magic",
+        action="store_true",
+        help="also count dunder methods (__repr__, __len__, ...)",
+    )
+    args = parser.parse_args(argv)
+
+    documented: List[Definition] = []
+    undocumented: List[Definition] = []
+    for root in args.roots:
+        if not os.path.isdir(root):
+            print(f"error: {root} is not a directory", file=sys.stderr)
+            return 2
+        docs, missing = scan(
+            root, ignore_nested=not args.count_nested, ignore_magic=not args.count_magic
+        )
+        documented.extend(docs)
+        undocumented.extend(missing)
+
+    total = len(documented) + len(undocumented)
+    coverage = 100.0 * len(documented) / total if total else 100.0
+
+    if args.verbose and undocumented:
+        for path, name, kind in undocumented:
+            print(f"missing docstring: {path}: {kind} {name}")
+        print()
+    print(
+        f"docstring coverage: {coverage:.1f}% "
+        f"({len(documented)}/{total} definitions documented, "
+        f"threshold {args.minimum:.0f}%)"
+    )
+    if coverage < args.minimum:
+        print(
+            f"FAIL: coverage {coverage:.1f}% is below the {args.minimum:.0f}% gate "
+            "(run with --verbose to list the gaps)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

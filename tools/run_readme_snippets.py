@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Execute every ```python code block of a markdown file (README CI gate).
+
+Keeps documentation honest: the README's Python examples are run, in order,
+in one shared namespace, with ``src/`` on ``sys.path`` — if an example rots,
+the docs job fails.  Shell blocks (```bash) are not executed.
+
+A block can opt out by starting with the comment ``# doctest: skip`` (for
+examples that need missing optional infrastructure).
+
+Usage::
+
+    python tools/run_readme_snippets.py README.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+
+#: Fenced python blocks: ```python ... ``` (tilde fences are not used here).
+_BLOCK_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.M | re.S)
+
+#: Opt-out marker for blocks that must not run in CI.
+SKIP_MARKER = "# doctest: skip"
+
+
+def extract_blocks(text: str) -> list:
+    """The source of every ```python fenced block, in document order."""
+    return [match.group(1).strip() for match in _BLOCK_RE.finditer(text)]
+
+
+def main(argv=None) -> int:
+    """Run the blocks; returns 0 when every executed block succeeds."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    parser.add_argument(
+        "--src", default="src", help="directory prepended to sys.path (default: src)"
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, args.src)
+    namespace: dict = {"__name__": "__readme__"}
+    failures = 0
+    total = 0
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as fh:
+            blocks = extract_blocks(fh.read())
+        if not blocks:
+            print(f"{path}: no python blocks found")
+            continue
+        for index, source in enumerate(blocks, start=1):
+            label = f"{path} block {index}/{len(blocks)}"
+            if source.startswith(SKIP_MARKER):
+                print(f"SKIP {label}")
+                continue
+            total += 1
+            t0 = time.perf_counter()
+            try:
+                exec(compile(source, f"<{label}>", "exec"), namespace)
+            except Exception as exc:  # noqa: BLE001 - report and keep going
+                failures += 1
+                print(f"FAIL {label}: {type(exc).__name__}: {exc}")
+            else:
+                print(f"ok   {label} ({time.perf_counter() - t0:.2f} s)")
+
+    print(f"\n{total - failures}/{total} executed block(s) passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
