@@ -50,10 +50,12 @@ from repro.core import (
 from repro.faults import FailureModel, FaultInjector, FitRateSpec, exascale_scenario
 from repro.runtime import TaskRuntime, TaskGraph
 
-#: Package version.  Note: the results store hashes this into every cache key
-#: (see :func:`repro.analysis.store.spec_key`), so bumping it invalidates all
-#: cached cells — run ``repro cache gc`` to reclaim the old generation.
-__version__ = "1.1.0"
+#: Package version.  Note: both on-disk caches hash this into every key — the
+#: results store (:func:`repro.analysis.store.spec_key`) and the
+#: compiled-graph store (:func:`repro.runtime.compiled.compiled_key`) — so
+#: bumping it invalidates all cached cells and compiled graphs; run
+#: ``repro cache gc`` to reclaim the old generation.
+__version__ = "1.2.0"
 
 __all__ = [
     "AppFit",

@@ -35,6 +35,7 @@ from repro.analysis.runner import (
     benchmark_graph,
     benchmark_instance,
     cell_kind,
+    compiled_sim_cache,
     default_fast,
     make_spec,
     sim_cache,
@@ -58,12 +59,13 @@ from repro.core.policies import (
     RandomReplication,
     TopFitReplication,
 )
-from repro.core.vectorized import decide_for_graph_fast
+from repro.core.vectorized import decide_for_compiled, decide_for_graph_fast
 from repro.faults.model import FailureModel
 from repro.faults.rates import FitRateSpec
+from repro.runtime.compiled import CompiledGraph
 from repro.runtime.graph import TaskGraph
 from repro.simulator.execution import SimulationConfig
-from repro.simulator.fastpath import simulate
+from repro.simulator.fastpath import simulate, simulate_compiled
 from repro.simulator.machine import MachineSpec, marenostrum_cluster, shared_memory_node
 from repro.util.tables import TextTable
 
@@ -108,6 +110,17 @@ def _appfit_threshold(graph: TaskGraph, rate_spec: FitRateSpec, fast: bool = Fal
     if fast:
         return sum(model.graph_fit_array(graph).tolist())
     return model.graph_total_fit(graph)
+
+
+def _appfit_threshold_compiled(compiled: CompiledGraph, rate_spec: FitRateSpec) -> float:
+    """:func:`_appfit_threshold` over a compiled graph's argument-byte array.
+
+    Same per-byte rates, same array arithmetic and the same left-to-right
+    float summation as the fast path over descriptors, so all three spellings
+    return the identical float.
+    """
+    model = FailureModel(rate_spec.at_todays_rates())
+    return sum(model.fit_array_for_bytes(compiled.arg_bytes).tolist())
 
 
 def _unprotected_fit(graph: TaskGraph, replicated_ids, rate_spec: FitRateSpec) -> float:
@@ -200,9 +213,17 @@ class Table1Result:
 
 @cell_kind("table1_row")
 def _table1_row(spec: ExperimentSpec) -> ExperimentRow:
-    """One Table I row: build the benchmark and report its inventory facts."""
+    """One Table I row: the benchmark's inventory facts.
+
+    On the fast path the task count comes from the compiled-graph cache, so a
+    warm cache regenerates Table I without building a single task graph; the
+    reference path builds the graph and counts it, as before.
+    """
     bench = benchmark_instance(spec.benchmark, spec.scale)
-    info = bench.info()
+    if spec.fast:
+        info = bench.info(n_tasks=compiled_sim_cache(spec.benchmark, spec.scale).n)
+    else:
+        info = bench.info()
     return {
         "benchmark": info.name,
         "description": info.description,
@@ -281,14 +302,26 @@ class Figure3Result:
 
 @cell_kind("fig3_cell")
 def _fig3_cell(spec: ExperimentSpec) -> ExperimentRow:
-    """One Figure 3 cell: App_FIT on one benchmark at one rate multiplier."""
+    """One Figure 3 cell: App_FIT on one benchmark at one rate multiplier.
+
+    The fast path works entirely from the compiled graph (threshold and
+    decisions from the stored byte/duration arrays); the reference path walks
+    the task descriptors.  Both produce bit-identical rows.
+    """
     rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
     multiplier: float = spec.param("multiplier")
     residual: float = spec.param("residual_fit_factor", 0.0)
-    graph = benchmark_graph(spec.benchmark, spec.scale)
-    threshold = _appfit_threshold(graph, rate_spec, fast=spec.fast)
     estimator = ArgumentSizeEstimator(rate_spec.scaled(multiplier))
-    decisions = _appfit_decisions(graph, threshold, estimator, residual, spec.fast)
+    if spec.fast:
+        compiled = compiled_sim_cache(spec.benchmark, spec.scale).compiled
+        threshold = _appfit_threshold_compiled(compiled, rate_spec)
+        decisions = decide_for_compiled(
+            compiled, threshold, estimator, residual_fit_factor=residual
+        )
+    else:
+        graph = benchmark_graph(spec.benchmark, spec.scale)
+        threshold = _appfit_threshold(graph, rate_spec, fast=False)
+        decisions = _appfit_decisions(graph, threshold, estimator, residual, False)
     audit = decisions.audit
     return {
         "benchmark": spec.benchmark,
@@ -383,26 +416,31 @@ class Figure4Result:
 
 @cell_kind("fig4_row")
 def _fig4_row(spec: ExperimentSpec) -> ExperimentRow:
-    """One Figure 4 row: simulate one benchmark bare and fully replicated."""
+    """One Figure 4 row: simulate one benchmark bare and fully replicated.
+
+    The fast path replays the compiled graph (no task objects are built when
+    the compiled-graph cache is warm); the reference path simulates the real
+    graph with the readable event loop.
+    """
     cores_per_node: int = spec.param("cores_per_node", 16)
     bench = benchmark_instance(spec.benchmark, spec.scale)
-    graph = bench.build_graph()
     machine = _machine_for(bench, cores_per_node)
-    cache = sim_cache(graph) if spec.fast else None
-    baseline = simulate(
-        graph,
-        machine,
-        SimulationConfig(collect_records=not spec.fast),
-        fast=spec.fast,
-        cache=cache,
-    )
-    replicated = simulate(
-        graph,
-        machine,
-        SimulationConfig(replicate_all=True, collect_records=not spec.fast),
-        fast=spec.fast,
-        cache=cache,
-    )
+    if spec.fast:
+        cache = compiled_sim_cache(spec.benchmark, spec.scale)
+        baseline = simulate_compiled(
+            cache, machine, SimulationConfig(collect_records=False)
+        )
+        replicated = simulate_compiled(
+            cache,
+            machine,
+            SimulationConfig(replicate_all=True, collect_records=False),
+        )
+    else:
+        graph = bench.build_graph()
+        baseline = simulate(graph, machine, SimulationConfig(), fast=False)
+        replicated = simulate(
+            graph, machine, SimulationConfig(replicate_all=True), fast=False
+        )
     return {
         "benchmark": spec.benchmark,
         "baseline_makespan_s": baseline.makespan_s,
@@ -488,8 +526,11 @@ def _fig5_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
     """One Figure 5 curve: a core-count sweep at one fixed fault rate."""
     fault_rate: float = spec.param("fault_rate")
     core_counts: Sequence[int] = spec.param("core_counts")
-    graph = benchmark_graph(spec.benchmark, spec.scale)
-    cache = sim_cache(graph) if spec.fast else None
+    cache = graph = None
+    if spec.fast:
+        cache = compiled_sim_cache(spec.benchmark, spec.scale)
+    else:
+        graph = benchmark_graph(spec.benchmark, spec.scale)
     makespans: List[float] = []
     for cores in core_counts:
         machine = shared_memory_node(cores=cores)
@@ -499,7 +540,10 @@ def _fig5_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
             seed=spec.seed,
             collect_records=not spec.fast,
         )
-        sim = simulate(graph, machine, config, fast=spec.fast, cache=cache)
+        if spec.fast:
+            sim = simulate_compiled(cache, machine, config)
+        else:
+            sim = simulate(graph, machine, config, fast=False)
         makespans.append(sim.makespan_s)
     return _speedup_rows(spec.benchmark, fault_rate, list(core_counts), makespans)
 
@@ -550,8 +594,6 @@ def _fig6_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
     makespans: List[float] = []
     core_points: List[int] = []
     for n_nodes in node_counts:
-        graph = benchmark_graph(spec.benchmark, spec.scale, n_nodes)
-        cache = sim_cache(graph) if spec.fast else None
         machine = marenostrum_cluster(n_nodes=n_nodes, cores_per_node=cores_per_node)
         config = SimulationConfig(
             replicate_all=True,
@@ -559,7 +601,12 @@ def _fig6_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
             seed=spec.seed,
             collect_records=not spec.fast,
         )
-        sim = simulate(graph, machine, config, fast=spec.fast, cache=cache)
+        if spec.fast:
+            cache = compiled_sim_cache(spec.benchmark, spec.scale, n_nodes)
+            sim = simulate_compiled(cache, machine, config)
+        else:
+            graph = benchmark_graph(spec.benchmark, spec.scale, n_nodes)
+            sim = simulate(graph, machine, config, fast=False)
         makespans.append(sim.makespan_s)
         core_points.append(n_nodes * cores_per_node)
     return _speedup_rows(spec.benchmark, fault_rate, core_points, makespans)
@@ -658,6 +705,23 @@ def _unprotected_fit_fn(graph, estimator, scaled_spec, use_fast):
 
         return unprotected_fit_of
     return lambda replicated_ids: _unprotected_fit(graph, replicated_ids, scaled_spec)
+
+
+def _unprotected_fit_fn_compiled(compiled: CompiledGraph, estimator):
+    """The compiled-graph twin of :func:`_unprotected_fit_fn` (fast variant).
+
+    Same task order, same per-task FITs, same left-to-right summation — just
+    sourced from the stored id/byte arrays instead of descriptors.
+    """
+    from repro.core.vectorized import compiled_total_fits
+
+    tids = compiled.task_ids.tolist()
+    fits = compiled_total_fits(estimator, compiled).tolist()
+
+    def unprotected_fit_of(replicated_ids):
+        return sum(fit for tid, fit in zip(tids, fits) if tid not in replicated_ids)
+
+    return unprotected_fit_of
 
 
 def _policy_decision(graph, policy_name, threshold, estimator, appfit_dec, seed):
@@ -797,10 +861,17 @@ def _rate_sweep_cell(spec: ExperimentSpec) -> ExperimentRow:
     rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
     multiplier: float = spec.param("multiplier")
     residual: float = spec.param("residual_fit_factor", 0.0)
-    graph = benchmark_graph(spec.benchmark, spec.scale)
-    threshold = _appfit_threshold(graph, rate_spec, fast=spec.fast)
     estimator = ArgumentSizeEstimator(rate_spec.scaled(multiplier))
-    decisions = _appfit_decisions(graph, threshold, estimator, residual, spec.fast)
+    if spec.fast:
+        compiled = compiled_sim_cache(spec.benchmark, spec.scale).compiled
+        threshold = _appfit_threshold_compiled(compiled, rate_spec)
+        decisions = decide_for_compiled(
+            compiled, threshold, estimator, residual_fit_factor=residual
+        )
+    else:
+        graph = benchmark_graph(spec.benchmark, spec.scale)
+        threshold = _appfit_threshold(graph, rate_spec, fast=False)
+        decisions = _appfit_decisions(graph, threshold, estimator, residual, False)
     return {
         "multiplier": multiplier,
         "residual_fit_factor": residual,
@@ -900,24 +971,39 @@ def _policy_cell(spec: ExperimentSpec) -> ExperimentRow:
     rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
     residual: float = spec.param("residual_fit_factor", 0.0)
 
-    graph = benchmark_graph(spec.benchmark, spec.scale)
-    threshold = _appfit_threshold(graph, rate_spec, fast=spec.fast)
     scaled_spec = rate_spec.scaled(multiplier)
     estimator = ArgumentSizeEstimator(scaled_spec)
 
-    # complete/knapsack_oracle never consult the App_FIT decision — skip the
-    # whole-graph sweep for those cells.
-    appfit_dec = (
-        _appfit_decisions(graph, threshold, estimator, residual, spec.fast)
-        if policy_name in ("app_fit", "top_fit", "random")
-        else None
-    )
-    replicated_ids, task_fraction, time_fraction = _policy_decision(
-        graph, policy_name, threshold, estimator, appfit_dec, spec.seed
-    )
-    unprotected = _unprotected_fit_fn(graph, estimator, scaled_spec, spec.fast)(
-        set(replicated_ids)
-    )
+    if spec.fast and policy_name == "app_fit":
+        # App_FIT is a pure function of the compiled arrays — no task graph.
+        # The baseline policies walk real descriptors and keep the graph path.
+        compiled = compiled_sim_cache(spec.benchmark, spec.scale).compiled
+        threshold = _appfit_threshold_compiled(compiled, rate_spec)
+        appfit_dec = decide_for_compiled(
+            compiled, threshold, estimator, residual_fit_factor=residual
+        )
+        replicated_ids = appfit_dec.replicated_ids
+        task_fraction = appfit_dec.task_fraction
+        time_fraction = appfit_dec.time_fraction
+        unprotected = _unprotected_fit_fn_compiled(compiled, estimator)(
+            set(replicated_ids)
+        )
+    else:
+        graph = benchmark_graph(spec.benchmark, spec.scale)
+        threshold = _appfit_threshold(graph, rate_spec, fast=spec.fast)
+        # complete/knapsack_oracle never consult the App_FIT decision — skip
+        # the whole-graph sweep for those cells.
+        appfit_dec = (
+            _appfit_decisions(graph, threshold, estimator, residual, spec.fast)
+            if policy_name in ("app_fit", "top_fit", "random")
+            else None
+        )
+        replicated_ids, task_fraction, time_fraction = _policy_decision(
+            graph, policy_name, threshold, estimator, appfit_dec, spec.seed
+        )
+        unprotected = _unprotected_fit_fn(graph, estimator, scaled_spec, spec.fast)(
+            set(replicated_ids)
+        )
     return {
         "benchmark": spec.benchmark,
         "policy": policy_name,

@@ -48,6 +48,13 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 
 from repro.apps import create_benchmark
 from repro.apps.base import Benchmark
+from repro.runtime.compiled import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    GRAPH_CACHE_ENV,
+    CompiledGraphStore,
+    compile_graph,
+)
 from repro.runtime.graph import TaskGraph
 from repro.simulator.fastpath import SimGraphCache
 
@@ -59,6 +66,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us)
 # ---------------------------------------------------------------------------------
 
 _DEFAULTS: Dict[str, Any] = {"fast": None, "parallelism": None}
+
+_GRAPH_CACHE: Dict[str, Any] = {"enabled": None, "root": None}
 
 
 def configure_defaults(
@@ -72,6 +81,55 @@ def configure_defaults(
     """
     _DEFAULTS["fast"] = fast
     _DEFAULTS["parallelism"] = parallelism
+
+
+def configure_graph_cache(
+    enabled: Optional[bool] = None, root: Optional[str] = None
+) -> None:
+    """Set the process-wide on-disk compiled-graph cache configuration.
+
+    ``enabled=None`` defers to the ``REPRO_GRAPH_CACHE`` environment variable
+    (and the caller-supplied fallback of :func:`graph_cache_enabled`); the CLI
+    turns the cache on explicitly and ``--no-graph-cache`` turns it off.  The
+    in-process compiled memo is dropped on reconfiguration so graphs never
+    leak across cache roots.
+    """
+    _GRAPH_CACHE["enabled"] = enabled
+    _GRAPH_CACHE["root"] = root
+    _COMPILED_CACHE.clear()
+
+
+def env_graph_cache_enabled(fallback: bool) -> bool:
+    """Resolve ``REPRO_GRAPH_CACHE`` alone (no process-wide pin consulted).
+
+    ``fallback`` applies when the variable is unset — ``False`` for plain
+    library calls (tests and ad-hoc driver use leave no cache directories
+    behind), ``True`` for the CLI, which shares compiled graphs across
+    processes and invocations by default.
+    """
+    env = os.environ.get(GRAPH_CACHE_ENV)
+    if env is not None:
+        return env.strip().lower() not in ("0", "false", "no", "")
+    return fallback
+
+
+def graph_cache_enabled(fallback: bool = False) -> bool:
+    """Whether compiled graphs are persisted to (and loaded from) disk.
+
+    Precedence: :func:`configure_graph_cache`, then ``REPRO_GRAPH_CACHE``,
+    then ``fallback``.
+    """
+    if _GRAPH_CACHE["enabled"] is not None:
+        return bool(_GRAPH_CACHE["enabled"])
+    return env_graph_cache_enabled(fallback)
+
+
+def graph_cache_root() -> str:
+    """Cache root the compiled-graph store lives under (shared with results)."""
+    root = _GRAPH_CACHE["root"]
+    if root:
+        return str(root)
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
 
 
 def default_fast() -> bool:
@@ -156,6 +214,7 @@ def make_spec(
 
 _BENCH_CACHE: Dict[Tuple[str, float, Optional[int]], Benchmark] = {}
 _SIM_CACHES: Dict[int, SimGraphCache] = {}
+_COMPILED_CACHE: Dict[Tuple[str, float, Optional[int]], SimGraphCache] = {}
 
 
 def benchmark_instance(
@@ -195,10 +254,53 @@ def sim_cache(graph: TaskGraph) -> SimGraphCache:
     return cache
 
 
+def compiled_sim_cache(
+    name: str, scale: float, n_nodes: Optional[int] = None
+) -> SimGraphCache:
+    """A replay-ready cache for a benchmark configuration, without rebuilding.
+
+    This is how fast-path cells obtain their graph: the per-process memo is
+    consulted first; on a miss, the on-disk compiled-graph store (when
+    enabled) supplies the arrays memory-mapped — so pool workers *never*
+    rebuild the Python task graph — and only a store miss compiles from a
+    freshly generated graph (persisting the result for every later process).
+    """
+    key = (name, scale, n_nodes)
+    cache = _COMPILED_CACHE.get(key)
+    if cache is not None:
+        return cache
+    if graph_cache_enabled():
+        store = CompiledGraphStore(graph_cache_root())
+        compiled = store.load(name, scale, n_nodes)
+        if compiled is None:
+            t0 = time.perf_counter()
+            compiled = compile_graph(benchmark_graph(name, scale, n_nodes))
+            store.save(
+                name, scale, compiled, n_nodes, elapsed_s=time.perf_counter() - t0
+            )
+        cache = SimGraphCache.from_compiled(compiled)
+    else:
+        graph = benchmark_graph(name, scale, n_nodes)
+        cache = sim_cache(graph)
+    _COMPILED_CACHE[key] = cache
+    return cache
+
+
+def _pool_worker_init(graph_enabled: bool, graph_root: str) -> None:
+    """Initialise one pool worker: hand it the compiled-graph cache location.
+
+    Workers receive the *resolved* parent configuration (a cache path and an
+    on/off flag, never a graph), so their :func:`compiled_sim_cache` lookups
+    map the same store files the parent and their sibling workers map.
+    """
+    configure_graph_cache(enabled=graph_enabled, root=graph_root)
+
+
 def clear_caches() -> None:
     """Drop all memoised benchmarks and simulation caches (mainly for tests)."""
     _BENCH_CACHE.clear()
     _SIM_CACHES.clear()
+    _COMPILED_CACHE.clear()
 
 
 # ---------------------------------------------------------------------------------
@@ -315,7 +417,11 @@ class ExperimentEngine:
                 payloads[i] = run_cell(specs[i])
                 self._record(specs[i], payloads[i], i, total, time.perf_counter() - t0)
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_worker_init,
+                initargs=(graph_cache_enabled(), graph_cache_root()),
+            ) as pool:
                 # Per-cell wall time is not observable from here (cells overlap
                 # across workers), so records honestly carry elapsed_s=None
                 # rather than the gap between result arrivals.

@@ -42,29 +42,16 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.analysis.runner import ExperimentSpec
 
+# Shared with the compiled-graph store: one cache root, one version scheme.
+from repro.runtime.compiled import (  # noqa: F401  (re-exported public API)
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    code_version,
+)
+
 #: Bump when the record layout changes (distinct from the code version, which
 #: tracks the *semantics* of cell functions).
 RECORD_FORMAT: int = 1
-
-#: Environment variable overriding the default cache root.
-CACHE_DIR_ENV: str = "REPRO_CACHE_DIR"
-
-#: Default cache root, relative to the current working directory.
-DEFAULT_CACHE_DIR: str = ".repro_cache"
-
-
-def code_version() -> str:
-    """The code version stamped into (and hashed into the key of) records.
-
-    Defaults to the package version; ``REPRO_CODE_VERSION`` overrides it so
-    development builds can segregate their caches without editing source.
-    """
-    env = os.environ.get("REPRO_CODE_VERSION")
-    if env:
-        return env
-    from repro import __version__
-
-    return __version__
 
 
 def _canonical(obj: Any) -> Any:

@@ -84,9 +84,14 @@ class Benchmark(abc.ABC):
             self._graph_cache = graph
         return graph
 
-    def info(self) -> BenchmarkInfo:
-        """The benchmark's Table I row, with the generated task count."""
-        graph = self.build_graph()
+    def info(self, n_tasks: Optional[int] = None) -> BenchmarkInfo:
+        """The benchmark's Table I row, with the generated task count.
+
+        ``n_tasks`` lets a caller that already knows the count (e.g. from a
+        compiled graph) skip generating the task graph.
+        """
+        if n_tasks is None:
+            n_tasks = len(self.build_graph())
         return BenchmarkInfo(
             name=self.name,
             description=self.description,
@@ -94,7 +99,7 @@ class Benchmark(abc.ABC):
             block=self.block_label,
             distributed=self.distributed,
             input_bytes=self.input_bytes,
-            n_tasks=len(graph),
+            n_tasks=n_tasks,
         )
 
     def functional_run(self, n_workers: int = 2, hook=None):

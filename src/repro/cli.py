@@ -6,7 +6,7 @@ One entry point replaces the per-example argparse copies::
     repro run all --scale 0.1      # every figure/table at a reduced scale
     repro sweep --benchmarks cholesky fft --policies app_fit top_fit
     repro report fig3              # re-render artifacts from stored records
-    repro cache ls|stats|gc|clear  # inspect / maintain the results store
+    repro cache ls|stats|gc|clear  # maintain the results + compiled-graph stores
     repro targets                  # list runnable targets
 
 Installed as a ``repro`` console script by ``setup.py`` and also runnable as
@@ -14,7 +14,10 @@ Installed as a ``repro`` console script by ``setup.py`` and also runnable as
 ``--scale``, ``--seed``, ``--parallelism`` (or ``REPRO_PARALLELISM``),
 ``--reference`` (scalar reference path, serial; or ``REPRO_REFERENCE=1``),
 ``--out`` (artifact directory), ``--cache-dir`` (or ``REPRO_CACHE_DIR``),
-``--force`` (recompute cached cells) and ``--no-cache``.
+``--force`` (recompute cached cells), ``--no-cache``, and
+``--no-graph-cache`` (rebuild task graphs in-process instead of sharing
+compiled graphs through the on-disk store; see
+:mod:`repro.runtime.compiled`).
 
 Artifacts: each target writes ``<artifact>.txt`` (byte-identical to the
 benchmark harness's ``benchmarks/results/*.txt`` files), ``<artifact>.json``
@@ -34,9 +37,15 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.analysis.runner import CellProgress, ExperimentEngine
+from repro.analysis.runner import (
+    CellProgress,
+    ExperimentEngine,
+    configure_graph_cache,
+    env_graph_cache_enabled,
+)
 from repro.analysis.store import ResultStore, code_version
 from repro.analysis.targets import TARGETS, Target, TargetOutput, resolve_targets
+from repro.runtime.compiled import CompiledGraphStore
 
 #: Default artifact directory.  Deliberately NOT ``benchmarks/results`` — the
 #: committed goldens live there, and a casual `repro run fig3` (default scale
@@ -114,6 +123,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="bypass the results store entirely (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--no-graph-cache",
+        action="store_true",
+        help="rebuild task graphs in-process instead of sharing compiled "
+        "graphs through the on-disk cache (or set REPRO_GRAPH_CACHE=0)",
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress progress/summary output"
@@ -291,6 +306,18 @@ def _make_engine(args: argparse.Namespace, strict: bool = False) -> ExperimentEn
         if strict:
             store = _StrictStore(store)
 
+    # The CLI shares compiled graphs through the on-disk store by default
+    # (REPRO_GRAPH_CACHE=0 or --no-graph-cache opt out); plain library calls
+    # stay in-memory unless configured otherwise.
+    configure_graph_cache(
+        enabled=(
+            False
+            if getattr(args, "no_graph_cache", False)
+            else env_graph_cache_enabled(True)
+        ),
+        root=args.cache_dir,
+    )
+
     progress = None
     if args.verbose and not args.quiet:
 
@@ -404,41 +431,75 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_cache(args: argparse.Namespace) -> int:
-    """`repro cache ls|stats|gc|clear`."""
+    """`repro cache ls|stats|gc|clear` over both stores (results + graphs)."""
     store = ResultStore(args.cache_dir)
+    graphs = CompiledGraphStore(args.cache_dir)
     if args.action == "ls":
         rows = store.ls()
         if not rows:
             print(f"cache at {store.root}: empty")
-            return 0
-        header = f"{'key':<14} {'kind':<24} {'benchmark':<10} {'scale':>6} {'seed':>6} {'fast':>5}  version"
-        print(header)
-        print("-" * len(header))
-        for row in rows:
-            print(
-                f"{row['key']:<14} {row['kind']:<24} {row['benchmark']:<10} "
-                f"{row['scale']:>6} {row['seed']:>6} {str(row['fast']):>5}  "
-                f"{row['code_version']}"
+        else:
+            header = f"{'key':<14} {'kind':<24} {'benchmark':<10} {'scale':>6} {'seed':>6} {'fast':>5}  version"
+            print(header)
+            print("-" * len(header))
+            for row in rows:
+                print(
+                    f"{row['key']:<14} {row['kind']:<24} {row['benchmark']:<10} "
+                    f"{row['scale']:>6} {row['seed']:>6} {str(row['fast']):>5}  "
+                    f"{row['code_version']}"
+                )
+            print(f"\n{len(rows)} record(s) in {store.root}")
+        graph_rows = graphs.ls()
+        if not graph_rows:
+            print(f"compiled graphs at {graphs.root}: empty")
+        else:
+            print()
+            header = (
+                f"{'key':<14} {'benchmark':<10} {'scale':>6} {'nodes':>6} "
+                f"{'tasks':>8} {'edges':>9} {'MiB':>7}  version"
             )
-        print(f"\n{len(rows)} record(s) in {store.root}")
+            print(header)
+            print("-" * len(header))
+            for row in graph_rows:
+                nodes = "-" if row["n_nodes"] is None else str(row["n_nodes"])
+                print(
+                    f"{row['key']:<14} {row['benchmark']:<10} {row['scale']:>6} "
+                    f"{nodes:>6} {row['n_tasks']:>8} {row['n_edges']:>9} "
+                    f"{row['nbytes'] / (1024 * 1024):>7.2f}  {row['code_version']}"
+                )
+            print(f"\n{len(graph_rows)} compiled graph(s) in {graphs.root}")
         return 0
     if args.action == "stats":
         stats = store.stats()
-        print(f"root         : {stats['root']}")
-        print(f"records      : {stats['records']}")
-        print(f"bytes        : {stats['bytes']}")
+        gstats = graphs.stats()
+        print(f"root           : {stats['root']}")
+        print(f"records        : {stats['records']}")
+        print(f"record bytes   : {stats['bytes']}")
         versions = ", ".join(f"{v} x{n}" for v, n in sorted(stats["code_versions"].items()))
-        print(f"code versions: {versions or '(none)'}")
+        print(f"code versions  : {versions or '(none)'}")
+        print(f"compiled graphs: {gstats['entries']}")
+        print(f"graph bytes    : {gstats['bytes']}")
+        gversions = ", ".join(
+            f"{v} x{n}" for v, n in sorted(gstats["code_versions"].items())
+        )
+        print(f"graph versions : {gversions or '(none)'}")
         return 0
     if args.action == "gc":
         removed = store.gc()
+        gremoved = graphs.gc()
         print(
             f"gc: removed {removed['stale']} stale, {removed['corrupt']} corrupt, "
             f"{removed['tmp']} temp record(s) from {store.root}"
         )
+        print(
+            f"gc: removed {gremoved['stale']} stale, {gremoved['orphan']} orphan, "
+            f"{gremoved['tmp']} temp compiled graph(s) from {graphs.root}"
+        )
         return 0
     removed = store.clear()
+    gremoved = graphs.clear()
     print(f"clear: removed {removed} record(s) from {store.root}")
+    print(f"clear: removed {gremoved} compiled graph(s) from {graphs.root}")
     return 0
 
 

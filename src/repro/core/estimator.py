@@ -68,6 +68,15 @@ class ArgumentSizeEstimator:
         """Vectorized total FIT for every task (bit-identical to :meth:`estimate`)."""
         return self.model.task_total_fit_array(tasks)
 
+    def estimate_batch_bytes(self, arg_bytes: np.ndarray) -> np.ndarray:
+        """Vectorized total FIT from per-task argument-byte totals.
+
+        The compiled-graph fast path stores each task's total argument size
+        as a flat array; this maps it straight to FITs without descriptors,
+        bit-identical to :meth:`estimate_batch` on the original tasks.
+        """
+        return self.model.fit_array_for_bytes(arg_bytes)
+
 
 class VulnerabilityWeightedEstimator:
     """Refines a base estimator with per-task-type vulnerability weights.

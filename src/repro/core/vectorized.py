@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.engine import ReplicationDecisions
 from repro.core.estimator import FailureRateEstimator, estimate_total_fits
 from repro.core.fit import FitAudit
+from repro.runtime.compiled import CompiledGraph
 from repro.runtime.graph import TaskGraph
 from repro.util.validation import check_non_negative, check_positive_int
 
@@ -118,22 +119,80 @@ def decide_for_graph_fast(
     sweep = appfit_sweep(
         fits, threshold, total_tasks=len(tasks), residual_fit_factor=residual_fit_factor
     )
+    return _decisions_from_sweep(
+        sweep,
+        [t.task_id for t in tasks],
+        [t.duration_s for t in tasks],
+    )
+
+
+def _decisions_from_sweep(
+    sweep: AppFitSweepResult,
+    task_ids: Sequence[int],
+    durations: Sequence[float],
+) -> ReplicationDecisions:
+    """Fold one sweep plus per-task (id, duration) streams into decisions.
+
+    The duration accumulations run in task order with plain float adds,
+    mirroring the scalar path's per-decision bookkeeping exactly.
+    """
     replicated_ids: Set[int] = set()
     replicated_duration = 0.0
     total_duration = 0.0
-    flags = sweep.replicate.tolist()
-    for task, rep in zip(tasks, flags):
-        total_duration += task.duration_s
+    for tid, duration, rep in zip(task_ids, durations, sweep.replicate.tolist()):
+        total_duration += duration
         if rep:
-            replicated_ids.add(task.task_id)
-            replicated_duration += task.duration_s
+            replicated_ids.add(tid)
+            replicated_duration += duration
     return ReplicationDecisions(
         policy_name="app_fit",
-        total_tasks=len(tasks),
+        total_tasks=sweep.total_tasks,
         replicated_tasks=len(replicated_ids),
         total_duration_s=total_duration,
         replicated_duration_s=replicated_duration,
         replicated_ids=replicated_ids,
         decisions=[],
         audit=sweep.audit(),
+    )
+
+
+def compiled_total_fits(
+    estimator: FailureRateEstimator, compiled: CompiledGraph
+) -> np.ndarray:
+    """Per-task total FITs straight from a compiled graph's byte arrays.
+
+    Requires an estimator with the ``estimate_batch_bytes`` extension (the
+    argument-size estimator has one); estimators that need full descriptors
+    (type weights, traces) raise ``TypeError`` so callers fall back to the
+    object-graph path.
+    """
+    batch_bytes = getattr(estimator, "estimate_batch_bytes", None)
+    if batch_bytes is None:
+        raise TypeError(
+            f"{type(estimator).__name__} cannot estimate from compiled byte "
+            "arrays; use the TaskGraph path"
+        )
+    return np.asarray(batch_bytes(compiled.arg_bytes), dtype=np.float64)
+
+
+def decide_for_compiled(
+    compiled: CompiledGraph,
+    threshold: float,
+    estimator: FailureRateEstimator,
+    residual_fit_factor: float = 0.0,
+) -> ReplicationDecisions:
+    """:func:`decide_for_graph_fast` over a compiled graph — no descriptors.
+
+    Worker processes use this with memory-mapped compiled graphs: the FIT
+    estimates come from the stored argument-byte array and the duration
+    bookkeeping from the stored duration array, each bit-identical to the
+    object-graph equivalents, so the resulting decisions (ids, fractions,
+    audit) are exactly those of the reference path.
+    """
+    fits = compiled_total_fits(estimator, compiled)
+    sweep = appfit_sweep(
+        fits, threshold, total_tasks=compiled.n, residual_fit_factor=residual_fit_factor
+    )
+    return _decisions_from_sweep(
+        sweep, compiled.task_ids.tolist(), compiled.durations.tolist()
     )

@@ -95,6 +95,17 @@ class FailureModel:
         crash, sdc = self.task_fit_arrays(tasks)
         return crash + sdc
 
+    def fit_array_for_bytes(self, n_bytes: np.ndarray) -> np.ndarray:
+        """Total FIT per task from an argument-byte array (compiled-graph path).
+
+        ``n_bytes[i]`` is a task's total argument size; the result equals
+        :meth:`task_total_fit_array` element for element — the same per-byte
+        scalars and the same operation order, just without materialising the
+        descriptors (compiled graphs store the byte array directly).
+        """
+        n_bytes = np.asarray(n_bytes, dtype=np.float64)
+        return n_bytes * self.rate_spec.crash_fit_per_byte + n_bytes * self.rate_spec.sdc_fit_per_byte
+
     def graph_fit_array(self, graph: TaskGraph) -> np.ndarray:
         """Total FIT of every task of ``graph`` in submission order, vectorized."""
         return self.task_total_fit_array(graph.tasks())

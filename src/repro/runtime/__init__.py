@@ -15,6 +15,9 @@ in pure Python:
   multi-threaded execution of Python task bodies (functional mode).
 * :mod:`repro.runtime.runtime` — the :class:`TaskRuntime` facade that user code
   (the examples and functional benchmarks) programs against.
+* :mod:`repro.runtime.compiled` — structure-of-arrays lowering of task graphs
+  plus the content-addressed on-disk compiled-graph store the experiment
+  engine's worker processes memory-map instead of rebuilding graphs.
 """
 
 from repro.runtime.task import (
@@ -28,6 +31,7 @@ from repro.runtime.task import (
     arg_out,
     arg_value,
 )
+from repro.runtime.compiled import CompiledGraph, CompiledGraphStore, compile_graph
 from repro.runtime.dependencies import DependencyTracker
 from repro.runtime.graph import TaskGraph
 from repro.runtime.scheduler import ReadyScheduler, SchedulingPolicy
@@ -37,6 +41,8 @@ from repro.runtime.runtime import TaskRuntime, RuntimeConfig
 from repro.runtime.events import RuntimeEvent, EventKind, EventLog
 
 __all__ = [
+    "CompiledGraph",
+    "CompiledGraphStore",
     "DataHandle",
     "DataRegion",
     "DependencyTracker",
@@ -58,4 +64,5 @@ __all__ = [
     "arg_inout",
     "arg_out",
     "arg_value",
+    "compile_graph",
 ]

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.faults.injector import FaultInjector
+from repro.runtime.compiled import edge_comm_bytes
 from repro.runtime.graph import TaskGraph
 from repro.runtime.task import TaskDescriptor
 from repro.simulator.costs import ReplicationCostModel
@@ -136,26 +137,9 @@ class SimulationResult:
 
 # -- internal helpers -------------------------------------------------------------
 
-
-def _edge_comm_bytes(pred: TaskDescriptor, succ: TaskDescriptor) -> float:
-    """Bytes transferred along a dependency edge that crosses nodes.
-
-    Computed as the overlap between the predecessor's written regions and the
-    successor's read regions; falls back to the predecessor's output size when
-    no region information is available (pure-metadata graphs).
-    """
-    pred_writes = pred.write_regions()
-    succ_reads = succ.read_regions()
-    if not pred_writes or not succ_reads:
-        return pred.output_bytes
-    total = 0.0
-    for w in pred_writes:
-        for r in succ_reads:
-            if w.overlaps(r):
-                lo = max(w.offset, r.offset)
-                hi = min(w.end, r.end)
-                total += max(0.0, hi - lo)
-    return total
+#: Canonical implementation lives with the graph-compilation subsystem so the
+#: compiled per-edge payloads are the same floats this loop derives on the fly.
+_edge_comm_bytes = edge_comm_bytes
 
 
 class _NodeState:

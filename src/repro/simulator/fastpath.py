@@ -1,4 +1,4 @@
-"""Vectorized fast path of the machine simulator.
+"""Vectorized fast path of the machine simulator, over compiled graphs.
 
 :func:`repro.simulator.execution.simulate_graph` is the reference
 implementation: a readable event loop that re-derives every per-task quantity
@@ -6,17 +6,24 @@ implementation: a readable event loop that re-derives every per-task quantity
 The experiment drivers, however, replay the *same* graph many times — once per
 fault rate and machine size — so this module splits the work:
 
-* :class:`SimGraphCache` precomputes, once per graph, everything that does not
-  depend on the simulated machine or fault configuration: per-task durations,
-  memory traffic, replication cost terms (vectorized with NumPy), sorted
-  successor lists, in-degrees and cross-node edge payloads;
-* :func:`simulate_graph_fast` replays the cached arrays through a flat
-  ``heapq`` event loop over primitive floats and ints, drawing fault Bernoullis
-  from a chunk-buffered NumPy stream that consumes the *same* underlying
-  uniform sequence as the reference path's per-call draws.
+* :class:`~repro.runtime.compiled.CompiledGraph` (produced once per graph by
+  :func:`~repro.runtime.compiled.compile_graph`, usually loaded memory-mapped
+  from the on-disk compiled-graph store) holds everything that depends only on
+  the graph: durations, byte counts, CSR successor/predecessor indices and
+  per-edge communication payloads;
+* :class:`SimGraphCache` wraps a compiled graph and memoises the
+  machine/cost-model-dependent *replay arrays* — the per-task core-occupancy,
+  completion, overhead and recovery terms, folded into flat lists with one
+  NumPy pass per (cost model, bandwidth) combination;
+* :func:`simulate_compiled` replays those arrays through a flat ``heapq``
+  event loop over primitive floats and ints (with a specialised loop for
+  single-node machines, the Figure 4/5 shape), drawing fault Bernoullis from
+  a chunk-buffered NumPy stream that consumes the *same* underlying uniform
+  sequence as the reference path's per-call draws.
 
 Every arithmetic expression mirrors the reference loop operation for
-operation, and events are pushed in the same order with the same FIFO
+operation (the replay arrays are built with the same association order the
+scalar code uses), and events are pushed in the same order with the same FIFO
 tie-breaking, so the fast path is bit-identical to the reference — which the
 equivalence test suite asserts.  Use ``fast=False`` (or the benchmark
 harness's ``--reference`` flag) to fall back to the reference implementation.
@@ -24,18 +31,19 @@ harness's ``--reference`` flag) to fall back to the reference implementation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.compiled import CompiledGraph, compile_graph
 from repro.runtime.graph import TaskGraph
 from repro.simulator.costs import ReplicationCostModel
 from repro.simulator.execution import (
     SimulatedTaskRecord,
     SimulationConfig,
     SimulationResult,
-    _edge_comm_bytes,
     simulate_graph,
 )
 from repro.simulator.machine import MachineSpec
@@ -44,114 +52,83 @@ from repro.simulator.machine import MachineSpec
 #: ordered by (time, sequence number) alone, as in the reference EventQueue).
 _READY, _FREE, _SPARE_FREE, _COMPLETE = 0, 1, 2, 3
 
+#: Uniform draws are buffered in chunks of this size.  ``Generator.random(n)``
+#: consumes the identical double sequence as ``n`` successive
+#: ``Generator.random()`` calls, so buffering keeps the fault draws
+#: bit-identical to the reference path while amortising the per-call overhead.
+_DRAW_CHUNK = 4096
 
-class _DrawBuffer:
-    """Chunked uniform draws that replay ``Generator.random()`` call-for-call.
 
-    NumPy's ``Generator.random(n)`` consumes the identical double sequence as
-    ``n`` successive ``Generator.random()`` calls, so buffering in chunks keeps
-    the fault draws bit-identical to the reference path while amortising the
-    per-call overhead.
+@dataclass
+class _ReplayArrays:
+    """Per-task cost terms of one (cost model, machine bandwidth) combination.
+
+    Each list is indexed by dense task index and holds exactly the floats the
+    reference loop would compute for that task, pre-folded with the reference
+    association order so the event loop only selects and accumulates.
     """
 
-    __slots__ = ("_gen", "_buf", "_pos", "_chunk")
-
-    def __init__(self, gen: np.random.Generator, chunk: int = 4096) -> None:
-        self._gen = gen
-        self._buf: List[float] = []
-        self._pos = 0
-        self._chunk = chunk
-
-    def bernoulli(self, p: float) -> bool:
-        """Mirror :meth:`RngStream.bernoulli`: no draw at the 0/1 extremes."""
-        if p <= 0.0:
-            return False
-        if p >= 1.0:
-            return True
-        if self._pos >= len(self._buf):
-            self._buf = self._gen.random(self._chunk).tolist()
-            self._pos = 0
-        value = self._buf[self._pos]
-        self._pos += 1
-        return value < p
+    dur: List[float]  #: effective duration (roofline-bounded if contended)
+    mem: List[float]  #: memory traffic charged to the node
+    core_busy0: List[float]  #: unreplicated, fault-free core occupancy
+    rep_core_busy: List[float]  #: replicated core occupancy (spare available)
+    completion_spare: List[float]  #: replicated completion (spare available)
+    core_busy_nospare: List[float]  #: replicated core occupancy (no spare)
+    completion_nospare: List[float]  #: replicated completion (no spare)
+    overhead_rep: List[float]  #: replicated fault-free overhead
+    restore_dur: List[float]  #: crash+crash recovery (restore + re-execute)
+    restore_dur_vote: List[float]  #: sdc-mismatch recovery (restore + re-execute + vote)
 
 
 class SimGraphCache:
-    """Machine-independent precomputation for repeated simulations of one graph."""
+    """Replay-ready view of one graph: compiled arrays plus machine memos.
 
-    def __init__(self, graph: TaskGraph) -> None:
+    Construct from a :class:`TaskGraph` (compiled on the fly) or, in worker
+    processes, from a :class:`CompiledGraph` loaded memory-mapped off the
+    compiled-graph store — no ``TaskGraph`` (and no Python object graph) is
+    needed to simulate.
+    """
+
+    def __init__(
+        self,
+        graph: Optional[TaskGraph] = None,
+        compiled: Optional[CompiledGraph] = None,
+    ) -> None:
+        if compiled is None:
+            if graph is None:
+                raise ValueError("SimGraphCache needs a TaskGraph or a CompiledGraph")
+            compiled = compile_graph(graph)
         self.graph = graph
-        tasks = graph.tasks()
-        n = self.n = len(tasks)
-        self.task_ids: List[int] = [t.task_id for t in tasks]
-        index = {tid: i for i, tid in enumerate(self.task_ids)}
-        durations = np.empty(n, dtype=np.float64)
-        mem_bytes = np.empty(n, dtype=np.float64)
-        input_bytes = np.empty(n, dtype=np.float64)
-        output_bytes = np.empty(n, dtype=np.float64)
-        node_attr: List[int] = [-1] * n
-        for i, t in enumerate(tasks):
-            durations[i] = t.duration_s
-            in_b = 0.0
-            out_b = 0.0
-            all_b = 0.0
-            for a in t.args:
-                size = a.size_bytes
-                direction = a.direction
-                all_b += size
-                if direction.reads:
-                    in_b += size
-                if direction.writes:
-                    out_b += size
-            mem = t.metadata.get("mem_bytes")
-            mem_bytes[i] = float(all_b if mem is None else mem)
-            input_bytes[i] = in_b
-            output_bytes[i] = out_b
-            if t.node is not None:
-                node_attr[i] = t.node
-        self.durations = durations
-        self.mem_bytes = mem_bytes
-        self.input_bytes = input_bytes
-        self.output_bytes = output_bytes
+        self.compiled = compiled
+        n = self.n = compiled.n
+        self.task_ids: List[int] = compiled.task_ids.tolist()
+        self.durations = np.asarray(compiled.durations)
+        self.mem_bytes = np.asarray(compiled.mem_bytes)
+        self.input_bytes = np.asarray(compiled.input_bytes)
+        self.output_bytes = np.asarray(compiled.output_bytes)
         #: Explicit node placements (-1 when the runtime is free to choose).
-        self.node_attr = node_attr
-        self.in_degree: List[int] = [graph.in_degree(tid) for tid in self.task_ids]
+        self.node_attr: List[int] = compiled.node_attr.tolist()
+        self.in_degree: List[int] = compiled.in_degrees().tolist()
+        ptr = compiled.succ_indptr.tolist()
+        idx = compiled.succ_indices.tolist()
+        ebs = compiled.edge_bytes.tolist()
         #: Successors as dense indices, sorted like the reference loop iterates.
-        succ_map = graph._succ
         self.successors: List[List[int]] = [
-            [index[s] for s in sorted(succ_map[tid])] for tid in self.task_ids
+            idx[ptr[i] : ptr[i + 1]] for i in range(n)
         ]
-        self._tasks = tasks
-        self._cost_arrays: Dict[ReplicationCostModel, Tuple[List[float], ...]] = {}
+        #: Per-edge communication payloads, aligned with :attr:`successors`.
+        self.edge_bytes: List[List[float]] = [
+            ebs[ptr[i] : ptr[i + 1]] for i in range(n)
+        ]
         self._node_maps: Dict[int, List[int]] = {}
-        self._edge_bytes: Dict[Tuple[int, int], float] = {}
+        self._replay: Dict[Tuple[ReplicationCostModel, bool, float], _ReplayArrays] = {}
+
+    @classmethod
+    def from_compiled(cls, compiled: CompiledGraph) -> "SimGraphCache":
+        """A cache over a compiled graph alone (e.g. mmap-loaded by a worker)."""
+        return cls(compiled=compiled)
 
     # -- memoised derived quantities ----------------------------------------
-
-    def cost_arrays(
-        self, costs: ReplicationCostModel
-    ) -> Tuple[List[float], List[float], List[float], List[float]]:
-        """(checkpoint, compare, restore, vote) seconds per task under ``costs``."""
-        cached = self._cost_arrays.get(costs)
-        if cached is None:
-            checkpoint = (
-                costs.checkpoint_latency_s + self.input_bytes / costs.checkpoint_bandwidth_Bps
-            )
-            restore = (
-                costs.restore_latency_s + self.input_bytes / costs.checkpoint_bandwidth_Bps
-            )
-            compare = (
-                costs.compare_latency_s + self.output_bytes / costs.compare_bandwidth_Bps
-            )
-            vote = costs.compare_latency_s + self.output_bytes / costs.vote_bandwidth_Bps
-            cached = (
-                checkpoint.tolist(),
-                compare.tolist(),
-                restore.tolist(),
-                vote.tolist(),
-            )
-            self._cost_arrays[costs] = cached
-        return cached
 
     def node_map(self, n_nodes: int) -> List[int]:
         """Node of every task on an ``n_nodes`` machine (reference placement rule)."""
@@ -167,207 +144,108 @@ class SimGraphCache:
             self._node_maps[n_nodes] = cached
         return cached
 
-    def effective_durations(self, machine: MachineSpec) -> List[float]:
-        """Roofline-bounded per-task durations: ``max(compute, mem / bandwidth)``."""
-        return np.maximum(
-            self.durations, self.mem_bytes / machine.memory_bandwidth_Bps
-        ).tolist()
+    def replay_arrays(
+        self, machine: MachineSpec, costs: ReplicationCostModel, contention: bool
+    ) -> _ReplayArrays:
+        """The per-task replay terms of one (costs, contention, bandwidth) key.
+
+        Every expression below reproduces the reference loop's scalar
+        arithmetic with the same association order, element-wise — which is
+        what keeps the replay bit-identical while moving ~15 float operations
+        per task out of the event loop.
+        """
+        key = (costs, bool(contention), machine.memory_bandwidth_Bps)
+        cached = self._replay.get(key)
+        if cached is None:
+            checkpoint = (
+                costs.checkpoint_latency_s + self.input_bytes / costs.checkpoint_bandwidth_Bps
+            )
+            restore = (
+                costs.restore_latency_s + self.input_bytes / costs.checkpoint_bandwidth_Bps
+            )
+            compare = (
+                costs.compare_latency_s + self.output_bytes / costs.compare_bandwidth_Bps
+            )
+            vote = costs.compare_latency_s + self.output_bytes / costs.vote_bandwidth_Bps
+            if contention:
+                dur = np.maximum(self.durations, self.mem_bytes / machine.memory_bandwidth_Bps)
+            else:
+                dur = self.durations
+            decision_s = costs.decision_s
+            creation_s = costs.replica_creation_s
+            core_busy0 = decision_s + dur
+            rep_core_busy = core_busy0 + creation_s
+            replica_path = (checkpoint + dur) + compare
+            replica_tail = creation_s + replica_path
+            core_busy_nospare = rep_core_busy + replica_path
+            cached = _ReplayArrays(
+                dur=dur.tolist(),
+                mem=self.mem_bytes.tolist(),
+                core_busy0=core_busy0.tolist(),
+                rep_core_busy=rep_core_busy.tolist(),
+                completion_spare=np.maximum(rep_core_busy, replica_tail).tolist(),
+                core_busy_nospare=core_busy_nospare.tolist(),
+                completion_nospare=np.maximum(core_busy_nospare, replica_tail).tolist(),
+                overhead_rep=((decision_s + creation_s) + (checkpoint + compare)).tolist(),
+                restore_dur=(restore + dur).tolist(),
+                restore_dur_vote=((restore + dur) + vote).tolist(),
+            )
+            self._replay[key] = cached
+        return cached
 
 
+def _replicated_flags(cache: SimGraphCache, config: SimulationConfig) -> List[bool]:
+    """Per-task replication flags under ``config``, in dense index order."""
+    if config.replicate_all:
+        return [True] * cache.n
+    if config.replicated_ids is not None:
+        replicated_ids = config.replicated_ids
+        return [tid in replicated_ids for tid in cache.task_ids]
+    return [False] * cache.n
 
-def simulate_graph_fast(
-    graph: TaskGraph,
+
+def simulate_compiled(
+    cache: SimGraphCache,
     machine: MachineSpec,
     config: Optional[SimulationConfig] = None,
-    cache: Optional[SimGraphCache] = None,
 ) -> SimulationResult:
-    """Drop-in replacement for :func:`simulate_graph`, bit-identical results.
+    """Replay a compiled graph on ``machine``; bit-identical to the reference.
 
-    Pass a :class:`SimGraphCache` to amortise the per-graph precomputation
-    across fault rates and machine sizes (the experiment engine does).
+    This is the entry point worker processes use: ``cache`` may wrap a
+    memory-mapped :class:`~repro.runtime.compiled.CompiledGraph` with no
+    ``TaskGraph`` behind it.
     """
     config = config if config is not None else SimulationConfig()
-    if cache is None:
-        cache = SimGraphCache(graph)
-    costs = config.costs
+    arrays = cache.replay_arrays(machine, config.costs, config.model_memory_contention)
+    is_replicated = _replicated_flags(cache, config)
+    if machine.n_nodes == 1:
+        return _replay_single_node(cache, machine, config, arrays, is_replicated)
+    return _replay_multi_node(cache, machine, config, arrays, is_replicated)
+
+
+def _finish(
+    cache: SimGraphCache,
+    machine: MachineSpec,
+    config: SimulationConfig,
+    node_of: List[int],
+    is_replicated: List[bool],
+    n_started: int,
+    makespan: float,
+    max_node_mem: float,
+    totals: Tuple[float, float, float, int, int, int],
+    record_arrays: Optional[Tuple[List[float], ...]],
+) -> SimulationResult:
+    """Assemble the :class:`SimulationResult` shared by both replay loops."""
     n = cache.n
-    n_nodes = machine.n_nodes
-
-    checkpoint_s, compare_s, restore_s, vote_s = cache.cost_arrays(costs)
-    contention = config.model_memory_contention
-    if contention:
-        duration_of = cache.effective_durations(machine)
-    else:
-        duration_of = cache.durations.tolist()
-    mem_bytes = cache.mem_bytes.tolist()
-    node_of = cache.node_map(n_nodes)
-    base_successors = cache.successors
-
-    if config.replicate_all:
-        is_replicated = [True] * n
-    elif config.replicated_ids is not None:
-        replicated_ids = config.replicated_ids
-        is_replicated = [tid in replicated_ids for tid in cache.task_ids]
-    else:
-        is_replicated = [False] * n
-
-    draws = _DrawBuffer(np.random.default_rng(np.random.SeedSequence(config.seed)))
-    p_crash = config.crash_probability
-    p_sdc = config.sdc_probability
-    decision_s = costs.decision_s
-    replica_creation_s = costs.replica_creation_s
-
-    free_cores = [machine.cores_per_node] * n_nodes
-    free_spares = [machine.spare_cores_per_node] * n_nodes
-    node_ready: List[List[int]] = [[] for _ in range(n_nodes)]
-    node_mem = [0.0] * n_nodes
-
-    pending = list(cache.in_degree)
-    earliest = [0.0] * n
-    start_at = [0.0] * n
-    finish_at = [0.0] * n
-    overhead_at = [0.0] * n
-    recovery_at = [0.0] * n
-    duration_at = [0.0] * n
-    started = [False] * n
-
-    crashes = 0
-    sdcs = 0
-    total_overhead = 0.0
-    total_recovery = 0.0
-    total_work = 0.0
-    replicated_count = 0
-    n_started = 0
-
-    heap: List[Tuple[float, int, int, int]] = []
-    seq = 0
-    for i in range(n):
-        if pending[i] == 0:
-            heap.append((0.0, seq, _READY, i))
-            seq += 1
-
-    # The event loop is written flat (task start inlined, locals only): it
-    # executes a handful of times per task and closure/attribute lookups are
-    # measurable at Table I task counts.  The arithmetic and event/push order
-    # mirror the reference loop exactly.
-    bernoulli = draws.bernoulli
-    edge_bytes_of = cache._edge_bytes
-    tasks_of = cache._tasks
-    net_latency = machine.network_latency_s
-    net_bandwidth = machine.network_bandwidth_Bps
-    multi_node = n_nodes > 1
-    while heap:
-        now, _, kind, i = heappop(heap)
-        nid = node_of[i]
-        if kind == _READY:
-            heappush(node_ready[nid], i)
-        elif kind == _FREE:
-            free_cores[nid] += 1
-        elif kind == _SPARE_FREE:
-            free_spares[nid] += 1
-            continue
-        else:  # _COMPLETE
-            for s in base_successors[i]:
-                delay = 0.0
-                if multi_node and node_of[s] != nid:
-                    comm_bytes = edge_bytes_of.get((i, s))
-                    if comm_bytes is None:
-                        comm_bytes = _edge_comm_bytes(tasks_of[i], tasks_of[s])
-                        edge_bytes_of[(i, s)] = comm_bytes
-                    delay = net_latency + comm_bytes / net_bandwidth
-                arrival = now + delay
-                if arrival > earliest[s]:
-                    earliest[s] = arrival
-                pending[s] -= 1
-                if pending[s] == 0:
-                    at = now if now > earliest[s] else earliest[s]
-                    heappush(heap, (at, seq, _READY, s))
-                    seq += 1
-
-        # try_start(nid): drain the node's ready heap while cores are free.
-        ready = node_ready[nid]
-        while free_cores[nid] > 0 and ready:
-            i = heappop(ready)
-            nid_t = node_of[i]
-            replicated = is_replicated[i]
-
-            free_cores[nid_t] -= 1
-            use_spare = False
-            if replicated:
-                replicated_count += 1
-                if free_spares[nid_t] > 0:
-                    free_spares[nid_t] -= 1
-                    use_spare = True
-
-            duration = duration_of[i]
-            if contention:
-                node_mem[nid_t] += mem_bytes[i]
-
-            core_busy = decision_s + duration
-            completion = core_busy
-            overhead = decision_s
-            recovery = 0.0
-
-            if replicated:
-                core_busy += replica_creation_s
-                overhead += replica_creation_s
-                replica_path = checkpoint_s[i] + duration + compare_s[i]
-                overhead += checkpoint_s[i] + compare_s[i]
-                if not use_spare:
-                    core_busy += replica_path
-                completion = max(core_busy, replica_creation_s + replica_path)
-
-                crash0 = bernoulli(p_crash)
-                crash1 = bernoulli(p_crash)
-                sdc0 = (not crash0) and bernoulli(p_sdc)
-                sdc1 = (not crash1) and bernoulli(p_sdc)
-                crashes += int(crash0) + int(crash1)
-                sdcs += int(sdc0) + int(sdc1)
-                if crash0 and crash1:
-                    recovery += restore_s[i] + duration
-                elif (sdc0 != sdc1) and not (crash0 or crash1):
-                    recovery += restore_s[i] + duration + vote_s[i]
-                completion += recovery
-            else:
-                crash0 = bernoulli(p_crash)
-                sdc0 = (not crash0) and bernoulli(p_sdc)
-                crashes += int(crash0)
-                sdcs += int(sdc0)
-                if crash0:
-                    recovery += duration
-                core_busy += recovery
-                completion = core_busy
-
-            total_overhead += overhead
-            total_recovery += recovery
-            total_work += duration
-
-            start_at[i] = now
-            finish_at[i] = now + completion
-            overhead_at[i] = overhead
-            recovery_at[i] = recovery
-            duration_at[i] = duration
-            started[i] = True
-            n_started += 1
-            # Spare release precedes core release at equal timestamps, as in
-            # the reference loop, so a task started by the freed core sees the
-            # spare available.
-            if use_spare:
-                heappush(heap, (now + core_busy, seq, _SPARE_FREE, i))
-                seq += 1
-            heappush(heap, (now + core_busy, seq, _FREE, i))
-            seq += 1
-            heappush(heap, (now + completion, seq, _COMPLETE, i))
-            seq += 1
-
     if n_started != n:
         raise RuntimeError(
             f"simulation finished with {n - n_started} unexecuted tasks; "
             "the graph probably contains a cycle"
         )
-
+    total_work, total_overhead, total_recovery, crashes, sdcs, replicated_count = totals
     records: Dict[int, SimulatedTaskRecord] = {}
-    if config.collect_records:
+    if record_arrays is not None:
+        start_at, finish_at, overhead_at, recovery_at, duration_at = record_arrays
         for i, tid in enumerate(cache.task_ids):
             records[tid] = SimulatedTaskRecord(
                 task_id=tid,
@@ -379,10 +257,8 @@ def simulate_graph_fast(
                 overhead_s=overhead_at[i],
                 recovery_s=recovery_at[i],
             )
-
-    makespan = max(finish_at) if n else 0.0
-    if contention and n_nodes > 0:
-        bandwidth_bound = max(node_mem) / machine.memory_bandwidth_Bps
+    if config.model_memory_contention and machine.n_nodes > 0:
+        bandwidth_bound = max_node_mem / machine.memory_bandwidth_Bps
         makespan = max(makespan, bandwidth_bound)
     return SimulationResult(
         makespan_s=makespan,
@@ -396,6 +272,485 @@ def simulate_graph_fast(
         sdcs_injected=sdcs,
         replicated_tasks=replicated_count,
     )
+
+
+def _replay_single_node(
+    cache: SimGraphCache,
+    machine: MachineSpec,
+    config: SimulationConfig,
+    arrays: _ReplayArrays,
+    is_replicated: List[bool],
+) -> SimulationResult:
+    """Specialised replay for one-node machines (the Figure 4/5 shape).
+
+    With a single node there is no placement, no cross-node communication
+    delay and a single ready queue, so the loop reduces to heap traffic,
+    fault draws and indexed accumulation.  The event/push order and every
+    accumulation order mirror the reference loop exactly.
+    """
+    n = cache.n
+    dur = arrays.dur
+    mem = arrays.mem
+    core_busy0 = arrays.core_busy0
+    rep_core_busy = arrays.rep_core_busy
+    completion_spare = arrays.completion_spare
+    core_busy_nospare = arrays.core_busy_nospare
+    completion_nospare = arrays.completion_nospare
+    overhead_rep = arrays.overhead_rep
+    restore_dur = arrays.restore_dur
+    restore_dur_vote = arrays.restore_dur_vote
+    successors = cache.successors
+    decision_s = config.costs.decision_s
+    contention = config.model_memory_contention
+    collect = config.collect_records
+
+    p_crash = config.crash_probability
+    p_sdc = config.sdc_probability
+    crash_mid = 0.0 < p_crash < 1.0
+    crash_hi = p_crash >= 1.0
+    sdc_mid = 0.0 < p_sdc < 1.0
+    sdc_hi = p_sdc >= 1.0
+    rand = np.random.default_rng(np.random.SeedSequence(config.seed)).random
+    dbuf: List[float] = []
+    dlen = 0
+    dpos = 0
+
+    free_cores = machine.cores_per_node
+    free_spares = machine.spare_cores_per_node
+    ready: List[int] = []
+    node_mem = 0.0
+    pending = list(cache.in_degree)
+
+    crashes = 0
+    sdcs = 0
+    total_overhead = 0.0
+    total_recovery = 0.0
+    total_work = 0.0
+    replicated_count = 0
+    n_started = 0
+    makespan = 0.0
+
+    if collect:
+        start_at = [0.0] * n
+        finish_at = [0.0] * n
+        overhead_at = [0.0] * n
+        recovery_at = [0.0] * n
+        record_arrays: Optional[Tuple[List[float], ...]] = (
+            start_at, finish_at, overhead_at, recovery_at, dur,
+        )
+    else:
+        record_arrays = None
+
+    heap: List[Tuple[float, int, int, int]] = []
+    seq = 0
+    for i in range(n):
+        if pending[i] == 0:
+            heap.append((0.0, seq, _READY, i))
+            seq += 1
+
+    while heap:
+        now, _, kind, i = heappop(heap)
+        if kind == _READY:
+            heappush(ready, i)
+        elif kind == _FREE:
+            free_cores += 1
+        elif kind == _SPARE_FREE:
+            free_spares += 1
+            continue
+        else:  # _COMPLETE
+            for s in successors[i]:
+                pending[s] -= 1
+                if pending[s] == 0:
+                    heappush(heap, (now, seq, _READY, s))
+                    seq += 1
+
+        # try_start: drain the ready heap while cores are free (start inlined).
+        while free_cores > 0 and ready:
+            i = heappop(ready)
+            free_cores -= 1
+            if is_replicated[i]:
+                replicated_count += 1
+                if free_spares > 0:
+                    free_spares -= 1
+                    use_spare = True
+                    core_busy = rep_core_busy[i]
+                    completion = completion_spare[i]
+                else:
+                    use_spare = False
+                    core_busy = core_busy_nospare[i]
+                    completion = completion_nospare[i]
+                if crash_mid:
+                    if dpos >= dlen:
+                        dbuf = rand(_DRAW_CHUNK).tolist()
+                        dlen = _DRAW_CHUNK
+                        dpos = 0
+                    crash0 = dbuf[dpos] < p_crash
+                    dpos += 1
+                    if dpos >= dlen:
+                        dbuf = rand(_DRAW_CHUNK).tolist()
+                        dlen = _DRAW_CHUNK
+                        dpos = 0
+                    crash1 = dbuf[dpos] < p_crash
+                    dpos += 1
+                else:
+                    crash0 = crash1 = crash_hi
+                if sdc_mid:
+                    if crash0:
+                        sdc0 = False
+                    else:
+                        if dpos >= dlen:
+                            dbuf = rand(_DRAW_CHUNK).tolist()
+                            dlen = _DRAW_CHUNK
+                            dpos = 0
+                        sdc0 = dbuf[dpos] < p_sdc
+                        dpos += 1
+                    if crash1:
+                        sdc1 = False
+                    else:
+                        if dpos >= dlen:
+                            dbuf = rand(_DRAW_CHUNK).tolist()
+                            dlen = _DRAW_CHUNK
+                            dpos = 0
+                        sdc1 = dbuf[dpos] < p_sdc
+                        dpos += 1
+                else:
+                    sdc0 = (not crash0) and sdc_hi
+                    sdc1 = (not crash1) and sdc_hi
+                crashes += crash0 + crash1
+                sdcs += sdc0 + sdc1
+                if crash0 and crash1:
+                    recovery = restore_dur[i]
+                    completion += recovery
+                    total_recovery += recovery
+                elif (sdc0 != sdc1) and not (crash0 or crash1):
+                    recovery = restore_dur_vote[i]
+                    completion += recovery
+                    total_recovery += recovery
+                else:
+                    recovery = 0.0
+                overhead = overhead_rep[i]
+            else:
+                use_spare = False
+                if crash_mid:
+                    if dpos >= dlen:
+                        dbuf = rand(_DRAW_CHUNK).tolist()
+                        dlen = _DRAW_CHUNK
+                        dpos = 0
+                    crash0 = dbuf[dpos] < p_crash
+                    dpos += 1
+                else:
+                    crash0 = crash_hi
+                if sdc_mid:
+                    if crash0:
+                        sdc0 = False
+                    else:
+                        if dpos >= dlen:
+                            dbuf = rand(_DRAW_CHUNK).tolist()
+                            dlen = _DRAW_CHUNK
+                            dpos = 0
+                        sdc0 = dbuf[dpos] < p_sdc
+                        dpos += 1
+                else:
+                    sdc0 = (not crash0) and sdc_hi
+                crashes += crash0
+                sdcs += sdc0
+                if crash0:
+                    recovery = dur[i]
+                    core_busy = core_busy0[i] + recovery
+                    total_recovery += recovery
+                else:
+                    recovery = 0.0
+                    core_busy = core_busy0[i]
+                completion = core_busy
+                overhead = decision_s
+
+            total_overhead += overhead
+            total_work += dur[i]
+            if contention:
+                node_mem += mem[i]
+            finish = now + completion
+            if finish > makespan:
+                makespan = finish
+            if collect:
+                start_at[i] = now
+                finish_at[i] = finish
+                overhead_at[i] = overhead
+                recovery_at[i] = recovery
+            n_started += 1
+            # Spare release precedes core release at equal timestamps, as in
+            # the reference loop, so a task started by the freed core sees the
+            # spare available.
+            if use_spare:
+                heappush(heap, (now + core_busy, seq, _SPARE_FREE, i))
+                seq += 1
+            heappush(heap, (now + core_busy, seq, _FREE, i))
+            seq += 1
+            heappush(heap, (finish, seq, _COMPLETE, i))
+            seq += 1
+
+    return _finish(
+        cache,
+        machine,
+        config,
+        [0] * n if collect else [],
+        is_replicated,
+        n_started,
+        makespan,
+        node_mem,
+        (total_work, total_overhead, total_recovery, crashes, sdcs, replicated_count),
+        record_arrays,
+    )
+
+
+def _replay_multi_node(
+    cache: SimGraphCache,
+    machine: MachineSpec,
+    config: SimulationConfig,
+    arrays: _ReplayArrays,
+    is_replicated: List[bool],
+) -> SimulationResult:
+    """General replay over multiple nodes (cross-node delays, per-node queues)."""
+    n = cache.n
+    n_nodes = machine.n_nodes
+    dur = arrays.dur
+    mem = arrays.mem
+    core_busy0 = arrays.core_busy0
+    rep_core_busy = arrays.rep_core_busy
+    completion_spare = arrays.completion_spare
+    core_busy_nospare = arrays.core_busy_nospare
+    completion_nospare = arrays.completion_nospare
+    overhead_rep = arrays.overhead_rep
+    restore_dur = arrays.restore_dur
+    restore_dur_vote = arrays.restore_dur_vote
+    successors = cache.successors
+    edge_bytes = cache.edge_bytes
+    node_of = cache.node_map(n_nodes)
+    decision_s = config.costs.decision_s
+    contention = config.model_memory_contention
+    collect = config.collect_records
+    net_latency = machine.network_latency_s
+    net_bandwidth = machine.network_bandwidth_Bps
+
+    p_crash = config.crash_probability
+    p_sdc = config.sdc_probability
+    crash_mid = 0.0 < p_crash < 1.0
+    crash_hi = p_crash >= 1.0
+    sdc_mid = 0.0 < p_sdc < 1.0
+    sdc_hi = p_sdc >= 1.0
+    rand = np.random.default_rng(np.random.SeedSequence(config.seed)).random
+    dbuf: List[float] = []
+    dlen = 0
+    dpos = 0
+
+    free_cores = [machine.cores_per_node] * n_nodes
+    free_spares = [machine.spare_cores_per_node] * n_nodes
+    node_ready: List[List[int]] = [[] for _ in range(n_nodes)]
+    node_mem = [0.0] * n_nodes
+    pending = list(cache.in_degree)
+    earliest = [0.0] * n
+
+    crashes = 0
+    sdcs = 0
+    total_overhead = 0.0
+    total_recovery = 0.0
+    total_work = 0.0
+    replicated_count = 0
+    n_started = 0
+    makespan = 0.0
+
+    if collect:
+        start_at = [0.0] * n
+        finish_at = [0.0] * n
+        overhead_at = [0.0] * n
+        recovery_at = [0.0] * n
+        record_arrays: Optional[Tuple[List[float], ...]] = (
+            start_at, finish_at, overhead_at, recovery_at, dur,
+        )
+    else:
+        record_arrays = None
+
+    heap: List[Tuple[float, int, int, int]] = []
+    seq = 0
+    for i in range(n):
+        if pending[i] == 0:
+            heap.append((0.0, seq, _READY, i))
+            seq += 1
+
+    while heap:
+        now, _, kind, i = heappop(heap)
+        nid = node_of[i]
+        if kind == _READY:
+            heappush(node_ready[nid], i)
+        elif kind == _FREE:
+            free_cores[nid] += 1
+        elif kind == _SPARE_FREE:
+            free_spares[nid] += 1
+            continue
+        else:  # _COMPLETE
+            ebrow = edge_bytes[i]
+            for k, s in enumerate(successors[i]):
+                delay = 0.0
+                if node_of[s] != nid:
+                    delay = net_latency + ebrow[k] / net_bandwidth
+                arrival = now + delay
+                if arrival > earliest[s]:
+                    earliest[s] = arrival
+                pending[s] -= 1
+                if pending[s] == 0:
+                    at = now if now > earliest[s] else earliest[s]
+                    heappush(heap, (at, seq, _READY, s))
+                    seq += 1
+
+        # try_start(nid): drain the node's ready heap while cores are free.
+        ready = node_ready[nid]
+        while free_cores[nid] > 0 and ready:
+            i = heappop(ready)
+            free_cores[nid] -= 1
+            if is_replicated[i]:
+                replicated_count += 1
+                if free_spares[nid] > 0:
+                    free_spares[nid] -= 1
+                    use_spare = True
+                    core_busy = rep_core_busy[i]
+                    completion = completion_spare[i]
+                else:
+                    use_spare = False
+                    core_busy = core_busy_nospare[i]
+                    completion = completion_nospare[i]
+                if crash_mid:
+                    if dpos >= dlen:
+                        dbuf = rand(_DRAW_CHUNK).tolist()
+                        dlen = _DRAW_CHUNK
+                        dpos = 0
+                    crash0 = dbuf[dpos] < p_crash
+                    dpos += 1
+                    if dpos >= dlen:
+                        dbuf = rand(_DRAW_CHUNK).tolist()
+                        dlen = _DRAW_CHUNK
+                        dpos = 0
+                    crash1 = dbuf[dpos] < p_crash
+                    dpos += 1
+                else:
+                    crash0 = crash1 = crash_hi
+                if sdc_mid:
+                    if crash0:
+                        sdc0 = False
+                    else:
+                        if dpos >= dlen:
+                            dbuf = rand(_DRAW_CHUNK).tolist()
+                            dlen = _DRAW_CHUNK
+                            dpos = 0
+                        sdc0 = dbuf[dpos] < p_sdc
+                        dpos += 1
+                    if crash1:
+                        sdc1 = False
+                    else:
+                        if dpos >= dlen:
+                            dbuf = rand(_DRAW_CHUNK).tolist()
+                            dlen = _DRAW_CHUNK
+                            dpos = 0
+                        sdc1 = dbuf[dpos] < p_sdc
+                        dpos += 1
+                else:
+                    sdc0 = (not crash0) and sdc_hi
+                    sdc1 = (not crash1) and sdc_hi
+                crashes += crash0 + crash1
+                sdcs += sdc0 + sdc1
+                if crash0 and crash1:
+                    recovery = restore_dur[i]
+                    completion += recovery
+                    total_recovery += recovery
+                elif (sdc0 != sdc1) and not (crash0 or crash1):
+                    recovery = restore_dur_vote[i]
+                    completion += recovery
+                    total_recovery += recovery
+                else:
+                    recovery = 0.0
+                overhead = overhead_rep[i]
+            else:
+                use_spare = False
+                if crash_mid:
+                    if dpos >= dlen:
+                        dbuf = rand(_DRAW_CHUNK).tolist()
+                        dlen = _DRAW_CHUNK
+                        dpos = 0
+                    crash0 = dbuf[dpos] < p_crash
+                    dpos += 1
+                else:
+                    crash0 = crash_hi
+                if sdc_mid:
+                    if crash0:
+                        sdc0 = False
+                    else:
+                        if dpos >= dlen:
+                            dbuf = rand(_DRAW_CHUNK).tolist()
+                            dlen = _DRAW_CHUNK
+                            dpos = 0
+                        sdc0 = dbuf[dpos] < p_sdc
+                        dpos += 1
+                else:
+                    sdc0 = (not crash0) and sdc_hi
+                crashes += crash0
+                sdcs += sdc0
+                if crash0:
+                    recovery = dur[i]
+                    core_busy = core_busy0[i] + recovery
+                    total_recovery += recovery
+                else:
+                    recovery = 0.0
+                    core_busy = core_busy0[i]
+                completion = core_busy
+                overhead = decision_s
+
+            total_overhead += overhead
+            total_work += dur[i]
+            if contention:
+                node_mem[nid] += mem[i]
+            finish = now + completion
+            if finish > makespan:
+                makespan = finish
+            if collect:
+                start_at[i] = now
+                finish_at[i] = finish
+                overhead_at[i] = overhead
+                recovery_at[i] = recovery
+            n_started += 1
+            if use_spare:
+                heappush(heap, (now + core_busy, seq, _SPARE_FREE, i))
+                seq += 1
+            heappush(heap, (now + core_busy, seq, _FREE, i))
+            seq += 1
+            heappush(heap, (finish, seq, _COMPLETE, i))
+            seq += 1
+
+    return _finish(
+        cache,
+        machine,
+        config,
+        node_of,
+        is_replicated,
+        n_started,
+        makespan,
+        max(node_mem) if node_mem else 0.0,
+        (total_work, total_overhead, total_recovery, crashes, sdcs, replicated_count),
+        record_arrays,
+    )
+
+
+def simulate_graph_fast(
+    graph: TaskGraph,
+    machine: MachineSpec,
+    config: Optional[SimulationConfig] = None,
+    cache: Optional[SimGraphCache] = None,
+) -> SimulationResult:
+    """Drop-in replacement for :func:`simulate_graph`, bit-identical results.
+
+    Pass a :class:`SimGraphCache` to amortise the per-graph precomputation
+    across fault rates and machine sizes (the experiment engine does).
+    """
+    if cache is None:
+        cache = SimGraphCache(graph)
+    return simulate_compiled(cache, machine, config)
 
 
 def simulate(

@@ -98,11 +98,31 @@ def test_force_flag_recomputes(dirs, capsys):
 
 def test_no_cache_flag_never_reads_or_writes_records(dirs, capsys):
     out, cache = dirs
-    run_cli("run", "table1", "--scale", SCALE, "--out", out, "--cache-dir", cache, "--no-cache")
+    # --no-cache bypasses the results store; --no-graph-cache additionally
+    # keeps compiled graphs out of the cache root, so nothing is created.
+    run_cli(
+        "run", "table1", "--scale", SCALE, "--out", out, "--cache-dir", cache,
+        "--no-cache", "--no-graph-cache",
+    )
     assert not os.path.exists(cache)
     capsys.readouterr()
-    run_cli("run", "table1", "--scale", SCALE, "--out", out, "--cache-dir", cache, "--no-cache")
+    run_cli(
+        "run", "table1", "--scale", SCALE, "--out", out, "--cache-dir", cache,
+        "--no-cache", "--no-graph-cache",
+    )
     assert "(9 computed, 0 cached)" in capsys.readouterr().out
+
+
+def test_no_cache_still_shares_compiled_graphs(dirs, capsys):
+    out, cache = dirs
+    run_cli("run", "table1", "--scale", SCALE, "--out", out, "--cache-dir", cache, "--no-cache")
+    # No cell records were written, but the compiled-graph store was populated.
+    assert os.path.isdir(os.path.join(cache, "compiled"))
+    entries = os.listdir(os.path.join(cache, "compiled"))
+    assert entries, "compiled-graph store should hold the Table I graphs"
+    capsys.readouterr()
+    run_cli("cache", "ls", "--cache-dir", cache)
+    assert "compiled graph(s)" in capsys.readouterr().out
 
 
 def test_unknown_target_is_a_usage_error(dirs, capsys):
@@ -224,13 +244,17 @@ def test_cache_ls_stats_gc_clear(dirs, capsys):
     assert "9 record(s)" in capsys.readouterr().out
 
     assert run_cli("cache", "stats", "--cache-dir", cache) == 0
-    assert "records      : 9" in capsys.readouterr().out
+    stats_out = capsys.readouterr().out
+    assert "records        : 9" in stats_out
+    assert "compiled graphs: 9" in stats_out
 
     assert run_cli("cache", "gc", "--cache-dir", cache) == 0
     assert "removed 0 stale" in capsys.readouterr().out
 
     assert run_cli("cache", "clear", "--cache-dir", cache) == 0
-    assert "removed 9 record(s)" in capsys.readouterr().out
+    clear_out = capsys.readouterr().out
+    assert "removed 9 record(s)" in clear_out
+    assert "removed 9 compiled graph(s)" in clear_out
 
     assert run_cli("cache", "ls", "--cache-dir", cache) == 0
     assert "empty" in capsys.readouterr().out

@@ -12,6 +12,7 @@ import pytest
 
 from repro.analysis.experiments import (
     _appfit_threshold,
+    _appfit_threshold_compiled,
     _distributed_benchmark,
     figure3_appfit,
     figure4_overheads,
@@ -22,9 +23,14 @@ from repro.apps.registry import all_benchmark_names, distributed_benchmark_names
 from repro.core.engine import decide_for_graph
 from repro.core.estimator import ArgumentSizeEstimator, estimate_total_fits
 from repro.core.heuristic import AppFit
-from repro.core.vectorized import decide_for_graph_fast
+from repro.core.vectorized import (
+    compiled_total_fits,
+    decide_for_compiled,
+    decide_for_graph_fast,
+)
 from repro.faults.model import FailureModel
 from repro.faults.rates import FitRateSpec
+from repro.runtime.compiled import compile_graph
 from repro.simulator.execution import SimulationConfig, simulate_graph
 from repro.simulator.fastpath import SimGraphCache, simulate_graph_fast
 from repro.simulator.machine import marenostrum_cluster, shared_memory_node
@@ -148,6 +154,59 @@ class TestSimulatorEquivalence:
             model_memory_contention=False,
         )
         self._compare(graph, shared_memory_node(4), config, cache)
+
+
+class TestCompiledEquivalence:
+    """The compiled-graph path is a third spelling of the same arithmetic:
+    everything it produces must equal both the scalar reference and the
+    descriptor-walking fast path, bit for bit."""
+
+    def test_compiled_threshold_matches_both_paths(self, graphs):
+        spec = FitRateSpec()
+        for name, graph in graphs.items():
+            compiled = compile_graph(graph)
+            assert _appfit_threshold_compiled(compiled, spec) == _appfit_threshold(
+                graph, spec, fast=True
+            ), name
+            assert _appfit_threshold_compiled(compiled, spec) == _appfit_threshold(
+                graph, spec, fast=False
+            ), name
+
+    def test_compiled_fits_match_batch_estimation(self, graphs):
+        estimator = ArgumentSizeEstimator(FitRateSpec().scaled(10.0))
+        for name, graph in graphs.items():
+            compiled = compile_graph(graph)
+            from_bytes = compiled_total_fits(estimator, compiled)
+            from_tasks = estimate_total_fits(estimator, graph.tasks())
+            assert from_bytes.tolist() == from_tasks.tolist(), name
+
+    @pytest.mark.parametrize("multiplier", [5.0, 10.0])
+    @pytest.mark.parametrize("residual", [0.0, 0.1])
+    def test_compiled_decisions_match_reference(self, graphs, multiplier, residual):
+        spec = FitRateSpec()
+        for name, graph in graphs.items():
+            compiled = compile_graph(graph)
+            threshold = _appfit_threshold(graph, spec)
+            estimator = ArgumentSizeEstimator(spec.scaled(multiplier))
+            policy = AppFit(threshold, len(graph), estimator, residual_fit_factor=residual)
+            ref = decide_for_graph(graph, policy)
+            ref_audit = policy.audit()
+            fast = decide_for_compiled(
+                compiled, threshold, estimator, residual_fit_factor=residual
+            )
+            assert fast.replicated_ids == ref.replicated_ids, name
+            assert fast.task_fraction == ref.task_fraction, name
+            assert fast.time_fraction == ref.time_fraction, name
+            assert fast.total_duration_s == ref.total_duration_s, name
+            assert fast.audit.current_fit == ref_audit.current_fit, name
+            assert fast.audit.max_envelope_excess == ref_audit.max_envelope_excess, name
+
+    def test_compiled_rejects_descriptor_needing_estimators(self, graphs):
+        from repro.core.estimator import TraceBasedEstimator
+
+        compiled = compile_graph(graphs["cholesky"])
+        with pytest.raises(TypeError):
+            compiled_total_fits(TraceBasedEstimator(), compiled)
 
 
 class TestDriverEquivalence:

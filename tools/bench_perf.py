@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Record the cold-run performance trajectory of the figure sweeps.
+
+Writes ``BENCH_<target>.json`` at the repo root — a machine-readable record
+future PRs diff against (the CI benchmark-smoke step and the next session's
+"did I make it slower?" check both read it).  For each target the harness
+measures, via the real CLI:
+
+* ``fully_cold_s`` — empty cache root: graphs are generated, compiled and
+  persisted, every cell computed (the first-ever-run experience);
+* ``cold_results_warm_graphs_s`` — result records wiped, compiled-graph store
+  kept: every cell recomputed from memory-mapped compiled graphs (the
+  ISSUE-3 acceptance configuration, repeated ``--repeats`` times).
+
+Usage::
+
+    python tools/bench_perf.py fig5 fig6 --scale 0.2 --repeats 3
+    python tools/bench_perf.py fig5 --baseline '{"label": "PR 2", "median_s": 4.06}'
+
+An existing ``BENCH_<target>.json`` has its ``baseline`` carried forward
+unless ``--baseline`` overrides it, so the original reference point survives
+re-recording.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run_cli(target: str, scale: float, cache_dir: str, out_dir: str) -> float:
+    """One timed ``repro run`` invocation; returns elapsed seconds."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    t0 = time.perf_counter()
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "run",
+            target,
+            "--scale",
+            str(scale),
+            "--cache-dir",
+            cache_dir,
+            "--out",
+            out_dir,
+            "-q",
+        ],
+        check=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    return time.perf_counter() - t0
+
+
+def _wipe_results_keep_graphs(cache_dir: str) -> None:
+    """Empty the results store but leave the compiled-graph store warm."""
+    for name in os.listdir(cache_dir):
+        if name != "compiled":
+            shutil.rmtree(os.path.join(cache_dir, name), ignore_errors=True)
+
+
+def bench_target(target: str, scale: float, repeats: int) -> dict:
+    """Measure one target; returns the JSON document body."""
+    workdir = tempfile.mkdtemp(prefix=f"repro-bench-{target}-")
+    cache_dir = os.path.join(workdir, "cache")
+    out_dir = os.path.join(workdir, "out")
+    try:
+        fully_cold = _run_cli(target, scale, cache_dir, out_dir)
+        warm_runs = []
+        for _ in range(repeats):
+            _wipe_results_keep_graphs(cache_dir)
+            warm_runs.append(_run_cli(target, scale, cache_dir, out_dir))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "target": target,
+        "scale": scale,
+        "fully_cold_s": round(fully_cold, 4),
+        "cold_results_warm_graphs_s": [round(t, 4) for t in warm_runs],
+        "median_s": round(statistics.median(warm_runs), 4),
+        "python": sys.version.split()[0],
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def main(argv=None) -> int:
+    """Entry point: measure the requested targets and write BENCH_*.json."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("targets", nargs="+", help="CLI targets, e.g. fig5 fig6")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON object recorded as the comparison baseline "
+        '(e.g. \'{"label": "PR 2", "median_s": 4.06}\')',
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro import __version__
+
+    for target in args.targets:
+        doc = bench_target(target, args.scale, args.repeats)
+        doc["code_version"] = __version__
+        path = os.path.join(REPO_ROOT, f"BENCH_{target}.json")
+        baseline = None
+        if args.baseline:
+            baseline = json.loads(args.baseline)
+        elif os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh).get("baseline")
+        if baseline:
+            doc["baseline"] = baseline
+            if baseline.get("median_s"):
+                doc["speedup_vs_baseline"] = round(
+                    baseline["median_s"] / doc["median_s"], 3
+                )
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"{target}: median {doc['median_s']} s "
+              f"(fully cold {doc['fully_cold_s']} s) -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI benchmark smoke: one compiled-vs-rebuilt cell must be identical & faster.
+
+Runs the same Figure 5 cell (a cholesky core-count sweep at one fault rate)
+two ways:
+
+* **rebuilt** — generate the task graph from the benchmark definition and
+  simulate it through ``SimGraphCache(graph)``, the pre-compilation shape;
+* **compiled** — load the graph memory-mapped from a warm compiled-graph
+  store (populated once, untimed) and simulate through
+  ``SimGraphCache.from_compiled``.
+
+The check fails (exit 1) if any simulated quantity differs — the compiled
+path must be bit-identical — or if the compiled path is slower than the
+rebuilt path (median over ``--repeats`` runs; the compiled side skips graph
+generation entirely, so anything short of a clear win signals a regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+
+
+def _sweep(cache, core_counts, fault_rate, seed):
+    """The cell body: one makespan per core count (mirrors fig5_curve)."""
+    from repro.simulator.execution import SimulationConfig
+    from repro.simulator.fastpath import simulate_compiled
+    from repro.simulator.machine import shared_memory_node
+
+    results = []
+    for cores in core_counts:
+        sim = simulate_compiled(
+            cache,
+            shared_memory_node(cores=cores),
+            SimulationConfig(
+                replicate_all=True,
+                crash_probability=fault_rate,
+                seed=seed,
+                collect_records=False,
+            ),
+        )
+        results.append(
+            (
+                sim.makespan_s,
+                sim.total_work_s,
+                sim.total_overhead_s,
+                sim.total_recovery_s,
+                sim.crashes_injected,
+                sim.sdcs_injected,
+                sim.replicated_tasks,
+            )
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    """Run the smoke comparison; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # stream is the default: its graph is expensive to build (~5k tasks at
+    # scale 0.2) but cheap to simulate, so the rebuilt-vs-compiled gap is
+    # dominated by exactly the cost the compiled store removes.
+    parser.add_argument("--benchmark", default="stream")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--fault-rate", type=float, default=0.05)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    from repro.apps import create_benchmark
+    from repro.runtime.compiled import CompiledGraphStore, compile_graph
+    from repro.simulator.fastpath import SimGraphCache
+
+    core_counts = (1, 4, 16)
+    root = tempfile.mkdtemp(prefix="repro-smoke-")
+    try:
+        # Warm the store once (untimed: amortised across every later run).
+        store = CompiledGraphStore(root)
+        store.save(
+            args.benchmark,
+            args.scale,
+            compile_graph(create_benchmark(args.benchmark, scale=args.scale).build_graph()),
+        )
+
+        rebuilt_times, compiled_times = [], []
+        rebuilt_results = compiled_results = None
+        for _ in range(args.repeats):
+            t0 = time.perf_counter()
+            graph = create_benchmark(args.benchmark, scale=args.scale).build_graph()
+            rebuilt_results = _sweep(
+                SimGraphCache(graph), core_counts, args.fault_rate, seed=0
+            )
+            rebuilt_times.append(time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            compiled = store.load(args.benchmark, args.scale)
+            assert compiled is not None
+            compiled_results = _sweep(
+                SimGraphCache.from_compiled(compiled), core_counts, args.fault_rate, seed=0
+            )
+            compiled_times.append(time.perf_counter() - t0)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    rebuilt_median = statistics.median(rebuilt_times)
+    compiled_median = statistics.median(compiled_times)
+    print(
+        f"smoke [{args.benchmark} @ {args.scale}]: "
+        f"rebuilt {rebuilt_median:.3f} s, compiled {compiled_median:.3f} s "
+        f"({rebuilt_median / compiled_median:.2f}x)"
+    )
+
+    if compiled_results != rebuilt_results:
+        print("FAIL: compiled-path results differ from the rebuilt path", file=sys.stderr)
+        return 1
+    if compiled_median >= rebuilt_median:
+        print(
+            "FAIL: compiled path is not faster than rebuilding "
+            f"({compiled_median:.3f} s >= {rebuilt_median:.3f} s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: bit-identical and faster")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
