@@ -11,7 +11,10 @@ The package provides:
   (:mod:`repro.core`),
 * a discrete-event machine simulator for overhead/scalability studies
   (:mod:`repro.simulator`) and a simulated cluster (:mod:`repro.distributed`),
-* generators for the paper's nine benchmarks (:mod:`repro.apps`),
+* generators for the paper's nine benchmarks (:mod:`repro.apps`) plus a
+  workload subsystem of seeded parametric DAG families and a JSON trace
+  importer (:mod:`repro.workloads`) for studying replication policies on
+  arbitrary task graphs,
 * experiment drivers that regenerate every table and figure of the paper's
   evaluation (:mod:`repro.analysis`), executed by a parallel experiment
   engine (:mod:`repro.analysis.runner`) with a vectorized fault-evaluation
@@ -21,7 +24,8 @@ The package provides:
 * a content-addressed results store with cell-level caching and resume
   (:mod:`repro.analysis.store`) behind every driver,
 * the unified ``repro`` CLI (:mod:`repro.cli`; also ``python -m repro``)
-  with ``run`` / ``sweep`` / ``report`` / ``cache`` subcommands.
+  with ``run`` / ``sweep`` / ``report`` / ``cache`` / ``workloads``
+  subcommands.
 
 Configuration environment variables (``REPRO_PARALLELISM``,
 ``REPRO_REFERENCE``, ``REPRO_BENCH_SCALE``, ``REPRO_CACHE_DIR``,
@@ -55,7 +59,7 @@ from repro.runtime import TaskRuntime, TaskGraph
 #: compiled-graph store (:func:`repro.runtime.compiled.compiled_key`) — so
 #: bumping it invalidates all cached cells and compiled graphs; run
 #: ``repro cache gc`` to reclaim the old generation.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AppFit",

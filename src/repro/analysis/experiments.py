@@ -1059,6 +1059,216 @@ def sweep_policies(
 
 
 # ---------------------------------------------------------------------------------
+# Synthetic-workload sweeps (the `repro sweep --workload` command)
+# ---------------------------------------------------------------------------------
+
+
+@dataclass
+class WorkloadSweepResult:
+    """A workload x policy x rate-multiplier x fault-rate grid.
+
+    Unlike the Table I sweep, every workload cell also *simulates* the chosen
+    replication set, so the rows pair the selection-quality numbers
+    (fractions, unprotected FIT) with their runtime cost (makespan overhead
+    versus the unreplicated baseline at the same fault rate).
+    """
+
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Plain-text workload sweep table."""
+        table = TextTable(
+            [
+                "workload",
+                "policy",
+                "rate",
+                "fault rate",
+                "tasks",
+                "% tasks repl",
+                "% time repl",
+                "unprotected FIT",
+                "meets threshold",
+                "baseline (s)",
+                "selective (s)",
+                "overhead %",
+            ],
+            title="Sweep — replication policies on synthetic workloads",
+        )
+        for row in sorted(
+            self.rows,
+            key=lambda r: (r["workload"], r["policy"], r["multiplier"], r["fault_rate"]),
+        ):
+            table.add_row(
+                row["workload"],
+                row["policy"],
+                f"{row['multiplier']:g}x",
+                row["fault_rate"],
+                row["n_tasks"],
+                100.0 * row["task_fraction"],
+                100.0 * row["time_fraction"],
+                row["unprotected_fit"],
+                row["meets_threshold"],
+                row["baseline_makespan_s"],
+                row["selective_makespan_s"],
+                row["overhead_percent"],
+            )
+        return table.render()
+
+
+@cell_kind("workload_cell")
+def _workload_cell(spec: ExperimentSpec) -> ExperimentRow:
+    """One workload sweep cell: selection + simulation on a synthetic graph.
+
+    ``spec.benchmark`` carries the *canonical* workload spec string (see
+    :mod:`repro.workloads.spec`), so the results-store hash and the
+    compiled-graph content address both cover the full workload identity —
+    family, every parameter, seed, and (for traces) the file digest.
+
+    The fast path keeps App_FIT and the simulation entirely on the compiled
+    arrays; the baseline policies walk real descriptors for their decisions,
+    like :func:`_policy_cell`.  Fast and reference rows are bit-identical.
+    """
+    policy_name: str = spec.param("policy")
+    multiplier: float = spec.param("multiplier")
+    fault_rate: float = spec.param("fault_rate", 0.0)
+    rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
+    residual: float = spec.param("residual_fit_factor", 0.0)
+    cores: int = spec.param("cores", 16)
+
+    scaled_spec = rate_spec.scaled(multiplier)
+    estimator = ArgumentSizeEstimator(scaled_spec)
+    machine = shared_memory_node(cores=cores)
+
+    if spec.fast:
+        cache = compiled_sim_cache(spec.benchmark, spec.scale)
+        compiled = cache.compiled
+        n_tasks = compiled.n
+        threshold = _appfit_threshold_compiled(compiled, rate_spec)
+        if policy_name == "app_fit":
+            appfit_dec = decide_for_compiled(
+                compiled, threshold, estimator, residual_fit_factor=residual
+            )
+            replicated_ids = appfit_dec.replicated_ids
+            task_fraction = appfit_dec.task_fraction
+            time_fraction = appfit_dec.time_fraction
+            unprotected = _unprotected_fit_fn_compiled(compiled, estimator)(
+                set(replicated_ids)
+            )
+        else:
+            graph = benchmark_graph(spec.benchmark, spec.scale)
+            appfit_dec = (
+                _appfit_decisions(graph, threshold, estimator, residual, True)
+                if policy_name in ("top_fit", "random")
+                else None
+            )
+            replicated_ids, task_fraction, time_fraction = _policy_decision(
+                graph, policy_name, threshold, estimator, appfit_dec, spec.seed
+            )
+            unprotected = _unprotected_fit_fn(graph, estimator, scaled_spec, True)(
+                set(replicated_ids)
+            )
+        sim_config = dict(
+            crash_probability=fault_rate, seed=spec.seed, collect_records=False
+        )
+        baseline = simulate_compiled(cache, machine, SimulationConfig(**sim_config))
+        selective = simulate_compiled(
+            cache,
+            machine,
+            SimulationConfig(replicated_ids=set(replicated_ids), **sim_config),
+        )
+    else:
+        graph = benchmark_graph(spec.benchmark, spec.scale)
+        n_tasks = len(graph)
+        threshold = _appfit_threshold(graph, rate_spec, fast=False)
+        appfit_dec = (
+            _appfit_decisions(graph, threshold, estimator, residual, False)
+            if policy_name in ("app_fit", "top_fit", "random")
+            else None
+        )
+        replicated_ids, task_fraction, time_fraction = _policy_decision(
+            graph, policy_name, threshold, estimator, appfit_dec, spec.seed
+        )
+        unprotected = _unprotected_fit_fn(graph, estimator, scaled_spec, False)(
+            set(replicated_ids)
+        )
+        sim_config = dict(crash_probability=fault_rate, seed=spec.seed)
+        baseline = simulate(graph, machine, SimulationConfig(**sim_config), fast=False)
+        selective = simulate(
+            graph,
+            machine,
+            SimulationConfig(replicated_ids=set(replicated_ids), **sim_config),
+            fast=False,
+        )
+    return {
+        "workload": spec.benchmark,
+        "policy": policy_name,
+        "multiplier": multiplier,
+        "fault_rate": fault_rate,
+        "n_tasks": n_tasks,
+        "task_fraction": task_fraction,
+        "time_fraction": time_fraction,
+        "unprotected_fit": unprotected,
+        "threshold": threshold,
+        "meets_threshold": unprotected <= threshold * (1 + 1e-9),
+        "baseline_makespan_s": baseline.makespan_s,
+        "selective_makespan_s": selective.makespan_s,
+        "overhead_percent": 100.0 * selective.overhead_vs(baseline),
+    }
+
+
+def workload_sweep(
+    workloads: Sequence[str],
+    policies: Sequence[str] = ("app_fit",),
+    multipliers: Sequence[float] = (10.0, 5.0),
+    fault_rates: Sequence[float] = (0.0, 0.01),
+    scale: float = 1.0,
+    seed: int = 0,
+    rate_spec: Optional[FitRateSpec] = None,
+    residual_fit_factor: float = 0.0,
+    cores: int = 16,
+    engine: Optional[ExperimentEngine] = None,
+    parallelism: Optional[int] = None,
+    fast: Optional[bool] = None,
+) -> WorkloadSweepResult:
+    """Sweep replication policies x error rates x fault rates over workloads.
+
+    ``workloads`` are spec strings (``layered:depth=12,width=8,seed=7``; see
+    :mod:`repro.workloads.spec` for the grammar) and are canonicalised here,
+    so differently spelled but identical specs share cells — each (workload,
+    policy, multiplier, fault rate) combination is one independently cached
+    cell, exactly like the Table I sweep.
+    """
+    from repro.workloads.spec import parse_workload
+
+    spec = rate_spec if rate_spec is not None else FitRateSpec()
+    for policy in policies:
+        if policy not in SWEEP_POLICIES:
+            raise KeyError(f"unknown sweep policy {policy!r}; known: {SWEEP_POLICIES}")
+    canonical = [parse_workload(w).canonical for w in workloads]
+    eng = _engine(engine, parallelism, fast)
+    specs = [
+        make_spec(
+            "workload_cell",
+            name,
+            scale,
+            seed=seed,
+            fast=eng.fast,
+            policy=policy,
+            multiplier=mult,
+            fault_rate=rate,
+            rate_spec=spec,
+            residual_fit_factor=residual_fit_factor,
+            cores=cores,
+        )
+        for name in canonical
+        for policy in policies
+        for mult in multipliers
+        for rate in fault_rates
+    ]
+    return WorkloadSweepResult(rows=eng.map(specs))
+
+
+# ---------------------------------------------------------------------------------
 # Quickstart helper
 # ---------------------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from repro.analysis.experiments import (
     Figure3Result,
     Figure4Result,
     RateSweepResult,
+    WorkloadSweepResult,
     ablation_policies,
     ablation_rate_sweep,
     figure3_appfit,
@@ -108,6 +109,19 @@ def fig4_recorded_text(result: Figure4Result) -> str:
 def rate_sweep_recorded_text(results: Sequence[RateSweepResult]) -> str:
     """The rate-sweep ablation artifact text: one table per benchmark."""
     return "\n\n".join(result.render() for result in results)
+
+
+def workload_sweep_recorded_text(result: WorkloadSweepResult) -> str:
+    """The ``repro sweep --workload`` artifact text: table + workload legend.
+
+    The legend lists each canonical workload spec once so the (long) spec
+    strings are greppable even when a consumer only keeps the footer.  Like
+    every composer here, the output is a pure function of the rows — two cold
+    runs in different processes emit byte-identical artifacts.
+    """
+    names = sorted({str(row["workload"]) for row in result.rows})
+    legend = "\n".join(f"  {name}" for name in names)
+    return result.render() + ("\n\nworkloads swept:\n" + legend if names else "")
 
 
 # ---------------------------------------------------------------------------------

@@ -18,6 +18,7 @@ from repro.apps.registry import (
     create_benchmark,
     distributed_benchmark_names,
     shared_memory_benchmark_names,
+    workload_family_names,
 )
 from repro.apps.sparselu import SparseLUBenchmark
 from repro.apps.cholesky import CholeskyBenchmark
@@ -45,4 +46,5 @@ __all__ = [
     "create_benchmark",
     "distributed_benchmark_names",
     "shared_memory_benchmark_names",
+    "workload_family_names",
 ]

@@ -1,4 +1,12 @@
-"""Benchmark registry: create Table I benchmarks by name."""
+"""Benchmark registry: create Table I benchmarks — and workloads — by name.
+
+Besides the nine fixed Table I generators, the registry dispatches *workload
+spec strings* (``layered:depth=12,width=8,seed=7``, a bare family name, or a
+``trace:file=...`` import — see :mod:`repro.workloads.spec`) to the workload
+subsystem, so every consumer of :func:`create_benchmark` (the experiment
+runner, the compiled-graph store, the CLI) works on synthetic scenarios
+without knowing they exist.
+"""
 
 from __future__ import annotations
 
@@ -44,6 +52,13 @@ def distributed_benchmark_names() -> List[str]:
     return [name for name, cls in _REGISTRY.items() if cls.distributed]
 
 
+def workload_family_names() -> List[str]:
+    """Names of the synthetic-workload families (see :mod:`repro.workloads`)."""
+    from repro.workloads.spec import family_names
+
+    return family_names()
+
+
 def create_benchmark(name: str, scale: float = 1.0, **kwargs) -> Benchmark:
     """Instantiate a benchmark by name.
 
@@ -51,11 +66,28 @@ def create_benchmark(name: str, scale: float = 1.0, **kwargs) -> Benchmark:
     problem (fewer blocks / iterations / nodes) while preserving the task
     structure.  Extra keyword arguments override the constructor defaults and
     take precedence over ``scale``.
+
+    A *workload* name — a ``family:params`` spec string or a bare family name
+    — is dispatched to :func:`repro.workloads.create_workload_benchmark`
+    instead; workload parameters live in the spec string, so ``kwargs`` are
+    rejected there.
     """
     key = name.lower()
     if key not in _REGISTRY:
+        from repro.workloads.spec import is_workload_name
+
+        if is_workload_name(name):
+            if kwargs:
+                raise TypeError(
+                    "workload benchmarks take parameters in the spec string, "
+                    f"not keyword arguments: {name!r}"
+                )
+            from repro.workloads.benchmark import create_workload_benchmark
+
+            return create_workload_benchmark(name, scale=scale)
         raise KeyError(
-            f"unknown benchmark {name!r}; available: {', '.join(_REGISTRY)}"
+            f"unknown benchmark {name!r}; available: {', '.join(_REGISTRY)}, "
+            "or a workload spec such as 'layered:depth=12,width=8,seed=7'"
         )
     cls = _REGISTRY[key]
     if kwargs:

@@ -5,6 +5,8 @@ One entry point replaces the per-example argparse copies::
     repro run fig3 fig5            # compute (cache-aware) + write artifacts
     repro run all --scale 0.1      # every figure/table at a reduced scale
     repro sweep --benchmarks cholesky fft --policies app_fit top_fit
+    repro sweep --workload layered:depth=12,width=8,seed=7 --scale 0.2
+    repro workloads ls|describe|gen  # synthetic DAG families + trace export
     repro report fig3              # re-render artifacts from stored records
     repro cache ls|stats|gc|clear  # maintain the results + compiled-graph stores
     repro targets                  # list runnable targets
@@ -44,8 +46,15 @@ from repro.analysis.runner import (
     env_graph_cache_enabled,
 )
 from repro.analysis.store import ResultStore, code_version
-from repro.analysis.targets import TARGETS, Target, TargetOutput, resolve_targets
-from repro.runtime.compiled import CompiledGraphStore
+from repro.analysis.targets import (
+    TARGETS,
+    Target,
+    TargetOutput,
+    resolve_targets,
+    workload_sweep_recorded_text,
+)
+from repro.runtime.compiled import CompiledGraphStore, workload_max_age_seconds
+from repro.util.units import format_bytes
 
 #: Default artifact directory.  Deliberately NOT ``benchmarks/results`` — the
 #: committed goldens live there, and a casual `repro run fig3` (default scale
@@ -199,6 +208,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmarks to sweep (default: all nine Table I benchmarks)",
     )
     sweep.add_argument(
+        "--workload",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="sweep synthetic workloads instead of Table I benchmarks "
+        "(spec strings such as layered:depth=12,width=8,seed=7; "
+        "see `repro workloads ls`)",
+    )
+    sweep.add_argument(
+        "--fault-rates",
+        nargs="+",
+        type=float,
+        default=[0.0, 0.01],
+        metavar="P",
+        help="per-task crash probabilities simulated in workload sweeps "
+        "(default: 0 0.01; ignored without --workload)",
+    )
+    sweep.add_argument(
         "--policies",
         nargs="+",
         default=["app_fit"],
@@ -236,10 +263,54 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "action",
         choices=("ls", "stats", "gc", "clear"),
-        help="ls: list records; stats: totals; gc: drop stale/corrupt records; "
-        "clear: drop everything",
+        help="ls: list records; stats: totals; gc: drop stale/corrupt records "
+        "and age out old compiled workload graphs; clear: drop everything",
     )
     cache.add_argument("--cache-dir", default=None, metavar="DIR")
+    cache.add_argument(
+        "--workload-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="gc only: age limit for compiled workload graphs (default: "
+        "REPRO_WORKLOAD_MAX_AGE_S or one week; <= 0 keeps them all)",
+    )
+
+    workloads = sub.add_parser(
+        "workloads",
+        help="list, inspect and generate synthetic workloads / traces",
+        description="The workload subsystem: parametric DAG generator "
+        "families plus a JSON trace importer. Specs are "
+        "family:key=value,... strings; every parameter (including the seed) "
+        "is part of the cache identity.",
+    )
+    workloads.add_argument(
+        "action",
+        choices=("ls", "describe", "gen"),
+        help="ls: list families and parameters; describe: resolve one spec "
+        "and show its graph statistics; gen: generate an instance (optionally "
+        "exporting it as a JSON trace)",
+    )
+    workloads.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        metavar="SPEC",
+        help="workload spec for describe/gen (e.g. layered:depth=12,width=8)",
+    )
+    workloads.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="problem scale applied to the scaled parameters (default 1.0)",
+    )
+    workloads.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="gen only: write the generated graph as a trace JSON file "
+        "(re-importable via trace:file=FILE)",
+    )
 
     targets_cmd = sub.add_parser("targets", help="list the runnable figure/table targets")
     targets_cmd.set_defaults(command="targets")
@@ -385,11 +456,66 @@ def _run_targets(args: argparse.Namespace, strict: bool = False) -> int:
     return 0
 
 
+def _run_workload_sweep(args: argparse.Namespace) -> int:
+    """`repro sweep --workload`: policies x rates x fault rates on workloads."""
+    from repro.analysis.experiments import workload_sweep
+
+    engine = _make_engine(args)
+    t0 = time.perf_counter()
+    computed0, cached0 = engine.cells_computed, engine.cells_cached
+    try:
+        result = workload_sweep(
+            workloads=args.workload,
+            policies=args.policies,
+            multipliers=args.multipliers,
+            fault_rates=args.fault_rates,
+            scale=args.scale,
+            seed=args.seed,
+            residual_fit_factor=args.residual_fit_factor,
+            engine=engine,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"repro: {exc.args[0]}", file=sys.stderr)
+        return 2
+    computed = engine.cells_computed - computed0
+    cached = engine.cells_cached - cached0
+    text = workload_sweep_recorded_text(result)
+    output = TargetOutput(result=result, text=text, rows=list(result.rows))
+    meta = {
+        "target": "workload-sweep",
+        "workloads": sorted({str(r["workload"]) for r in result.rows}),
+        "policies": list(args.policies),
+        "multipliers": list(args.multipliers),
+        "fault_rates": list(args.fault_rates),
+        "scale": args.scale,
+        "seed": args.seed,
+        "fast": engine.fast,
+        "code_version": code_version(),
+    }
+    name = args.name if args.name != "sweep" else "workload_sweep"
+    paths = _write_artifacts(args.out, name, output, meta)
+    if not args.quiet:
+        print(text)
+        print(
+            f"\nworkload sweep: {computed + cached} cells ({computed} computed, "
+            f"{cached} cached) in {time.perf_counter() - t0:.2f} s -> {paths[0]}"
+        )
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     """`repro sweep`: an arbitrary benchmark x policy x multiplier grid."""
     from repro.analysis.experiments import sweep_policies
     from repro.apps.registry import all_benchmark_names
 
+    if args.workload:
+        if args.benchmarks:
+            print(
+                "repro: --workload and --benchmarks are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_workload_sweep(args)
     benchmarks = args.benchmarks or all_benchmark_names()
     engine = _make_engine(args)
     t0 = time.perf_counter()
@@ -430,6 +556,57 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workloads(args: argparse.Namespace) -> int:
+    """`repro workloads ls|describe|gen`: the synthetic-workload front end."""
+    from repro.workloads import FAMILIES, WorkloadBenchmark, export_trace, parse_workload
+
+    if args.action == "ls":
+        for family in FAMILIES.values():
+            print(f"{family.name}")
+            print(f"  {family.description}")
+            if family.promises:
+                print(f"  guarantees: {', '.join(family.promises)}")
+            for param in family.params:
+                default = "(required)" if param.default is None else f"= {param.default}"
+                scaled = ", scaled" if param.scaled else ""
+                print(f"    {param.name:<10} {default:<10} {param.doc}{scaled}")
+        return 0
+
+    if args.spec is None:
+        print(f"repro: workloads {args.action} needs a SPEC argument", file=sys.stderr)
+        return 2
+    try:
+        spec = parse_workload(args.spec)
+    except (KeyError, ValueError) as exc:
+        print(f"repro: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    bench = WorkloadBenchmark(spec, scale=args.scale)
+    graph = bench.build_graph()
+    stats = graph.stats()
+    effective = spec.effective_params(args.scale)
+    print(f"canonical : {spec.canonical}")
+    print(f"family    : {spec.family} — {bench.description}")
+    print(f"scale     : {args.scale:g}")
+    changed = [
+        f"{k}={effective[k]}" for k, v in spec.params if effective[k] != v
+    ]
+    if changed:
+        print(f"effective : {', '.join(changed)}")
+    print(f"tasks     : {stats.n_tasks}")
+    print(f"edges     : {stats.n_edges}")
+    print(f"total work: {stats.total_work_s:.6f} s")
+    print(f"critical  : {stats.critical_path_s:.6f} s "
+          f"(average parallelism {stats.average_parallelism:.2f})")
+    print(f"max width : {stats.max_width}")
+    print(f"arg bytes : {format_bytes(stats.total_argument_bytes)}")
+
+    if args.action == "gen" and args.out:
+        export_trace(graph, args.out)
+        print(f"trace     : {args.out} (re-import with trace:file={args.out})")
+    return 0
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     """`repro cache ls|stats|gc|clear` over both stores (results + graphs)."""
     store = ResultStore(args.cache_dir)
@@ -454,18 +631,22 @@ def _run_cache(args: argparse.Namespace) -> int:
             print(f"compiled graphs at {graphs.root}: empty")
         else:
             print()
+            # Workload spec strings can be long, so the benchmark column is
+            # sized to its contents instead of a fixed width.
+            bench_w = max(9, *(len(str(r["benchmark"])) for r in graph_rows))
             header = (
-                f"{'key':<14} {'benchmark':<10} {'scale':>6} {'nodes':>6} "
-                f"{'tasks':>8} {'edges':>9} {'MiB':>7}  version"
+                f"{'key':<14} {'benchmark':<{bench_w}} {'scale':>6} {'nodes':>6} "
+                f"{'tasks':>8} {'edges':>9} {'size':>10} {'kind':<8}  version"
             )
             print(header)
             print("-" * len(header))
             for row in graph_rows:
                 nodes = "-" if row["n_nodes"] is None else str(row["n_nodes"])
+                kind = "workload" if row.get("workload") else "table1"
                 print(
-                    f"{row['key']:<14} {row['benchmark']:<10} {row['scale']:>6} "
+                    f"{row['key']:<14} {row['benchmark']:<{bench_w}} {row['scale']:>6} "
                     f"{nodes:>6} {row['n_tasks']:>8} {row['n_edges']:>9} "
-                    f"{row['nbytes'] / (1024 * 1024):>7.2f}  {row['code_version']}"
+                    f"{format_bytes(row['nbytes']):>10} {kind:<8}  {row['code_version']}"
                 )
             print(f"\n{len(graph_rows)} compiled graph(s) in {graphs.root}")
         return 0
@@ -474,26 +655,31 @@ def _run_cache(args: argparse.Namespace) -> int:
         gstats = graphs.stats()
         print(f"root           : {stats['root']}")
         print(f"records        : {stats['records']}")
-        print(f"record bytes   : {stats['bytes']}")
+        print(f"record bytes   : {stats['bytes']} ({format_bytes(stats['bytes'])})")
         versions = ", ".join(f"{v} x{n}" for v, n in sorted(stats["code_versions"].items()))
         print(f"code versions  : {versions or '(none)'}")
         print(f"compiled graphs: {gstats['entries']}")
-        print(f"graph bytes    : {gstats['bytes']}")
+        print(f"workload graphs: {gstats['workloads']}")
+        print(f"graph bytes    : {gstats['bytes']} ({format_bytes(gstats['bytes'])})")
         gversions = ", ".join(
             f"{v} x{n}" for v, n in sorted(gstats["code_versions"].items())
         )
         print(f"graph versions : {gversions or '(none)'}")
         return 0
     if args.action == "gc":
+        max_age = args.workload_max_age
+        if max_age is None:
+            max_age = workload_max_age_seconds()
         removed = store.gc()
-        gremoved = graphs.gc()
+        gremoved = graphs.gc(workload_max_age_s=max_age if max_age > 0 else None)
         print(
             f"gc: removed {removed['stale']} stale, {removed['corrupt']} corrupt, "
             f"{removed['tmp']} temp record(s) from {store.root}"
         )
         print(
             f"gc: removed {gremoved['stale']} stale, {gremoved['orphan']} orphan, "
-            f"{gremoved['tmp']} temp compiled graph(s) from {graphs.root}"
+            f"{gremoved['tmp']} temp, {gremoved['aged']} aged-workload compiled "
+            f"graph(s) from {graphs.root}"
         )
         return 0
     removed = store.clear()
@@ -531,6 +717,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_sweep(args)
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "workloads":
+        return _run_workloads(args)
     if args.command == "targets":
         return _run_list_targets()
     parser.print_help()

@@ -29,6 +29,7 @@ old entries unreachable and ``repro cache gc`` reclaims them.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import struct
@@ -55,6 +56,41 @@ CACHE_DIR_ENV: str = "REPRO_CACHE_DIR"
 
 #: Default cache root, relative to the current working directory.
 DEFAULT_CACHE_DIR: str = ".repro_cache"
+
+#: Environment variable overriding the workload-entry age limit ``repro cache
+#: gc`` applies (seconds; see :meth:`CompiledGraphStore.gc`).
+WORKLOAD_MAX_AGE_ENV: str = "REPRO_WORKLOAD_MAX_AGE_S"
+
+#: Default age limit for compiled *workload* graphs during CLI gc: one week.
+#: The workload spec space is unbounded (every parameter combination is a new
+#: entry), so unlike the nine Table I graphs these must eventually age out.
+DEFAULT_WORKLOAD_MAX_AGE_S: float = 7 * 24 * 3600.0
+
+
+def workload_max_age_seconds() -> float:
+    """The workload-entry age limit the CLI's ``cache gc`` applies.
+
+    ``REPRO_WORKLOAD_MAX_AGE_S`` overrides the one-week default; a
+    non-positive value disables aging entirely (entries are kept forever).
+    """
+    env = os.environ.get(WORKLOAD_MAX_AGE_ENV)
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            pass
+    return DEFAULT_WORKLOAD_MAX_AGE_S
+
+
+def is_workload_benchmark_name(name: str) -> bool:
+    """Whether a benchmark name is a workload spec (``family:params``).
+
+    Canonical workload names always contain a colon (every family has
+    parameters and canonicalisation fills the defaults in); Table I names
+    never do.  Kept here — below the apps layer — as a plain syntactic check
+    so the store can tag entries without importing the workload subsystem.
+    """
+    return ":" in name
 
 #: The array members of a :class:`CompiledGraph`, in serialisation order.
 ARRAY_FIELDS: Tuple[str, ...] = (
@@ -307,6 +343,33 @@ def compile_graph(graph: TaskGraph) -> CompiledGraph:
 
 
 # ---------------------------------------------------------------------------------
+# deterministic .npz writing
+# ---------------------------------------------------------------------------------
+
+
+def write_npz_deterministic(fh, arrays: Dict[str, np.ndarray]) -> None:
+    """Write an uncompressed ``.npz`` whose bytes depend only on the arrays.
+
+    ``np.savez`` stamps each zip member with the current wall-clock time, so
+    two processes compiling the same graph produce different files.  Here the
+    member timestamps are pinned to the zip epoch and members are stored
+    uncompressed in the given dict order, making the archive a pure function
+    of its contents — which is what lets the determinism suite compare store
+    files byte for byte across processes.  The layout (``ZIP_STORED`` ``.npy``
+    members) is exactly what :func:`load_npz_arrays` memory-maps.
+    """
+    with zipfile.ZipFile(fh, "w", zipfile.ZIP_STORED) as zf:
+        for name, arr in arrays.items():
+            buf = io.BytesIO()
+            np.lib.format.write_array(
+                buf, np.ascontiguousarray(arr), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(name + ".npy", date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_STORED
+            zf.writestr(info, buf.getvalue())
+
+
+# ---------------------------------------------------------------------------------
 # zero-copy .npz loading
 # ---------------------------------------------------------------------------------
 
@@ -497,7 +560,7 @@ class CompiledGraphStore:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = path + f".tmp.{os.getpid()}"
         with open(tmp, "wb") as fh:
-            np.savez(fh, **{f: np.ascontiguousarray(getattr(compiled, f)) for f in ARRAY_FIELDS})
+            write_npz_deterministic(fh, {f: getattr(compiled, f) for f in ARRAY_FIELDS})
         os.replace(tmp, path)
         meta = {
             "format": COMPILED_FORMAT,
@@ -505,6 +568,7 @@ class CompiledGraphStore:
             "benchmark": benchmark,
             "scale": scale,
             "n_nodes": n_nodes,
+            "workload": is_workload_benchmark_name(benchmark),
             "code_version": code_version(),
             "created_at": time.time(),
             "elapsed_s": elapsed_s,
@@ -567,6 +631,7 @@ class CompiledGraphStore:
                     "n_tasks": meta.get("n_tasks", "?"),
                     "n_edges": meta.get("n_edges", "?"),
                     "nbytes": meta.get("nbytes", 0),
+                    "workload": bool(meta.get("workload", False)),
                     "code_version": meta.get("code_version", "?"),
                     "created_at": meta.get("created_at", 0.0),
                 }
@@ -574,12 +639,15 @@ class CompiledGraphStore:
         return rows
 
     def stats(self) -> Dict[str, Any]:
-        """Aggregate store statistics (entry count, bytes, versions)."""
+        """Aggregate store statistics (entry count, bytes, versions, workloads)."""
         n_entries = 0
         n_bytes = 0
+        n_workloads = 0
         versions: Dict[str, int] = {}
         for meta in self.entries():
             n_entries += 1
+            if meta.get("workload"):
+                n_workloads += 1
             versions[str(meta.get("code_version"))] = (
                 versions.get(str(meta.get("code_version")), 0) + 1
             )
@@ -591,17 +659,28 @@ class CompiledGraphStore:
             "root": self.root,
             "entries": n_entries,
             "bytes": n_bytes,
+            "workloads": n_workloads,
             "code_versions": versions,
         }
 
-    def gc(self) -> Dict[str, int]:
-        """Drop stale entries (wrong code version), orphans and temp files."""
+    def gc(self, workload_max_age_s: Optional[float] = None) -> Dict[str, int]:
+        """Drop stale entries (wrong code version), orphans and temp files.
+
+        ``workload_max_age_s`` additionally ages out compiled *workload*
+        graphs older than the limit (counted as ``aged``): the synthetic-spec
+        space is unbounded, so one-off sweeps would otherwise accumulate
+        orphaned entries forever.  ``None`` (the library default) disables
+        aging; the CLI passes :data:`DEFAULT_WORKLOAD_MAX_AGE_S` or the
+        ``REPRO_WORKLOAD_MAX_AGE_S`` override.  Table I entries never age.
+        """
         current = code_version()
+        now = time.time()
         removed_stale = 0
         removed_orphan = 0
         removed_tmp = 0
+        removed_aged = 0
         if not os.path.isdir(self.root):
-            return {"stale": 0, "orphan": 0, "tmp": 0}
+            return {"stale": 0, "orphan": 0, "tmp": 0, "aged": 0}
         for shard in sorted(os.listdir(self.root)):
             shard_dir = os.path.join(self.root, shard)
             if not os.path.isdir(shard_dir):
@@ -633,16 +712,30 @@ class CompiledGraphStore:
                         meta = json.load(fh)
                     version = meta.get("code_version")
                 except (OSError, ValueError, AttributeError):
+                    meta = {}
                     version = None
                 if version != current:
                     self._quarantine(key)
                     removed_stale += 1
+                    continue
+                if (
+                    workload_max_age_s is not None
+                    and meta.get("workload")
+                    and now - float(meta.get("created_at", 0.0)) > workload_max_age_s
+                ):
+                    self._quarantine(key)
+                    removed_aged += 1
             if os.path.isdir(shard_dir) and not os.listdir(shard_dir):
                 try:
                     os.rmdir(shard_dir)
                 except OSError:
                     pass
-        return {"stale": removed_stale, "orphan": removed_orphan, "tmp": removed_tmp}
+        return {
+            "stale": removed_stale,
+            "orphan": removed_orphan,
+            "tmp": removed_tmp,
+            "aged": removed_aged,
+        }
 
     def clear(self) -> int:
         """Delete every entry (the root directory itself is kept). Returns count."""

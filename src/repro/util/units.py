@@ -72,6 +72,20 @@ def mtbf_hours_to_fit(mtbf_hours: float) -> float:
     return FIT_HOURS / mtbf_hours
 
 
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable binary size (``"1.50 MiB"``, ``"312 B"``).
+
+    Used by ``repro cache ls|stats`` so store sizes are readable at a glance;
+    negative inputs keep their sign.
+    """
+    sign = "-" if n_bytes < 0 else ""
+    value = abs(float(n_bytes))
+    for unit, factor in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if value >= factor:
+            return f"{sign}{value / factor:.2f} {unit}"
+    return f"{sign}{value:.0f} B"
+
+
 def bytes_to_gib(n_bytes: float) -> float:
     """Convert a byte count to GiB."""
     return n_bytes / GIB

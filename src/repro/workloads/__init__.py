@@ -1,0 +1,50 @@
+"""The workload subsystem: parametric DAG generators and trace import.
+
+Six seeded synthetic families (``layered``, ``erdos``, ``forkjoin``,
+``pipeline``, ``wavefront``, ``mapreduce``) plus a JSON ``trace`` importer,
+each described by a canonical ``family:key=value,...`` spec string (see
+:mod:`repro.workloads.spec`) and exposed as a
+:class:`~repro.apps.base.Benchmark` so the entire experiment stack — graph
+compilation and its on-disk store, the vectorized App_FIT sweep, the
+simulator fast path, the engine's cell cache — runs unchanged on arbitrary
+task graphs.  The CLI front end is ``repro workloads ls|describe|gen`` and
+``repro sweep --workload``.
+"""
+
+from repro.workloads.benchmark import WorkloadBenchmark, create_workload_benchmark
+from repro.workloads.generators import build_workload, expected_task_count
+from repro.workloads.spec import (
+    FAMILIES,
+    WorkloadSpec,
+    canonical_workload_name,
+    family_names,
+    is_workload_name,
+    parse_workload,
+)
+from repro.workloads.trace import (
+    Trace,
+    TraceTask,
+    export_trace,
+    graph_to_trace_doc,
+    load_trace,
+    parse_trace,
+)
+
+__all__ = [
+    "FAMILIES",
+    "Trace",
+    "TraceTask",
+    "WorkloadBenchmark",
+    "WorkloadSpec",
+    "build_workload",
+    "canonical_workload_name",
+    "create_workload_benchmark",
+    "expected_task_count",
+    "export_trace",
+    "family_names",
+    "graph_to_trace_doc",
+    "is_workload_name",
+    "load_trace",
+    "parse_trace",
+    "parse_workload",
+]

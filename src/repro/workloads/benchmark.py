@@ -1,0 +1,80 @@
+"""Workloads as :class:`~repro.apps.base.Benchmark` instances.
+
+A :class:`WorkloadBenchmark` wraps one canonical
+:class:`~repro.workloads.spec.WorkloadSpec` and plugs into everything built
+for the Table I benchmarks unchanged: its ``name`` *is* the canonical spec
+string, so the results store and the compiled-graph store content-address the
+workload (family + every parameter + seed + trace digest) automatically, and
+``benchmark_instance``/``compiled_sim_cache`` in the runner memoise it like
+any other benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Benchmark
+from repro.runtime.runtime import TaskRuntime
+from repro.util.units import kib
+from repro.workloads.generators import build_workload, expected_task_count
+from repro.workloads.spec import FAMILIES, WorkloadSpec, parse_workload
+
+
+class WorkloadBenchmark(Benchmark):
+    """A synthetic (or trace-imported) workload behind the ``Benchmark`` API.
+
+    Workloads simulate on the shared-memory machine model (``distributed`` is
+    false); the problem ``scale`` shrinks or grows the parameters the family
+    marks as scaled, exactly like the Table I generators' ``from_scale``.
+    """
+
+    distributed = False
+
+    def __init__(self, spec: WorkloadSpec, scale: float = 1.0) -> None:
+        super().__init__()
+        self.spec = spec
+        self.scale = float(scale)
+        self.name = spec.canonical
+        self.description = FAMILIES[spec.family].description
+
+    @classmethod
+    def from_string(cls, text: str, scale: float = 1.0) -> "WorkloadBenchmark":
+        """Parse a spec string (canonicalising it) and wrap it."""
+        return cls(parse_workload(text), scale=scale)
+
+    def _build(self, runtime: TaskRuntime) -> None:
+        """Submit the workload's tasks (see :mod:`repro.workloads.generators`)."""
+        build_workload(self.spec, runtime, self.scale)
+
+    @property
+    def input_bytes(self) -> float:
+        """Nominal data footprint: task count x nominal block size.
+
+        Deliberately ignores the per-task block jitter (``block_cv``) so the
+        figure is computable without generating the graph; the App_FIT
+        threshold always comes from the generated graph itself.
+        """
+        if self.spec.family == "trace":
+            from repro.workloads.trace import load_trace
+
+            trace = load_trace(str(self.spec.param("file")))
+            return float(sum(t.output_bytes for t in trace.tasks))
+        n_tasks = expected_task_count(self.spec, self.scale)
+        return n_tasks * kib(float(self.spec.param("block_kib")))
+
+    @property
+    def problem_label(self) -> str:
+        """The structural parameters (everything except the shared distributions)."""
+        shared = {"seed", "mean_ms", "cv", "block_kib", "block_cv", "sha256"}
+        parts = [f"{k}={v}" for k, v in self.spec.params if k not in shared]
+        return f"{self.spec.family}({', '.join(parts)})"
+
+    @property
+    def block_label(self) -> str:
+        """The nominal per-task block size."""
+        if self.spec.family == "trace":
+            return "from trace"
+        return f"{float(self.spec.param('block_kib')):g} KiB"
+
+
+def create_workload_benchmark(name: str, scale: float = 1.0) -> WorkloadBenchmark:
+    """The registry hook: build a workload benchmark from a spec string."""
+    return WorkloadBenchmark.from_string(name, scale=scale)

@@ -1,0 +1,329 @@
+"""The workload spec grammar: ``family:key=value,key=value``.
+
+A *workload spec* names one synthetic task graph (or one imported trace)
+exactly: the generator family plus every generator parameter, including the
+RNG seed.  Specs have a **canonical form** — every parameter present (defaults
+filled in), sorted by name, values rendered with shortest round-trip ``repr``
+— and that canonical string is used verbatim as the benchmark name everywhere
+downstream: the apps registry, ``ExperimentSpec.benchmark``, the results-store
+hash and the compiled-graph store hash.  Two spellings of the same workload
+therefore share every cache entry, and two different workloads can never
+collide.
+
+Grammar::
+
+    spec    := family [":" params]
+    params  := param ("," param)*
+    param   := name "=" value          # value: int, float, or string
+
+Examples::
+
+    layered:depth=12,width=8,seed=7
+    erdos:tasks=200,p=0.08
+    trace:file=runs/lu_trace.json
+
+The problem ``scale`` is *not* part of the spec: like the Table I benchmarks,
+workloads are scaled at graph-build time and the scale travels separately
+through :class:`~repro.analysis.runner.ExperimentSpec` and the compiled-graph
+key.  Parameters marked ``scaled`` in the family table shrink/grow with it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Parameter value types a spec can carry.
+ParamValue = Any  # int | float | str
+
+
+@dataclass(frozen=True)
+class Param:
+    """One generator parameter: its type, default, floor, and scaling rule."""
+
+    name: str
+    kind: type  # int, float or str
+    default: Optional[ParamValue]
+    #: Documentation string for ``repro workloads ls``.
+    doc: str = ""
+    #: Whether the parameter shrinks/grows with the problem scale.
+    scaled: bool = False
+    #: Floor applied after scaling (and validation floor for int/float params).
+    minimum: Optional[ParamValue] = None
+
+    def validate(self, value: ParamValue) -> ParamValue:
+        """Coerce and range-check one parsed value; raises ``ValueError``."""
+        try:
+            value = self.kind(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"parameter {self.name}={value!r} is not a valid {self.kind.__name__}"
+            )
+        if self.minimum is not None and self.kind is not str and value < self.minimum:
+            raise ValueError(
+                f"parameter {self.name}={value!r} must be >= {self.minimum}"
+            )
+        return value
+
+    def effective(self, value: ParamValue, scale: float) -> ParamValue:
+        """The value actually used at a problem scale (floored, ints rounded)."""
+        if not self.scaled or scale == 1.0:
+            return value
+        scaled = value * scale
+        if self.kind is int:
+            scaled = int(round(scaled))
+        floor = self.minimum if self.minimum is not None else (1 if self.kind is int else 0.0)
+        return max(floor, scaled)
+
+
+@dataclass(frozen=True)
+class Family:
+    """One workload family: its name, parameters and documentation."""
+
+    name: str
+    description: str
+    params: Tuple[Param, ...]
+    #: Structural guarantees the property-based tests pin down.
+    promises: Tuple[str, ...] = ()
+
+    def param(self, name: str) -> Param:
+        """Look up a parameter definition by name."""
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"family {self.name!r} has no parameter {name!r}")
+
+
+#: Distribution parameters shared by every synthetic family.
+_COMMON: Tuple[Param, ...] = (
+    Param("seed", int, 0, "RNG seed of the duration/structure draws", minimum=0),
+    Param("mean_ms", float, 5.0, "mean task duration in milliseconds", minimum=1e-6),
+    Param("cv", float, 0.25, "lognormal coefficient of variation of durations (0 = constant)", minimum=0.0),
+    Param("block_kib", float, 256.0, "output block size per task in KiB", minimum=1e-3),
+    Param("block_cv", float, 0.0, "lognormal coefficient of variation of block sizes (0 = constant)", minimum=0.0),
+)
+
+#: Every workload family, in presentation order.
+FAMILIES: Dict[str, Family] = {
+    f.name: f
+    for f in (
+        Family(
+            "layered",
+            "Layered random DAG: depth x width grid, random fan-in between adjacent layers",
+            (
+                Param("depth", int, 12, "number of layers", scaled=True, minimum=2),
+                Param("width", int, 8, "tasks per layer", scaled=True, minimum=1),
+                Param("fanin", int, 3, "max predecessors drawn per task", minimum=1),
+            )
+            + _COMMON,
+            promises=("acyclic", "in_degree<=fanin"),
+        ),
+        Family(
+            "erdos",
+            "Erdos-Renyi DAG: each forward pair (i, j) is an edge with probability p",
+            (
+                Param("tasks", int, 160, "number of tasks", scaled=True, minimum=4),
+                Param("p", float, 0.05, "forward edge probability", minimum=0.0),
+            )
+            + _COMMON,
+            promises=("acyclic",),
+        ),
+        Family(
+            "forkjoin",
+            "Repeated fork-join: fork -> width workers -> join, chained over stages",
+            (
+                Param("stages", int, 4, "number of fork-join stages", scaled=True, minimum=1),
+                Param("width", int, 16, "parallel workers per stage", scaled=True, minimum=1),
+            )
+            + _COMMON,
+            promises=("acyclic", "single_source", "single_sink", "in_degree<=width"),
+        ),
+        Family(
+            "pipeline",
+            "Software pipeline: stage s of item i waits for stage s-1 of i and stage s of i-1",
+            (
+                Param("stages", int, 6, "pipeline depth", scaled=True, minimum=2),
+                Param("items", int, 24, "items streamed through the pipeline", scaled=True, minimum=2),
+            )
+            + _COMMON,
+            promises=("acyclic", "single_source", "single_sink", "in_degree<=2"),
+        ),
+        Family(
+            "wavefront",
+            "Wavefront/stencil sweep: cell (i, j) waits for (i-1, j), (i, j-1) and (i-1, j-1)",
+            (
+                Param("rows", int, 12, "grid rows", scaled=True, minimum=2),
+                Param("cols", int, 12, "grid columns", scaled=True, minimum=2),
+            )
+            + _COMMON,
+            promises=("acyclic", "single_source", "single_sink", "in_degree<=3"),
+        ),
+        Family(
+            "mapreduce",
+            "Mapreduce rounds: maps shuffle all-to-all into reduces, reduces feed the next round",
+            (
+                Param("maps", int, 32, "map tasks per round", scaled=True, minimum=2),
+                Param("reduces", int, 8, "reduce tasks per round", scaled=True, minimum=1),
+                Param("rounds", int, 2, "number of chained rounds", scaled=True, minimum=1),
+            )
+            + _COMMON,
+            promises=("acyclic", "in_degree<=maps"),
+        ),
+        Family(
+            "trace",
+            "Imported JSON trace (see repro.workloads.trace for the schema)",
+            (
+                Param("file", str, None, "path of the trace JSON file"),
+                Param("sha256", str, "", "content digest (filled in automatically)"),
+            ),
+            promises=("acyclic",),
+        ),
+    )
+}
+
+
+def family_names() -> List[str]:
+    """All workload family names, in presentation order."""
+    return list(FAMILIES)
+
+
+def is_workload_name(name: str) -> bool:
+    """Whether a benchmark name designates a workload spec.
+
+    Workload names are either a bare family name (all defaults) or a
+    ``family:params`` spec string; Table I benchmark names contain no colon
+    and never collide with a family name.
+    """
+    return name.split(":", 1)[0] in FAMILIES
+
+
+def _render_value(value: ParamValue) -> str:
+    """Canonical rendering of one parameter value (shortest exact round-trip)."""
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("boolean workload parameters are not supported")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return str(value)
+
+
+def _digest_file(path: str) -> str:
+    """SHA-256 hex digest of a file's content (the trace cache-key component)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One fully resolved workload: family plus every parameter value.
+
+    ``params`` holds *all* family parameters (defaults filled in) as a sorted
+    tuple of ``(name, value)`` pairs, so equal workloads compare equal and the
+    canonical string is unique.
+    """
+
+    family: str
+    params: Tuple[Tuple[str, ParamValue], ...]
+
+    def param(self, name: str, default: ParamValue = None) -> ParamValue:
+        """Look up one parameter value."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def canonical(self) -> str:
+        """The canonical spec string — the workload's benchmark name.
+
+        Every cache key downstream (results store, compiled-graph store)
+        hashes this string, so it *is* the workload's content address (for
+        traces, together with the embedded file digest).
+        """
+        rendered = ",".join(f"{k}={_render_value(v)}" for k, v in self.params)
+        return f"{self.family}:{rendered}"
+
+    def effective_params(self, scale: float = 1.0) -> Dict[str, ParamValue]:
+        """Parameter values at a problem scale (scaled ints rounded + floored)."""
+        fam = FAMILIES[self.family]
+        return {k: fam.param(k).effective(v, scale) for k, v in self.params}
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.canonical
+
+
+def parse_workload(text: str) -> WorkloadSpec:
+    """Parse (and canonicalise) a workload spec string.
+
+    Fills in defaults, validates every value, and — for ``trace`` specs —
+    resolves the file to an absolute path and embeds its content digest so
+    the canonical name changes whenever the trace content does.  Raises
+    ``KeyError`` for an unknown family and ``ValueError`` for bad parameters.
+    """
+    text = text.strip()
+    family_name, _, rest = text.partition(":")
+    family = FAMILIES.get(family_name)
+    if family is None:
+        raise KeyError(
+            f"unknown workload family {family_name!r}; known: {', '.join(FAMILIES)}"
+        )
+    values: Dict[str, ParamValue] = {}
+    if rest:
+        for item in rest.split(","):
+            name, eq, raw = item.partition("=")
+            name = name.strip()
+            if not eq or not name:
+                raise ValueError(f"malformed workload parameter {item!r} in {text!r}")
+            try:
+                param = family.param(name)
+            except KeyError:
+                known = ", ".join(p.name for p in family.params)
+                raise ValueError(
+                    f"unknown parameter {name!r} for family {family_name!r}; known: {known}"
+                )
+            values[name] = param.validate(raw.strip())
+    for param in family.params:
+        if param.name in values:
+            continue
+        if param.default is None:
+            raise ValueError(
+                f"workload family {family_name!r} requires parameter {param.name!r}"
+            )
+        values[param.name] = param.default
+
+    if family_name == "trace":
+        path = os.path.abspath(str(values["file"]))
+        # The canonical name embeds the path verbatim, so the grammar's own
+        # separators must not appear in it — fail here, with a clear message,
+        # instead of producing a canonical name no consumer can re-parse.
+        if "," in path or "=" in path:
+            raise ValueError(
+                f"trace file path {path!r} contains ',' or '=', which the "
+                "workload spec grammar cannot represent; rename or relocate "
+                "the file"
+            )
+        if not os.path.isfile(path):
+            raise ValueError(f"trace file not found: {path}")
+        digest = _digest_file(path)
+        claimed = str(values.get("sha256") or "")
+        if claimed and not digest.startswith(claimed):
+            raise ValueError(
+                f"trace file {path} content digest {digest[:16]} does not match "
+                f"the spec's sha256={claimed} (the file changed since the spec "
+                "was canonicalised)"
+            )
+        values["file"] = path
+        values["sha256"] = digest[:16]
+
+    return WorkloadSpec(
+        family=family_name, params=tuple(sorted(values.items()))
+    )
+
+
+def canonical_workload_name(text: str) -> str:
+    """Shorthand: parse a spec string and return its canonical form."""
+    return parse_workload(text).canonical

@@ -1,0 +1,168 @@
+"""JSON trace import/export for externally described workflows.
+
+The trace format is deliberately minimal — the four quantities the
+replication pipeline consumes (structure, durations, output sizes, task
+types) and nothing else::
+
+    {
+      "name": "my-workflow",               # optional label
+      "tasks": [
+        {"id": 0, "type": "load", "duration_s": 0.01, "output_bytes": 65536,
+         "deps": []},
+        {"id": 1, "type": "solve", "duration_s": 0.25, "output_bytes": 4096,
+         "deps": [0]}
+      ]
+    }
+
+Tasks must be listed in a topological order (every ``deps`` entry refers to an
+*earlier* task), ids must be unique, and durations/output sizes must be
+strictly positive — :func:`load_trace` validates all of it up front so a bad
+file can never produce a silently wrong graph.
+
+:func:`export_trace` writes any :class:`~repro.runtime.graph.TaskGraph` in
+this format (``repro workloads gen <spec> --out file.json`` uses it), and the
+import of an exported synthetic workload compiles to the *identical* array
+form — the workload smoke tool checks that round trip on every run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.runtime.graph import TaskGraph
+from repro.runtime.runtime import TaskRuntime
+
+
+@dataclass(frozen=True)
+class TraceTask:
+    """One validated trace entry."""
+
+    task_id: int
+    task_type: str
+    duration_s: float
+    output_bytes: float
+    deps: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A validated, topologically ordered list of trace tasks."""
+
+    name: str
+    tasks: Tuple[TraceTask, ...]
+
+
+def _parse_task(index: int, doc: object, seen: Dict[int, int]) -> TraceTask:
+    """Validate one raw task document; raises ``ValueError`` with context."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"trace task #{index} is not an object: {doc!r}")
+    try:
+        task_id = int(doc["id"])
+    except (KeyError, TypeError, ValueError):
+        raise ValueError(f"trace task #{index} has no integer 'id'")
+    if task_id in seen:
+        raise ValueError(f"trace task #{index} duplicates id {task_id}")
+    duration = float(doc.get("duration_s", 0.0))
+    output_bytes = float(doc.get("output_bytes", 0.0))
+    if duration <= 0.0:
+        raise ValueError(f"trace task {task_id} needs a strictly positive duration_s")
+    if output_bytes <= 0.0:
+        raise ValueError(f"trace task {task_id} needs strictly positive output_bytes")
+    deps_raw = doc.get("deps", [])
+    if not isinstance(deps_raw, list):
+        raise ValueError(f"trace task {task_id} 'deps' is not a list")
+    deps: List[int] = []
+    for dep in deps_raw:
+        dep = int(dep)
+        if dep not in seen:
+            raise ValueError(
+                f"trace task {task_id} depends on {dep}, which is not an "
+                "earlier task (traces must be topologically ordered)"
+            )
+        if dep == task_id:
+            raise ValueError(f"trace task {task_id} depends on itself")
+        deps.append(dep)
+    return TraceTask(
+        task_id=task_id,
+        task_type=str(doc.get("type", "task")),
+        duration_s=duration,
+        output_bytes=output_bytes,
+        deps=tuple(deps),
+    )
+
+
+def parse_trace(doc: object) -> Trace:
+    """Validate a decoded trace document into a :class:`Trace`."""
+    if not isinstance(doc, dict) or not isinstance(doc.get("tasks"), list):
+        raise ValueError("a trace document is an object with a 'tasks' list")
+    seen: Dict[int, int] = {}
+    tasks: List[TraceTask] = []
+    for index, raw in enumerate(doc["tasks"]):
+        task = _parse_task(index, raw, seen)
+        seen[task.task_id] = index
+        tasks.append(task)
+    if not tasks:
+        raise ValueError("a trace needs at least one task")
+    return Trace(name=str(doc.get("name", "trace")), tasks=tuple(tasks))
+
+
+def load_trace(path: str) -> Trace:
+    """Load and validate a trace JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except ValueError as exc:
+            raise ValueError(f"trace file {path} is not valid JSON: {exc}")
+    return parse_trace(doc)
+
+
+def build_trace_graph(trace: Trace, runtime: TaskRuntime) -> None:
+    """Submit every trace task into ``runtime`` (dependencies via regions).
+
+    Each task owns one output region sized ``output_bytes`` and reads its
+    dependencies' regions whole, so the inferred read-after-write edges are
+    exactly the trace's ``deps`` lists and the per-task byte accounting
+    matches what the synthetic generators produce.
+    """
+    regions = {}
+    for task in trace.tasks:
+        region = runtime.register_region(
+            f"t{task.task_id}", task.output_bytes
+        ).whole()
+        runtime.submit(
+            task_type=task.task_type,
+            in_=[regions[dep] for dep in task.deps],
+            out=[region],
+            duration_s=task.duration_s,
+        )
+        regions[task.task_id] = region
+
+
+def graph_to_trace_doc(graph: TaskGraph) -> Dict[str, object]:
+    """The trace document of a task graph (inverse of the importer).
+
+    Tasks are emitted in submission order — a topological order for every
+    graph the runtime builds — with their output byte counts and sorted
+    dependency lists.
+    """
+    tasks = []
+    for task in graph.iter_submission_order():
+        tasks.append(
+            {
+                "id": task.task_id,
+                "type": task.task_type,
+                "duration_s": task.duration_s,
+                "output_bytes": task.output_bytes,
+                "deps": sorted(graph.predecessors(task.task_id)),
+            }
+        )
+    return {"name": graph.name, "tasks": tasks}
+
+
+def export_trace(graph: TaskGraph, path: str) -> None:
+    """Write a task graph as a trace JSON file (stable key order, one line per level)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(graph_to_trace_doc(graph), fh, indent=1, sort_keys=True)
+        fh.write("\n")

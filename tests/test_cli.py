@@ -231,6 +231,132 @@ def test_sweep_unknown_policy_is_a_usage_error(dirs, capsys):
 
 
 # ---------------------------------------------------------------------------------
+# workload sweeps + the workloads subcommand
+# ---------------------------------------------------------------------------------
+
+#: The ISSUE-4 acceptance spec plus one small spec per remaining family.
+WORKLOAD_SPECS = (
+    "layered:depth=12,width=8,seed=7",
+    "erdos:tasks=20,p=0.2,seed=1",
+    "forkjoin:stages=2,width=3,seed=1",
+    "pipeline:stages=3,items=3,seed=1",
+    "wavefront:rows=3,cols=3,seed=1",
+    "mapreduce:maps=4,reduces=2,rounds=1,seed=1",
+)
+
+
+def test_workload_sweep_cold_warm_and_bit_identical(dirs, capsys):
+    """The acceptance criterion: cold then warm with zero computed cells."""
+    out, cache = dirs
+    argv = (
+        "sweep", "--workload", "layered:depth=12,width=8,seed=7",
+        "--scale", "0.2", "--cache-dir", cache,
+    )
+    assert run_cli(*argv, "--out", out) == 0
+    cold_stdout = capsys.readouterr().out
+    assert "(4 computed, 0 cached)" in cold_stdout
+    with open(os.path.join(out, "workload_sweep.txt"), encoding="utf-8") as fh:
+        cold_text = fh.read()
+    assert "layered:" in cold_text
+
+    out2 = out + "2"
+    assert run_cli(*argv, "--out", out2) == 0
+    assert "(0 computed, 4 cached)" in capsys.readouterr().out
+    with open(os.path.join(out2, "workload_sweep.txt"), encoding="utf-8") as fh:
+        assert fh.read() == cold_text
+    with open(os.path.join(out, "workload_sweep.json"), encoding="utf-8") as fh:
+        doc = json.load(fh)
+    with open(os.path.join(out2, "workload_sweep.json"), encoding="utf-8") as fh:
+        assert json.load(fh) == doc
+    assert doc["target"] == "workload-sweep"
+    assert len(doc["rows"]) == 4
+
+
+def test_workload_sweep_separate_process_artifacts_identical(dirs, capsys):
+    """Two cold runs in separate processes: byte-identical txt/JSON artifacts
+    covering every generator family (the issue's determinism criterion)."""
+    out, cache = dirs
+    argv = [
+        "sweep", "--workload", *WORKLOAD_SPECS,
+        "--multipliers", "10",
+        "--fault-rates", "0.01",
+        "--scale", "0.2",
+        "--parallelism", "1",
+    ]
+    assert run_cli(*argv, "--out", out, "--cache-dir", cache) == 0
+    capsys.readouterr()
+
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out2, cache2 = out + "-p2", out + "-cache2"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv, "--out", out2, "--cache-dir", cache2],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for artifact in ("workload_sweep.txt", "workload_sweep.json"):
+        with open(os.path.join(out, artifact), "rb") as fh:
+            first = fh.read()
+        with open(os.path.join(out2, artifact), "rb") as fh:
+            assert fh.read() == first, artifact
+
+
+def test_workload_sweep_conflicts_with_benchmarks(dirs, capsys):
+    out, cache = dirs
+    status = run_cli(
+        "sweep", "--workload", "layered", "--benchmarks", "cholesky",
+        "--out", out, "--cache-dir", cache,
+    )
+    assert status == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_workload_sweep_bad_spec_is_a_usage_error(dirs, capsys):
+    out, cache = dirs
+    status = run_cli(
+        "sweep", "--workload", "moebius:tasks=3", "--out", out, "--cache-dir", cache
+    )
+    assert status == 2
+    assert "unknown workload family" in capsys.readouterr().err
+
+
+def test_workloads_ls_describe(capsys):
+    assert run_cli("workloads", "ls") == 0
+    ls_out = capsys.readouterr().out
+    for family in ("layered", "erdos", "forkjoin", "pipeline", "wavefront",
+                   "mapreduce", "trace"):
+        assert family in ls_out
+
+    assert run_cli("workloads", "describe", "wavefront:rows=3,cols=4", "--scale", "1.0") == 0
+    desc = capsys.readouterr().out
+    assert "canonical : wavefront:" in desc
+    assert "tasks     : 12" in desc
+
+    assert run_cli("workloads", "describe") == 2
+    assert "needs a SPEC" in capsys.readouterr().err
+    assert run_cli("workloads", "describe", "layered:depth=zz") == 2
+    assert "not a valid int" in capsys.readouterr().err
+
+
+def test_workloads_gen_exports_reimportable_trace(dirs, capsys):
+    out, _ = dirs
+    os.makedirs(out, exist_ok=True)
+    trace_path = os.path.join(out, "layered.json")
+    assert run_cli(
+        "workloads", "gen", "layered:depth=3,width=2,seed=5", "--out", trace_path
+    ) == 0
+    assert os.path.exists(trace_path)
+    capsys.readouterr()
+
+    assert run_cli("workloads", "describe", f"trace:file={trace_path}") == 0
+    desc = capsys.readouterr().out
+    assert "tasks     : 6" in desc
+
+
+# ---------------------------------------------------------------------------------
 # cache maintenance
 # ---------------------------------------------------------------------------------
 

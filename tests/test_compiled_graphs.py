@@ -313,7 +313,7 @@ class TestInvalidation:
         with open(store.path_for(key) + ".tmp.999", "wb") as fh:
             fh.write(b"junk")
         removed = store.gc()
-        assert removed == {"stale": 0, "orphan": 1, "tmp": 1}
+        assert removed == {"stale": 0, "orphan": 1, "tmp": 1, "aged": 0}
         assert store.contains("stream", SCALE)
 
 

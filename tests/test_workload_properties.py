@@ -1,0 +1,154 @@
+"""Property-based invariants of the workload generators (hypothesis).
+
+Each family promises a small set of structural invariants (see the
+``promises`` field in :data:`repro.workloads.spec.FAMILIES`); these tests
+drive randomly drawn parameter combinations through every generator and pin
+them down:
+
+* every generated graph is acyclic;
+* families promising a single source/sink actually have exactly one;
+* promised in-degree bounds hold;
+* all durations and all argument byte counts are strictly positive;
+* generation is a pure function of (spec, scale): rebuilding compiles to
+  byte-identical arrays.
+
+Runs under the ``quick`` hypothesis profile (5 examples) in the quick suite
+and the default ``repro`` profile (30) in tier-1.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.compiled import ARRAY_FIELDS, compile_graph
+from repro.workloads import WorkloadBenchmark, parse_workload
+
+#: Shared distribution-parameter strategies (kept small so graphs stay tiny).
+_SEED = st.integers(min_value=0, max_value=2**32 - 1)
+_CV = st.sampled_from([0.0, 0.3, 1.0])
+_SCALE = st.sampled_from([0.5, 1.0])
+
+
+def _spec(family: str, seed: int, cv: float, block_cv: float, **structure) -> str:
+    """Assemble a spec string from drawn parameters."""
+    parts = [f"{k}={v}" for k, v in structure.items()]
+    parts += [f"seed={seed}", f"cv={cv}", f"block_cv={block_cv}"]
+    return f"{family}:{','.join(parts)}"
+
+
+def _graph_and_compiled(text: str, scale: float):
+    """Build one workload twice; assert determinism; return (graph, compiled)."""
+    bench = WorkloadBenchmark(parse_workload(text), scale=scale)
+    graph = bench.build_graph()
+    compiled = compile_graph(graph)
+    rebuilt = compile_graph(
+        WorkloadBenchmark(parse_workload(text), scale=scale).build_graph()
+    )
+    for field in ARRAY_FIELDS:
+        assert np.array_equal(getattr(compiled, field), getattr(rebuilt, field)), (
+            f"{text} rebuilt differently in {field}"
+        )
+    return graph, compiled
+
+
+def _assert_positive_and_acyclic(graph, compiled) -> None:
+    """The invariants every family promises."""
+    assert graph.is_acyclic()
+    assert np.all(compiled.durations > 0)
+    assert np.all(compiled.arg_bytes > 0)
+    assert np.all(compiled.output_bytes > 0)
+    compiled.validate()
+
+
+def _assert_single_source_and_sink(graph) -> None:
+    assert len(graph.roots()) == 1
+    assert len(graph.leaves()) == 1
+
+
+@given(
+    depth=st.integers(2, 5),
+    width=st.integers(1, 4),
+    fanin=st.integers(1, 4),
+    seed=_SEED,
+    cv=_CV,
+    block_cv=_CV,
+    scale=_SCALE,
+)
+@settings(deadline=None)
+def test_layered_invariants(depth, width, fanin, seed, cv, block_cv, scale):
+    graph, compiled = _graph_and_compiled(
+        _spec("layered", seed, cv, block_cv, depth=depth, width=width, fanin=fanin),
+        scale,
+    )
+    _assert_positive_and_acyclic(graph, compiled)
+    # Promised bound: at most `fanin` predecessors per task.
+    assert int(compiled.in_degrees().max()) <= fanin
+
+
+@given(tasks=st.integers(4, 24), p=st.floats(0.0, 1.0), seed=_SEED, scale=_SCALE)
+@settings(deadline=None)
+def test_erdos_invariants(tasks, p, seed, scale):
+    graph, compiled = _graph_and_compiled(
+        _spec("erdos", seed, 0.3, 0.0, tasks=tasks, p=p), scale
+    )
+    _assert_positive_and_acyclic(graph, compiled)
+
+
+@given(stages=st.integers(1, 3), width=st.integers(1, 5), seed=_SEED, cv=_CV, scale=_SCALE)
+@settings(deadline=None)
+def test_forkjoin_invariants(stages, width, seed, cv, scale):
+    graph, compiled = _graph_and_compiled(
+        _spec("forkjoin", seed, cv, 0.0, stages=stages, width=width), scale
+    )
+    _assert_positive_and_acyclic(graph, compiled)
+    _assert_single_source_and_sink(graph)
+    # Joins collect `width` workers; everything else has at most one pred —
+    # but width is the *effective* (scaled) value, never more than the drawn one.
+    assert int(compiled.in_degrees().max()) <= max(width, 1)
+
+
+@given(stages=st.integers(2, 5), items=st.integers(2, 5), seed=_SEED, cv=_CV, scale=_SCALE)
+@settings(deadline=None)
+def test_pipeline_invariants(stages, items, seed, cv, scale):
+    graph, compiled = _graph_and_compiled(
+        _spec("pipeline", seed, cv, 0.0, stages=stages, items=items), scale
+    )
+    _assert_positive_and_acyclic(graph, compiled)
+    _assert_single_source_and_sink(graph)
+    assert int(compiled.in_degrees().max()) <= 2
+
+
+@given(rows=st.integers(2, 5), cols=st.integers(2, 5), seed=_SEED, block_cv=_CV, scale=_SCALE)
+@settings(deadline=None)
+def test_wavefront_invariants(rows, cols, seed, block_cv, scale):
+    graph, compiled = _graph_and_compiled(
+        _spec("wavefront", seed, 0.25, block_cv, rows=rows, cols=cols), scale
+    )
+    _assert_positive_and_acyclic(graph, compiled)
+    _assert_single_source_and_sink(graph)
+    assert int(compiled.in_degrees().max()) <= 3
+
+
+@given(
+    maps=st.integers(2, 6),
+    reduces=st.integers(1, 3),
+    rounds=st.integers(1, 3),
+    seed=_SEED,
+    scale=_SCALE,
+)
+@settings(deadline=None)
+def test_mapreduce_invariants(maps, reduces, rounds, seed, scale):
+    graph, compiled = _graph_and_compiled(
+        _spec("mapreduce", seed, 0.25, 0.0, maps=maps, reduces=reduces, rounds=rounds),
+        scale,
+    )
+    _assert_positive_and_acyclic(graph, compiled)
+    # Reduces fan in from every map of their round.
+    assert int(compiled.in_degrees().max()) <= maps
+
+
+@given(seed=_SEED, scale=_SCALE)
+@settings(deadline=None, max_examples=10)
+def test_canonicalisation_is_stable_under_reparse(seed, scale):
+    spec = parse_workload(f"layered:depth=3,width=2,seed={seed}")
+    assert parse_workload(spec.canonical).canonical == spec.canonical

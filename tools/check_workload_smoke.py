@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Workload smoke gate (CI): every family generates, compiles and simulates.
+
+For one small instance of every synthetic workload family this script:
+
+1. generates the task graph **twice** from fresh benchmark instances and
+   fails if the compiled array forms differ anywhere (non-deterministic
+   regeneration — the invariant every cache key relies on);
+2. round-trips the graph through the content-addressed compiled-graph store
+   and fails if the reloaded ``.npz`` is not byte-stable (two saves of the
+   same graph must produce identical files);
+3. simulates the compiled form on the fast path and the original graph on
+   the scalar reference path and fails if any aggregate differs;
+4. additionally round-trips the ``layered`` instance through the JSON trace
+   exporter/importer and fails if the re-imported graph compiles differently.
+
+Exit status 0 means every family passed.  Runs in a temp directory; nothing
+is left behind.
+
+Usage::
+
+    python tools/check_workload_smoke.py [--scale 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import io
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.runtime.compiled import (  # noqa: E402
+    ARRAY_FIELDS,
+    CompiledGraphStore,
+    compile_graph,
+    write_npz_deterministic,
+)
+from repro.simulator.execution import SimulationConfig, simulate_graph  # noqa: E402
+from repro.simulator.fastpath import SimGraphCache, simulate_compiled  # noqa: E402
+from repro.simulator.machine import shared_memory_node  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    WorkloadBenchmark,
+    export_trace,
+    parse_workload,
+)
+
+#: One small instance per synthetic family (a few dozen tasks each).
+SMOKE_SPECS = (
+    "layered:depth=5,width=4,fanin=2,seed=11,cv=0.4,block_cv=0.3",
+    "erdos:tasks=30,p=0.12,seed=11",
+    "forkjoin:stages=3,width=5,seed=11",
+    "pipeline:stages=4,items=5,seed=11",
+    "wavefront:rows=5,cols=4,seed=11",
+    "mapreduce:maps=6,reduces=2,rounds=2,seed=11",
+)
+
+
+def _compiled_equal(a, b) -> list:
+    """Names of the array fields on which two compiled graphs differ."""
+    return [
+        f
+        for f in ARRAY_FIELDS
+        if not np.array_equal(np.asarray(getattr(a, f)), np.asarray(getattr(b, f)))
+    ]
+
+
+def _npz_digest(compiled) -> str:
+    """SHA-256 of the deterministic on-disk form of a compiled graph."""
+    buf = io.BytesIO()
+    write_npz_deterministic(buf, {f: getattr(compiled, f) for f in ARRAY_FIELDS})
+    return hashlib.sha256(buf.getvalue()).hexdigest()
+
+
+def check_family(text: str, scale: float, store: CompiledGraphStore) -> list:
+    """All smoke checks for one spec; returns a list of failure strings."""
+    failures = []
+    spec = parse_workload(text)
+
+    # 1. deterministic regeneration
+    first = compile_graph(WorkloadBenchmark(spec, scale).build_graph())
+    second = compile_graph(WorkloadBenchmark(spec, scale).build_graph())
+    diff = _compiled_equal(first, second)
+    if diff:
+        failures.append(f"non-deterministic regeneration (fields: {', '.join(diff)})")
+
+    # 2. store round trip + byte-stable serialisation
+    if _npz_digest(first) != _npz_digest(second):
+        failures.append("npz serialisation is not byte-stable")
+    store.save(spec.canonical, scale, first)
+    loaded = store.load(spec.canonical, scale)
+    if loaded is None:
+        failures.append("store round trip failed (load miss)")
+    else:
+        diff = _compiled_equal(first, loaded)
+        if diff:
+            failures.append(f"store round trip differs (fields: {', '.join(diff)})")
+
+    # 3. fast vs reference simulation
+    graph = WorkloadBenchmark(spec, scale).build_graph()
+    config = SimulationConfig(
+        replicate_all=True, crash_probability=0.02, sdc_probability=0.01, seed=4
+    )
+    fast = simulate_compiled(SimGraphCache.from_compiled(first), shared_memory_node(8), config)
+    ref = simulate_graph(graph, shared_memory_node(8), config)
+    for attr in ("makespan_s", "total_overhead_s", "crashes_injected", "sdcs_injected"):
+        if getattr(fast, attr) != getattr(ref, attr):
+            failures.append(
+                f"fast/reference simulation disagree on {attr}: "
+                f"{getattr(fast, attr)!r} != {getattr(ref, attr)!r}"
+            )
+    return failures
+
+
+def check_trace_round_trip(scale: float, tmp: str) -> list:
+    """Export layered -> import as trace -> compiled forms must be identical."""
+    spec = parse_workload(SMOKE_SPECS[0])
+    graph = WorkloadBenchmark(spec, scale).build_graph()
+    path = os.path.join(tmp, "layered_trace.json")
+    export_trace(graph, path)
+    imported = WorkloadBenchmark(parse_workload(f"trace:file={path}"), scale).build_graph()
+    diff = _compiled_equal(compile_graph(graph), compile_graph(imported))
+    if diff:
+        return [f"trace round trip differs (fields: {', '.join(diff)})"]
+    return []
+
+
+def main(argv=None) -> int:
+    """Run the smoke checks; returns 0 iff every family passes."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--scale", type=float, default=1.0, help="problem scale")
+    args = parser.parse_args(argv)
+
+    status = 0
+    with tempfile.TemporaryDirectory(prefix="repro-workload-smoke-") as tmp:
+        store = CompiledGraphStore(os.path.join(tmp, "cache"))
+        for text in SMOKE_SPECS:
+            failures = check_family(text, args.scale, store)
+            family = text.split(":", 1)[0]
+            if failures:
+                status = 1
+                for failure in failures:
+                    print(f"FAIL {family:<10} {failure}")
+            else:
+                print(f"ok   {family}")
+        failures = check_trace_round_trip(args.scale, tmp)
+        if failures:
+            status = 1
+            for failure in failures:
+                print(f"FAIL {'trace':<10} {failure}")
+        else:
+            print("ok   trace (export -> import round trip)")
+    print("workload smoke:", "FAILED" if status else "passed")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
