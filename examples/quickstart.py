@@ -6,12 +6,15 @@ application reliability target (in FIT), lets the App_FIT heuristic decide
 which tasks to replicate, injects silent data corruptions, and checks that the
 result is still correct and the FIT target was honoured.
 
-The demo is deterministic by construction: the fault injector runs on an
-explicit seed, and the runtime uses a single worker so the injector's shared
-fault stream is consumed in submission order (with several workers, thread
-scheduling would permute the draws and the injected-fault counts — and hence
-the final verdict — would change run to run; that is exactly what the ROADMAP
-flagged).  The numerical check is likewise deterministic about leakage:
+The demo is deterministic by construction, with any number of workers: the
+fault injector draws every execution's faults from a counter-based stream
+keyed by ``(root seed, task id, execution index)``, the runtime pre-decides
+replication in submission order, and recovery snapshots/restores only the
+byte regions each task declares — so the injected-fault multiset, the
+recovery counts and the final arrays are a pure function of the seed and the
+task graph, not of thread scheduling.  (Earlier versions had to pin a single
+worker here because the injector consumed one shared stream in scheduling
+order.)  The numerical check is likewise deterministic about leakage:
 App_FIT deliberately leaves low-FIT tasks unprotected, so an escaped SDC (or
 an unrecovered mismatch) makes an *incorrect* final result the expected
 outcome.  The demo verifies that the observed correctness matches what the
@@ -79,9 +82,9 @@ def main() -> None:
     a_dense = rng.standard_normal((matrix_size, matrix_size))
     b_dense = rng.standard_normal((matrix_size, matrix_size))
 
-    # One worker keeps the shared fault stream in submission order (see the
+    # Keyed fault streams make n_workers a free performance knob (see the
     # module docstring); the dataflow annotations are unchanged.
-    rt = TaskRuntime(n_workers=1, hook=engine)
+    rt = TaskRuntime(n_workers=4, hook=engine)
     a, b, c = {}, {}, {}
     for i in range(nb):
         for j in range(nb):
@@ -131,6 +134,14 @@ def main() -> None:
         raise SystemExit(
             "quickstart: numerical correctness disagrees with the recovery "
             "bookkeeping — this is a bug, please report it"
+        )
+    if not correct:
+        # With the pinned seed every injected SDC hits a protected task and is
+        # corrected, at any worker count; CI runs this script and relies on a
+        # non-zero exit if that determinism guarantee ever regresses.
+        raise SystemExit(
+            "quickstart: expected the pinned seed to yield a fully corrected "
+            "run (numerical result correct: True (expected True))"
         )
 
 

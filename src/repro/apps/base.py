@@ -102,6 +102,19 @@ class Benchmark(abc.ABC):
             n_tasks=n_tasks,
         )
 
+    def functional_runtime(self, n_workers: int = 2, hook=None) -> TaskRuntime:
+        """The :class:`TaskRuntime` a functional variant executes on.
+
+        ``n_workers`` is a free performance knob: functional results are
+        worker-count independent by construction.  The runtime's executor
+        pre-decides replication in submission order (``prepare_graph``), the
+        fault injector draws from streams keyed by ``(root_seed, task_id,
+        execution_index)``, and the replication protocol snapshots/restores
+        only the byte regions a task declares — so neither the injected-fault
+        multiset nor the recovered arrays depend on thread scheduling.
+        """
+        return TaskRuntime(n_workers=n_workers, hook=hook)
+
     def functional_run(self, n_workers: int = 2, hook=None):
         """Execute a scaled-down functional variant through the runtime.
 

@@ -126,7 +126,7 @@ class CholeskyBenchmark(Benchmark):
         spd = m @ m.T + matrix_size * np.eye(matrix_size)
         reference = spd.copy()
 
-        runtime = TaskRuntime(n_workers=n_workers, hook=hook)
+        runtime = self.functional_runtime(n_workers=n_workers, hook=hook)
         handles = {}
         for i in range(nb):
             for j in range(i + 1):

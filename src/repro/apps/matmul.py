@@ -146,7 +146,7 @@ class MatmulBenchmark(Benchmark):
         b_dense = rng.standard_normal((matrix_size, matrix_size))
         reference = a_dense @ b_dense
 
-        runtime = TaskRuntime(n_workers=n_workers, hook=hook)
+        runtime = self.functional_runtime(n_workers=n_workers, hook=hook)
 
         def register(name, dense, zero=False):
             handles = {}

@@ -108,7 +108,7 @@ class PerlinNoiseBenchmark(Benchmark):
         if n_pixels % block_size:
             raise ValueError("n_pixels must be a multiple of block_size")
         nb = n_pixels // block_size
-        runtime = TaskRuntime(n_workers=n_workers, hook=hook)
+        runtime = self.functional_runtime(n_workers=n_workers, hook=hook)
         pixels = np.zeros(n_pixels, dtype=np.float64)
         handle = runtime.register_array("pixels", pixels)
         elem_bytes = pixels.itemsize

@@ -171,7 +171,7 @@ class SparseLUBenchmark(Benchmark):
         dense += np.eye(matrix_size) * matrix_size
         reference = dense.copy()
 
-        runtime = TaskRuntime(n_workers=n_workers, hook=hook)
+        runtime = self.functional_runtime(n_workers=n_workers, hook=hook)
         blocks = {}
         handles = {}
         for i in range(nb):

@@ -135,7 +135,7 @@ class StreamBenchmark(Benchmark):
         if array_elements % block_elements:
             raise ValueError("array_elements must be a multiple of block_elements")
         nb = array_elements // block_elements
-        runtime = TaskRuntime(n_workers=n_workers, hook=hook)
+        runtime = self.functional_runtime(n_workers=n_workers, hook=hook)
         storage = {
             "a": np.full(array_elements, 1.0),
             "b": np.full(array_elements, 2.0),

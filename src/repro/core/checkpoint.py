@@ -4,16 +4,26 @@ Before a protected task runs, copies of its input data are stored in a "safe
 memory region" (the paper assumes checkpoint storage failure rates are
 negligible).  When an SDC is detected by output comparison, the task's initial
 state is restored from the checkpoint and the task is re-executed.
+
+Checkpoints are **region-scoped**: exactly the byte ranges of the task's
+``in``/``inout`` regions are saved and restored, never the whole backing
+arrays.  Early versions copied whole handles, which was simpler but unsafe
+with concurrent workers — a task restoring its checkpoint would clobber the
+bytes a neighbouring task was concurrently writing into a *different* block
+of the same registered array.  Region scoping makes restore local to the
+restoring task, so crash replay can never double-apply or overwrite in-place
+updates of disjoint regions.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.executor import region_key, region_view
 from repro.runtime.task import Direction, TaskDescriptor
 
 
@@ -22,10 +32,9 @@ class TaskCheckpoint:
     """Saved pre-execution state of one task's read/written data."""
 
     task_id: int
-    #: Copies of the backing arrays of every argument the task reads or writes,
-    #: keyed by the argument's handle id.  Whole-handle copies keep the store
-    #: simple; the Table I benchmarks all use whole-block regions.
-    saved_arrays: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: Copies of the byte ranges of every region the task reads (``in`` and
+    #: ``inout``), keyed by ``(handle_id, offset, size)``.
+    saved_regions: Dict[Tuple[int, int, int], np.ndarray] = field(default_factory=dict)
     #: Total checkpointed bytes (for cost accounting).
     n_bytes: float = 0.0
 
@@ -46,11 +55,13 @@ class CheckpointStore:
     def capture(self, task: TaskDescriptor) -> TaskCheckpoint:
         """Checkpoint the task's argument data (inputs and in-place outputs).
 
-        Only region arguments with backing storage are copied; simulation-only
-        tasks produce an (empty) checkpoint that still tracks byte volume so
-        cost models remain meaningful.
+        Only region arguments with backing storage are copied — and only the
+        bytes of each region, not its whole backing array (see the module
+        docstring for why).  Simulation-only tasks produce an (empty)
+        checkpoint that still tracks byte volume so cost models remain
+        meaningful.
         """
-        saved: Dict[int, np.ndarray] = {}
+        saved: Dict[Tuple[int, int, int], np.ndarray] = {}
         n_bytes = 0.0
         for arg in task.args:
             if arg.direction is Direction.VALUE or arg.region is None:
@@ -61,10 +72,11 @@ class CheckpointStore:
             if not arg.direction.reads:
                 continue
             n_bytes += arg.size_bytes
-            handle = arg.region.handle
-            if handle.storage is not None and handle.handle_id not in saved:
-                saved[handle.handle_id] = np.copy(handle.storage)
-        ckpt = TaskCheckpoint(task_id=task.task_id, saved_arrays=saved, n_bytes=n_bytes)
+            view = region_view(arg.region)
+            key = region_key(arg.region)
+            if view is not None and key not in saved:
+                saved[key] = np.copy(view)
+        ckpt = TaskCheckpoint(task_id=task.task_id, saved_regions=saved, n_bytes=n_bytes)
         with self._lock:
             if self.capacity_bytes is not None:
                 if self._bytes_stored + n_bytes > self.capacity_bytes:
@@ -80,9 +92,12 @@ class CheckpointStore:
     # -- restore ----------------------------------------------------------------
 
     def restore(self, task: TaskDescriptor) -> bool:
-        """Restore the task's input data from its checkpoint.
+        """Restore the task's input regions from its checkpoint.
 
-        Returns ``False`` when no checkpoint exists for the task.
+        Only the checkpointed byte ranges are written back — bytes outside the
+        task's own regions (e.g. neighbouring blocks of the same array, owned
+        by concurrently running tasks) are never touched.  Returns ``False``
+        when no checkpoint exists for the task.
         """
         with self._lock:
             ckpt = self._checkpoints.get(task.task_id)
@@ -91,12 +106,12 @@ class CheckpointStore:
         for arg in task.args:
             if arg.direction is Direction.VALUE or arg.region is None:
                 continue
-            handle = arg.region.handle
-            if handle.storage is None:
+            view = region_view(arg.region)
+            if view is None:
                 continue
-            saved = ckpt.saved_arrays.get(handle.handle_id)
+            saved = ckpt.saved_regions.get(region_key(arg.region))
             if saved is not None:
-                np.copyto(handle.storage, saved)
+                np.copyto(view, saved)
         with self._lock:
             self.total_restores += 1
         return True

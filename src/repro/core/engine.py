@@ -109,11 +109,38 @@ class SelectiveReplicationEngine:
 
     # -- executor hook protocol ---------------------------------------------------
 
-    def execute(self, task: TaskDescriptor, invoke: Callable[[TaskDescriptor], Any]) -> Any:
-        """Decide, then execute the task with or without the replication protocol."""
+    def prepare_graph(self, graph: TaskGraph) -> None:
+        """Pre-decide every task of ``graph`` in submission order.
+
+        The executor calls this before dispatching any task.  Selection
+        policies may be order-sensitive (App_FIT accumulates a FIT account, so
+        *which* tasks it protects depends on the order it is consulted);
+        deciding in submission order up front makes the protected set — and
+        with keyed fault streams, the injected-fault multiset — a pure
+        function of the graph, independent of worker count and scheduling.
+        Only information the policy would have at execution time is used
+        (argument sizes and the task count), so the decisions themselves are
+        unchanged; only their order is pinned.  Every task of ``graph`` is
+        decided afresh — an engine reused across several runs (each building
+        its own graph, possibly with colliding task ids) must never serve a
+        previous graph's decision for a new task.
+        """
         with self._lock:
-            decision = self.policy.decide(task)
-            self.decisions[task.task_id] = decision
+            for task in graph.tasks():
+                self.decisions[task.task_id] = self.policy.decide(task)
+
+    def execute(self, task: TaskDescriptor, invoke: Callable[[TaskDescriptor], Any]) -> Any:
+        """Execute the task with or without the replication protocol.
+
+        Uses the decision taken by :meth:`prepare_graph` when available and
+        falls back to deciding on the spot (callers driving the hook directly,
+        without an executor, never see ``prepare_graph``).
+        """
+        with self._lock:
+            decision = self.decisions.get(task.task_id)
+            if decision is None:
+                decision = self.policy.decide(task)
+                self.decisions[task.task_id] = decision
         if decision.replicate:
             outcome = self.replicator.execute_protected(task, invoke)
         else:

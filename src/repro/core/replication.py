@@ -17,6 +17,14 @@ worker, each against the restored input state, which is behaviourally
 equivalent at the task boundary (the only synchronisation point the protocol
 has).  The timing consequences of true parallel replicas on spare cores are
 modelled by the machine simulator instead.
+
+Everything the protocol snapshots, compares, restores or commits is scoped to
+the task's *argument regions* — never the whole backing arrays.  Together
+with the injector's keyed per-execution fault streams this makes multi-worker
+functional runs deterministic: concurrent tasks operating on disjoint blocks
+of one registered array recover independently, and replay of a
+non-idempotent ``inout`` kernel always re-runs from its restored region
+bytes, so in-place updates cannot be double-applied.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from repro.faults.corruption import corrupt_array
 from repro.faults.errors import ErrorClass, FaultEvent
 from repro.faults.injector import FaultInjector
 from repro.runtime.events import EventKind, EventLog
+from repro.runtime.executor import task_write_views
 from repro.runtime.task import Direction, TaskDescriptor
 from repro.util.rng import RngStream
 
@@ -88,24 +97,22 @@ class TaskReplicator:
     # -- low-level helpers -----------------------------------------------------
 
     @staticmethod
-    def _output_arrays(task: TaskDescriptor) -> List[np.ndarray]:
-        """The backing arrays of the task's written regions (deduplicated)."""
-        seen: Dict[int, np.ndarray] = {}
-        for arg in task.args:
-            if arg.region is None or not arg.direction.writes:
-                continue
-            handle = arg.region.handle
-            if handle.storage is not None:
-                seen.setdefault(handle.handle_id, handle.storage)
-        return list(seen.values())
+    def _output_views(task: TaskDescriptor) -> List[np.ndarray]:
+        """Views of exactly the byte ranges the task writes (deduplicated).
+
+        Region-scoped on purpose: snapshots, comparisons and commits must not
+        read or write bytes owned by other tasks that may run concurrently on
+        different blocks of the same backing array.
+        """
+        return task_write_views(task)
 
     def _snapshot_outputs(self, task: TaskDescriptor) -> List[np.ndarray]:
-        """Copies of the task's current output arrays."""
-        return [np.copy(a) for a in self._output_arrays(task)]
+        """Copies of the task's current output region bytes."""
+        return [np.copy(view) for view in self._output_views(task)]
 
     def _commit_outputs(self, task: TaskDescriptor, snapshot: Sequence[np.ndarray]) -> None:
-        """Write a snapshot back into the task's output storage."""
-        for dst, src in zip(self._output_arrays(task), snapshot):
+        """Write a snapshot back into the task's output regions."""
+        for dst, src in zip(self._output_views(task), snapshot):
             np.copyto(dst, src)
 
     def _execute_once(
@@ -134,11 +141,22 @@ class TaskReplicator:
         invoke(task)
         if sdc:
             outcome.sdc_injected += 1
-            outputs = self._output_arrays(task)
+            outputs = self._output_views(task)
             if outputs:
-                target = outputs[self.corruption_rng.integers(0, len(outputs))]
+                # Corruption content comes from the keyed per-execution lane of
+                # the injector, so *which bits* an escaped SDC flips is as
+                # deterministic as whether the SDC was injected.  The shared
+                # sequential ``corruption_rng`` remains only as a fallback for
+                # custom injectors without keyed streams.
+                stream_for = getattr(self.injector, "corruption_stream", None)
+                rng = (
+                    stream_for(task.task_id, execution_index)
+                    if stream_for is not None
+                    else self.corruption_rng
+                )
+                target = outputs[rng.integers(0, len(outputs))]
                 if target.size:
-                    corrupt_array(target, self.corruption_rng)
+                    corrupt_array(target, rng)
         return self._snapshot_outputs(task), False
 
     # -- unprotected execution --------------------------------------------------

@@ -29,13 +29,20 @@ from repro.faults.rates import (
     exascale_scenario,
 )
 from repro.faults.model import FailureModel, TaskFailureRates
-from repro.faults.injector import FaultInjector, FaultPlan, InjectionConfig
+from repro.faults.injector import (
+    FAULT_SEED_ENV,
+    FaultInjector,
+    FaultPlan,
+    InjectionConfig,
+    default_root_seed,
+)
 from repro.faults.corruption import corrupt_array, flip_random_bit
 
 __all__ = [
     "DEFAULT_CRASH_FIT_PER_32GIB",
     "DEFAULT_SDC_FIT_PER_32GIB",
     "ErrorClass",
+    "FAULT_SEED_ENV",
     "FailureModel",
     "FaultEvent",
     "FaultInjector",
@@ -47,6 +54,7 @@ __all__ = [
     "TaskCrashError",
     "TaskFailureRates",
     "corrupt_array",
+    "default_root_seed",
     "exascale_scenario",
     "flip_random_bit",
 ]

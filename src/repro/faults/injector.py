@@ -11,18 +11,46 @@ re-execution), whether it suffers a crash (DUE), a silent data corruption
   "per task fixed fault rates" for the recovery/scalability study,
 * **forced plans** — deterministic fault schedules for unit tests of the
   recovery protocol.
+
+Draws are *keyed*, not streamed: every execution owns a counter-based RNG
+stream addressed by ``(root_seed, task_id, execution_index)`` (see
+:func:`repro.util.rng.fault_stream`), so the injected-fault multiset of a run
+is a pure function of the root seed and the task graph — independent of how
+many worker threads consume the draws and of the order they reach them.  The
+same keying hands the replication engine a per-execution *corruption* stream
+(a separate lane of the key) so the corrupted bit pattern of an escaped SDC is
+equally scheduling-independent.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.faults.errors import ErrorClass, FaultEvent
 from repro.faults.model import FailureModel
 from repro.runtime.task import TaskDescriptor
-from repro.util.rng import RngStream
+from repro.util.rng import FAULT_LANE_CORRUPTION, RngStream, fault_stream
 from repro.util.validation import check_non_negative, check_probability
+
+#: Environment variable that sets the default fault-stream root seed when a
+#: :class:`FaultInjector` is constructed without an explicit seed or stream.
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+
+def default_root_seed() -> int:
+    """The fault-stream root seed from ``REPRO_FAULT_SEED`` (default ``0``)."""
+    raw = os.environ.get(FAULT_SEED_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{FAULT_SEED_ENV} must be an integer, got {raw!r}"
+        ) from exc
 
 
 @dataclass
@@ -72,7 +100,16 @@ class FaultPlan:
 
 
 class FaultInjector:
-    """Draws fault events for task executions."""
+    """Draws fault events for task executions from keyed per-execution streams.
+
+    ``root_seed`` selects the whole family of per-execution streams.  For
+    backwards compatibility a sequential ``rng`` stream may be passed instead;
+    only its seed material is used (:meth:`~repro.util.rng.RngStream.derived_seed`,
+    the plain integer seed for directly-constructed streams) — the stream
+    itself is never consumed, so two injectors built from equal seeds agree
+    draw for draw regardless of what else either one has already drawn, and
+    injectors built from distinct forked child streams stay independent.
+    """
 
     def __init__(
         self,
@@ -80,12 +117,20 @@ class FaultInjector:
         config: Optional[InjectionConfig] = None,
         rng: Optional[RngStream] = None,
         plan: Optional[FaultPlan] = None,
+        root_seed: Optional[int] = None,
     ) -> None:
         self.model = model if model is not None else FailureModel()
         self.config = config if config is not None else InjectionConfig()
-        self.rng = rng if rng is not None else RngStream(0)
+        if root_seed is None:
+            if rng is not None:
+                root_seed = rng.derived_seed()
+            else:
+                root_seed = default_root_seed()
+        self.root_seed = int(root_seed)
         self.plan = plan
         self.injected: List[FaultEvent] = []
+        #: Guards :attr:`injected` — worker threads draw concurrently.
+        self._lock = threading.Lock()
 
     # -- probability computation ---------------------------------------------
 
@@ -107,6 +152,23 @@ class FaultInjector:
         p = self.model.sdc_probability(task) * self.config.acceleration
         return min(1.0, p)
 
+    # -- keyed streams ---------------------------------------------------------
+
+    def execution_stream(self, task_id: int, execution_index: int) -> RngStream:
+        """The keyed fault-draw stream of one execution (pure function of key)."""
+        return fault_stream(self.root_seed, task_id, execution_index)
+
+    def corruption_stream(self, task_id: int, execution_index: int) -> RngStream:
+        """The keyed corruption-content stream of one execution.
+
+        A separate lane of the same key space as :meth:`execution_stream`, so
+        *where* an SDC's bits land is as scheduling-independent as *whether*
+        the SDC is injected.
+        """
+        return fault_stream(
+            self.root_seed, task_id, execution_index, lane=FAULT_LANE_CORRUPTION
+        )
+
     # -- drawing --------------------------------------------------------------
 
     def draw(self, task: TaskDescriptor, execution_index: int = 0, timestamp: float = 0.0) -> List[FaultEvent]:
@@ -115,6 +177,9 @@ class FaultInjector:
         Returns a list with zero, one or two events (a crash and an SDC are not
         mutually exclusive, although a crash usually pre-empts the SDC's
         effect — that policy belongs to the replication engine, not here).
+        The result is a pure function of ``(root_seed, task_id,
+        execution_index)``: calling :meth:`draw` twice with the same key
+        returns equal events, whatever happened in between.
         """
         events: List[FaultEvent] = []
         if not self.config.enabled:
@@ -132,10 +197,12 @@ class FaultInjector:
                         details={"source": "plan"},
                     )
                 )
-            self.injected.extend(events)
+            with self._lock:
+                self.injected.extend(events)
             return events
 
-        if self.rng.bernoulli(self.crash_probability(task)):
+        stream = self.execution_stream(task.task_id, execution_index)
+        if stream.bernoulli(self.crash_probability(task)):
             events.append(
                 FaultEvent(
                     error_class=ErrorClass.DUE,
@@ -145,7 +212,7 @@ class FaultInjector:
                     details={"source": "probability"},
                 )
             )
-        if self.rng.bernoulli(self.sdc_probability(task)):
+        if stream.bernoulli(self.sdc_probability(task)):
             events.append(
                 FaultEvent(
                     error_class=ErrorClass.SDC,
@@ -155,18 +222,40 @@ class FaultInjector:
                     details={"source": "probability"},
                 )
             )
-        self.injected.extend(events)
+        with self._lock:
+            self.injected.extend(events)
         return events
 
     # -- bookkeeping -----------------------------------------------------------
 
+    def injected_events(self) -> List[FaultEvent]:
+        """A consistent snapshot of all injected events."""
+        with self._lock:
+            return list(self.injected)
+
+    def injected_multiset(self) -> List[Tuple[int, int, str]]:
+        """The injected faults as a sorted ``(task_id, execution, class)`` multiset.
+
+        This is the quantity the worker-count determinism tests compare: it is
+        invariant under the arrival order of concurrent draws.
+        """
+        with self._lock:
+            keys = [
+                (e.task_id, e.execution_index, e.error_class.value)
+                for e in self.injected
+            ]
+        return sorted(keys)
+
     def injected_counts(self) -> Dict[str, int]:
         """Histogram of injected error classes."""
         hist: Dict[str, int] = {}
-        for e in self.injected:
+        with self._lock:
+            events = list(self.injected)
+        for e in events:
             hist[e.error_class.value] = hist.get(e.error_class.value, 0) + 1
         return hist
 
     def reset(self) -> None:
         """Forget all injected events."""
-        self.injected.clear()
+        with self._lock:
+            self.injected.clear()

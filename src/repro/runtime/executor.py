@@ -12,13 +12,72 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
 
 from repro.runtime.events import EventKind, EventLog
 from repro.runtime.graph import TaskGraph
 from repro.runtime.scheduler import ReadyScheduler, SchedulingPolicy
-from repro.runtime.task import Direction, TaskDescriptor
+from repro.runtime.task import DataRegion, Direction, TaskDescriptor
 from repro.runtime.threadpool import ThreadPool
+
+
+def region_view(region: DataRegion) -> Optional[np.ndarray]:
+    """A writable NumPy view of exactly the bytes ``region`` covers.
+
+    This is the unit the snapshot/restore machinery of the replication
+    protocol operates on.  Scoping snapshots, checkpoint restores and output
+    commits to the *region* (rather than the whole backing array, as early
+    versions did) is what makes recovery safe under concurrent workers: two
+    tasks touching disjoint blocks of one registered array can crash, replay
+    and commit independently without clobbering each other's bytes.
+
+    Returns ``None`` when the region's handle has no backing storage (a
+    simulation-only graph).  A region that covers the whole handle returns the
+    storage array itself.  Partial regions keep the storage dtype whenever the
+    byte range is element-aligned (so tolerance-based output comparators keep
+    seeing floats, exactly as whole-array snapshots did) and only fall back to
+    a raw ``uint8`` byte view for unaligned ranges.  Non-contiguous storage
+    (no byte-exact view possible) falls back to the whole array — registered
+    arrays are made contiguous by ``TaskRuntime.register_array``, so this
+    fallback is never hit for runtime-built graphs.
+    """
+    storage = region.handle.storage
+    if storage is None:
+        return None
+    start = int(region.offset)
+    size = int(region.size_bytes)
+    if start == 0 and size >= storage.nbytes:
+        return storage
+    if not storage.flags.c_contiguous:
+        return storage
+    flat = storage.reshape(-1)
+    itemsize = flat.itemsize
+    if start % itemsize == 0 and size % itemsize == 0:
+        return flat[start // itemsize : (start + size) // itemsize]
+    return flat.view(np.uint8)[start : start + size]
+
+
+def region_key(region: DataRegion) -> Tuple[int, int, int]:
+    """Hashable identity of a region's byte range (for snapshot dedup/maps)."""
+    return (region.handle.handle_id, int(region.offset), int(region.size_bytes))
+
+
+def task_write_views(task: TaskDescriptor) -> List[np.ndarray]:
+    """Views of the byte ranges ``task`` writes (``out`` + ``inout``), deduplicated.
+
+    The replication protocol snapshots, compares and commits exactly these
+    bytes — the task's output footprint — never the whole backing arrays.
+    """
+    seen: Dict[Tuple[int, int, int], np.ndarray] = {}
+    for arg in task.args:
+        if arg.region is None or not arg.direction.writes:
+            continue
+        view = region_view(arg.region)
+        if view is not None:
+            seen.setdefault(region_key(arg.region), view)
+    return list(seen.values())
 
 
 def materialize_arguments(task: TaskDescriptor) -> List[Any]:
@@ -51,7 +110,15 @@ def invoke_task(task: TaskDescriptor) -> Any:
 
 
 class TaskExecutionHook(Protocol):
-    """Protocol for objects that wrap task execution (e.g. the replication engine)."""
+    """Protocol for objects that wrap task execution (e.g. the replication engine).
+
+    A hook may additionally define ``prepare_graph(graph)``; the executor
+    calls it once, before any task is dispatched.  Hooks whose per-task
+    decisions are order-sensitive (App_FIT accumulates a FIT account) use it
+    to take every decision in *submission order* up front, so the decision set
+    — and therefore the injected-fault multiset — is a pure function of the
+    graph rather than of the worker schedule.
+    """
 
     def execute(self, task: TaskDescriptor, invoke: Callable[[TaskDescriptor], Any]) -> Any:
         """Run ``task`` (possibly with protection) using ``invoke`` for the raw body."""
@@ -102,6 +169,9 @@ class GraphExecutor:
 
     def run(self, graph: TaskGraph) -> ExecutionResult:
         """Execute every task of ``graph`` respecting its dependencies."""
+        prepare = getattr(self.hook, "prepare_graph", None)
+        if prepare is not None:
+            prepare(graph)
         scheduler = ReadyScheduler(graph, policy=self.policy)
         per_task_wall: Dict[int, float] = {}
         errors: List[str] = []

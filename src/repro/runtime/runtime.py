@@ -77,10 +77,18 @@ class TaskRuntime:
     # -- data registration ----------------------------------------------------
 
     def register_array(self, name: str, array: np.ndarray) -> DataHandle:
-        """Register a NumPy array as runtime-managed data and return its handle."""
+        """Register a NumPy array as runtime-managed data and return its handle.
+
+        Non-contiguous input is copied into a contiguous managed buffer (read
+        results back through ``handle.storage``): the replication protocol's
+        region-scoped snapshot/restore needs byte-exact views of partial
+        regions, which only exist over contiguous storage — a non-contiguous
+        backing array would silently degrade restores to whole-array copies
+        and reintroduce the multi-worker recovery race.
+        """
         if name in self._handles:
             raise ValueError(f"a data handle named {name!r} already exists")
-        handle = DataHandle(name, storage=np.asarray(array))
+        handle = DataHandle(name, storage=np.ascontiguousarray(array))
         self._handles[name] = handle
         return handle
 

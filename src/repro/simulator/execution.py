@@ -60,7 +60,13 @@ class SimulationConfig:
     sdc_probability: float = 0.0
     #: Whether the per-node memory-bandwidth throughput cap is modelled.
     model_memory_contention: bool = True
-    #: Seed for the fault draws.
+    #: Seed for the fault draws.  The simulator deliberately keeps a
+    #: *sequential* stream (unlike the functional injector's keyed
+    #: per-execution streams): the event loop is single-threaded and replays
+    #: tasks in a deterministic order, so draws are already reproducible, and
+    #: the vectorized fast path consumes the identical uniform sequence in
+    #: chunks — bit-identity between the two (and with the committed goldens)
+    #: depends on this draw discipline staying put.
     seed: int = 0
     #: Whether per-task :class:`SimulatedTaskRecord` objects are materialised.
     #: The experiment drivers only consume the aggregate numbers and switch

@@ -56,6 +56,10 @@ _READY, _FREE, _SPARE_FREE, _COMPLETE = 0, 1, 2, 3
 #: consumes the identical double sequence as ``n`` successive
 #: ``Generator.random()`` calls, so buffering keeps the fault draws
 #: bit-identical to the reference path while amortising the per-call overhead.
+#: (Both paths intentionally keep this sequential per-``config.seed`` stream
+#: rather than the functional injector's keyed per-execution streams — see
+#: ``SimulationConfig.seed``; the replay order is deterministic here, and the
+#: golden artifacts pin the resulting draw sequence.)
 _DRAW_CHUNK = 4096
 
 

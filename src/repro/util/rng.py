@@ -3,13 +3,36 @@
 Every stochastic component (fault injector, random selection policy, synthetic
 workload jitter) takes an :class:`RngStream` so experiments are reproducible
 and independent components never share generator state.
+
+Two stream disciplines coexist:
+
+* **sequential streams** (:class:`RngStream` on its default PCG64 generator) —
+  one consumer draws in a fixed program order; correct whenever that order is
+  itself deterministic (the single-threaded machine simulator, workload
+  generation);
+* **keyed streams** (:func:`fault_stream`) — draws are addressed by a key
+  rather than by arrival order, so *concurrent* consumers (worker threads of
+  the functional executor) observe values that are a pure function of
+  ``(root_seed, task_id, execution_index)`` no matter which thread reaches the
+  draw first.  Keyed streams use the counter-based Philox bit generator keyed
+  through ``SeedSequence`` spawn keys, the mechanism ``SeedSequence.spawn``
+  itself uses, so distinct keys yield statistically independent streams.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
+
+#: ``spawn_key`` lane of fault-occurrence draws (crash/SDC Bernoullis).
+FAULT_LANE_DRAW = 0
+#: ``spawn_key`` lane of corruption-content draws (which bit flips where).
+FAULT_LANE_CORRUPTION = 1
+
+#: Two's-complement width used to fold (possibly negative) task ids into the
+#: non-negative integers ``SeedSequence`` spawn keys require.
+_KEY_WIDTH_MASK = (1 << 64) - 1
 
 
 class RngStream:
@@ -17,20 +40,47 @@ class RngStream:
 
     The wrapper exists so that (a) all call sites share one spelling for the
     handful of distributions we need, and (b) streams can be forked
-    deterministically for sub-components.
+    deterministically for sub-components.  ``bit_generator`` selects the
+    underlying algorithm: the default PCG64 for ordinary sequential streams,
+    or the counter-based ``"philox"`` for keyed per-execution streams.
     """
 
-    def __init__(self, seed: int | np.random.SeedSequence | None = 0) -> None:
+    def __init__(
+        self,
+        seed: int | np.random.SeedSequence | None = 0,
+        bit_generator: str = "pcg64",
+    ) -> None:
         if isinstance(seed, np.random.SeedSequence):
             self._seq = seed
         else:
             self._seq = np.random.SeedSequence(seed)
-        self._gen = np.random.default_rng(self._seq)
+        if bit_generator == "pcg64":
+            self._gen = np.random.default_rng(self._seq)
+        elif bit_generator == "philox":
+            self._gen = np.random.Generator(np.random.Philox(self._seq))
+        else:
+            raise ValueError(f"unknown bit generator {bit_generator!r}")
 
     @property
     def generator(self) -> np.random.Generator:
         """The underlying NumPy generator."""
         return self._gen
+
+    def derived_seed(self) -> int:
+        """A stable integer identity of this stream's full seed material.
+
+        Equal to the plain integer seed for directly-constructed streams
+        (``RngStream(99).derived_seed() == 99``), so seeding an injector with
+        ``rng=RngStream(s)`` and with ``root_seed=s`` mean the same thing.
+        Forked/spawned children share their parent's ``entropy`` but differ in
+        spawn key, and streams built from composite entropy have no single
+        integer seed — both derive a distinct value from the whole
+        ``SeedSequence`` state instead, so two sibling forks never alias.
+        """
+        entropy = self._seq.entropy
+        if isinstance(entropy, int) and not self._seq.spawn_key:
+            return entropy
+        return int(self._seq.generate_state(1, np.uint64)[0])
 
     def fork(self, n: int) -> List["RngStream"]:
         """Create ``n`` statistically independent child streams."""
@@ -94,6 +144,42 @@ class RngStream:
         sigma2 = np.log(1.0 + cv * cv)
         mu = np.log(mean) - sigma2 / 2.0
         return float(self._gen.lognormal(mu, np.sqrt(sigma2)))
+
+
+def fault_key(task_id: int, execution_index: int, lane: int = FAULT_LANE_DRAW) -> Tuple[int, ...]:
+    """The canonical ``SeedSequence`` spawn key of one fault-stream draw site.
+
+    Negative components (tests use sentinel task ids like ``-1``) are folded
+    two's-complement into 64 bits so the key is always valid spawn-key input.
+    """
+    return (
+        task_id & _KEY_WIDTH_MASK,
+        execution_index & _KEY_WIDTH_MASK,
+        lane & _KEY_WIDTH_MASK,
+    )
+
+
+def fault_stream(
+    root_seed: int,
+    task_id: int,
+    execution_index: int,
+    lane: int = FAULT_LANE_DRAW,
+) -> RngStream:
+    """A keyed, counter-based stream for one execution of one task.
+
+    The stream is a pure function of ``(root_seed, task_id, execution_index,
+    lane)``: any two calls with the same key — in any process, thread, or
+    call order — return streams that produce identical draws, and distinct
+    keys produce statistically independent streams (``SeedSequence`` spawn
+    semantics over the counter-based Philox generator).  This is what makes
+    the injected-fault multiset of a functional run independent of worker
+    count and scheduling order.
+    """
+    seq = np.random.SeedSequence(
+        entropy=int(root_seed) & _KEY_WIDTH_MASK,
+        spawn_key=fault_key(task_id, execution_index, lane),
+    )
+    return RngStream(seq, bit_generator="philox")
 
 
 def spawn_streams(seed: int, names: Iterable[str]) -> dict:

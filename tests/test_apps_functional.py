@@ -2,8 +2,21 @@
 the runtime and produce numerically correct results, with and without the
 selective-replication engine wrapped around them."""
 
+import importlib.util
+import pathlib
+
 import numpy as np
 import pytest
+
+#: The worker-count determinism scenarios live with the CI flake-hunting tool
+#: (tools/check_fault_determinism.py) and are imported here so the pytest
+#: matrix and the nightly repeat job pin one shared definition.
+_TOOL_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "tools" / "check_fault_determinism.py"
+)
+_spec = importlib.util.spec_from_file_location("check_fault_determinism", _TOOL_PATH)
+fault_determinism = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(fault_determinism)
 
 from repro.apps.cholesky import CholeskyBenchmark
 from repro.apps.matmul import MatmulBenchmark
@@ -134,18 +147,59 @@ class TestFunctionalWithReplication:
         if counts["unrecovered"] == 0:
             np.testing.assert_allclose(assemble(c_blocks, 2, 32), reference, rtol=1e-10)
 
-    def test_stream_survives_injected_crashes(self):
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_stream_survives_injected_crashes(self, n_workers):
         engine = self._engine(crash_p=0.2)
         bench = StreamBenchmark()
-        # Single worker: with several workers the shared fault stream is
-        # consumed in a racy order and recovery of non-idempotent inout
-        # kernels intermittently corrupts the arrays (~10% of runs) — the
-        # same reason examples/quickstart.py pins a single-worker executor.
         result, arrays = bench.functional_run(
-            n_workers=1, hook=engine, array_elements=2048, block_elements=512, iterations=1
+            n_workers=n_workers, hook=engine, array_elements=2048, block_elements=512, iterations=1
         )
         counts = engine.recovery_counts()
         assert counts["fatal_crashes"] == 0
         # After one STREAM iteration: c = a + scale*copy(a) = 1 + 3*1 = 4.
         np.testing.assert_allclose(arrays["c"], 4.0)
         np.testing.assert_allclose(arrays["a"], 15.0)
+
+
+class TestWorkerCountDeterminism:
+    """Same seed => identical faults, recovery and arrays for any worker count.
+
+    The injector draws each execution's faults from a stream keyed by
+    ``(root_seed, task_id, execution_index)`` and the replication protocol
+    snapshots/restores region bytes only, so nothing observable may depend on
+    thread scheduling.  STREAM covers the crash-replay path over shared
+    blocked arrays; matmul's ``c += a @ b`` gemm covers recovery of a
+    non-idempotent ``inout`` kernel under combined crash + SDC injection.
+
+    The scenario definitions (engines, seeds, problem sizes) are shared with
+    ``tools/check_fault_determinism.py`` — CI's nightly flake hunt repeats
+    exactly what this matrix pins, so the two can never drift apart.
+    """
+
+    WORKER_COUNTS = (1, 2, 4)
+
+    def test_stream_matrix_identical_across_worker_counts(self):
+        reference = fault_determinism.stream_crashes(self.WORKER_COUNTS[0])
+        assert reference[0], "seed should inject at least one fault"
+        for n_workers in self.WORKER_COUNTS[1:]:
+            assert fault_determinism.stream_crashes(n_workers) == reference
+
+    def test_matmul_matrix_identical_across_worker_counts(self):
+        reference = fault_determinism.matmul_mixed_faults(self.WORKER_COUNTS[0])
+        assert reference[0], "seed should inject at least one fault"
+        assert dict(reference[1])["sdc_detected"] > 0
+        for n_workers in self.WORKER_COUNTS[1:]:
+            assert fault_determinism.matmul_mixed_faults(n_workers) == reference
+
+    def test_appfit_matrix_identical_across_worker_counts(self):
+        reference = fault_determinism.matmul_appfit(self.WORKER_COUNTS[0])
+        assert reference[0], "seed should inject at least one fault"
+        for n_workers in self.WORKER_COUNTS[1:]:
+            assert fault_determinism.matmul_appfit(n_workers) == reference
+
+    def test_distinct_seeds_differ(self):
+        """The root seed actually selects the fault multiset (no keying bug
+        that collapses every seed onto one stream family)."""
+        a = fault_determinism.stream_crashes(2, seed=42)
+        b = fault_determinism.stream_crashes(2, seed=43)
+        assert a[0] != b[0]

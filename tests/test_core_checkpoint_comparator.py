@@ -42,7 +42,7 @@ class TestCheckpointStore:
         task = task_over([h], ["out"])
         store = CheckpointStore()
         ckpt = store.capture(task)
-        assert ckpt.saved_arrays == {}
+        assert ckpt.saved_regions == {}
         assert ckpt.n_bytes == 0
 
     def test_in_data_saved(self):
@@ -76,7 +76,7 @@ class TestCheckpointStore:
         h = DataHandle("a", size_bytes=4096)
         task = task_over([h], ["inout"])
         ckpt = CheckpointStore().capture(task)
-        assert ckpt.n_bytes == 4096 and ckpt.saved_arrays == {}
+        assert ckpt.n_bytes == 4096 and ckpt.saved_regions == {}
 
     def test_counters(self):
         h = DataHandle("a", storage=np.ones(4))
@@ -87,6 +87,31 @@ class TestCheckpointStore:
         assert store.total_checkpoints_taken == 1
         assert store.total_restores == 1
         assert len(store) == 1
+
+    def test_restore_is_region_scoped(self):
+        """Restoring one block's checkpoint must not touch neighbouring blocks
+        of the same backing array (the multi-worker recovery race)."""
+        h = DataHandle("a", storage=np.arange(8, dtype=np.float64))
+        block0 = h.region(offset=0.0, size_bytes=32.0)  # elements 0..3
+        block1 = h.region(offset=32.0, size_bytes=32.0)  # elements 4..7
+        task0 = TaskDescriptor(task_id=0, task_type="t", args=[arg_inout(block0)])
+        store = CheckpointStore()
+        store.capture(task0)
+        # task0's block is dirtied by its own execution; a "concurrent" task
+        # meanwhile commits new values into block1.
+        h.storage[0:4] = -1.0
+        h.storage[4:8] = 99.0
+        assert store.restore(task0) is True
+        np.testing.assert_array_equal(h.storage[0:4], np.arange(4))
+        np.testing.assert_array_equal(h.storage[4:8], 99.0)
+        # The checkpoint holds exactly the block's bytes, not the whole array.
+        ckpt = store._checkpoints[0]
+        (saved,) = ckpt.saved_regions.values()
+        assert saved.nbytes == 32
+        # And block1 was never part of task0's checkpoint.
+        assert TaskDescriptor(
+            task_id=1, task_type="t", args=[arg_inout(block1)]
+        ).task_id not in store._checkpoints
 
 
 class TestComparators:

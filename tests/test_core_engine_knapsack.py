@@ -119,6 +119,44 @@ class TestSelectiveReplicationEngine:
         assert engine.recovery_counts()["protected"] == 8
         assert policy.audit().threshold_respected
 
+    def test_prepare_graph_decides_in_submission_order(self):
+        """The executor pre-decides via prepare_graph; decision_index must
+        follow submission order, not the (multi-worker) execution order."""
+        policy = AppFit(0.0, 8)
+        rt, engine, _ = self._runtime_with_engine(policy)
+        rt.taskwait()
+        ordered = sorted(engine.decisions)
+        assert [engine.decisions[tid].decision_index for tid in ordered] == list(
+            range(1, 9)
+        )
+
+    def test_engine_reuse_re_decides_every_graph(self):
+        """Regression: prepare_graph must not serve a previous graph's cached
+        decision when a later run reuses the engine (and its task ids)."""
+
+        class CountingPolicy(NoReplication):
+            decided = 0
+
+            def decide(self, task):
+                type(self).decided += 1
+                return super().decide(task)
+
+        policy = CountingPolicy()
+        for _ in range(2):
+            config = ReplicationConfig()
+            engine = SelectiveReplicationEngine(
+                policy=policy,
+                replicator=TaskReplicator(injector=FaultInjector(), config=config),
+                config=config,
+            )
+            rt = TaskRuntime(n_workers=2, hook=engine)
+            h = rt.register_array("a", np.zeros(64))
+            for _ in range(4):
+                rt.submit(lambda x: None, inout=[h.whole()], task_type="t")
+            assert rt.taskwait().succeeded
+        # Both runs have task ids 0..3; each must be decided afresh.
+        assert CountingPolicy.decided == 8
+
 
 class TestKnapsackOracle:
     def _graph(self, sizes, durations=None):

@@ -4,10 +4,61 @@ import numpy as np
 import pytest
 
 from repro.runtime.events import EventKind
-from repro.runtime.executor import GraphExecutor, PassthroughHook, invoke_task, materialize_arguments
+from repro.runtime.executor import (
+    GraphExecutor,
+    PassthroughHook,
+    invoke_task,
+    materialize_arguments,
+    region_view,
+    task_write_views,
+)
 from repro.runtime.runtime import RuntimeConfig, TaskRuntime
 from repro.runtime.scheduler import SchedulingPolicy
-from repro.runtime.task import DataHandle, TaskDescriptor, arg_inout, arg_value
+from repro.runtime.task import DataHandle, TaskDescriptor, arg_inout, arg_out, arg_value
+
+
+class TestRegionView:
+    def test_whole_region_returns_storage(self):
+        h = DataHandle("a", storage=np.arange(8, dtype=np.float64))
+        assert region_view(h.whole()) is h.storage
+
+    def test_partial_aligned_region_keeps_dtype(self):
+        """Element-aligned partial views stay typed so tolerance comparators
+        keep comparing floats (not raw bytes)."""
+        h = DataHandle("a", storage=np.arange(8, dtype=np.float64))
+        view = region_view(h.region(offset=16.0, size_bytes=32.0))
+        assert view.dtype == np.float64
+        np.testing.assert_array_equal(view, [2.0, 3.0, 4.0, 5.0])
+        view[0] = -1.0
+        assert h.storage[2] == -1.0  # a view, not a copy
+
+    def test_unaligned_region_falls_back_to_bytes(self):
+        h = DataHandle("a", storage=np.arange(8, dtype=np.float64))
+        view = region_view(h.region(offset=4.0, size_bytes=12.0))
+        assert view.dtype == np.uint8 and view.nbytes == 12
+
+    def test_no_storage_returns_none(self):
+        h = DataHandle("a", size_bytes=64)
+        assert region_view(h.whole()) is None
+
+    def test_write_views_deduplicate_regions(self):
+        h = DataHandle("a", storage=np.zeros(8))
+        region = h.region(offset=0.0, size_bytes=32.0)
+        task = TaskDescriptor(
+            task_id=0, task_type="t", args=[arg_out(region), arg_inout(region)]
+        )
+        assert len(task_write_views(task)) == 1
+
+    def test_register_array_makes_storage_contiguous(self):
+        """Non-contiguous input is copied into a contiguous managed buffer —
+        byte-exact region views (and so region-scoped restore) depend on it."""
+        rt = TaskRuntime(n_workers=1)
+        base = np.arange(16, dtype=np.float64).reshape(4, 4)
+        handle = rt.register_array("cols", base[:, :2])
+        assert handle.storage.flags.c_contiguous
+        np.testing.assert_array_equal(handle.storage, base[:, :2])
+        contiguous = np.arange(4.0)
+        assert rt.register_array("own", contiguous).storage is contiguous
 
 
 class TestMaterializeArguments:

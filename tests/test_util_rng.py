@@ -1,8 +1,16 @@
 """Tests for repro.util.rng."""
 
+import numpy as np
 import pytest
 
-from repro.util.rng import RngStream, spawn_streams
+from repro.util.rng import (
+    FAULT_LANE_CORRUPTION,
+    FAULT_LANE_DRAW,
+    RngStream,
+    fault_key,
+    fault_stream,
+    spawn_streams,
+)
 
 
 class TestRngStream:
@@ -89,6 +97,58 @@ class TestLognormalDuration:
     def test_rejects_negative_cv(self):
         with pytest.raises(ValueError):
             RngStream(0).lognormal_duration(1.0, -0.1)
+
+
+class TestBitGenerators:
+    def test_philox_selects_counter_based_generator(self):
+        s = RngStream(0, bit_generator="philox")
+        assert isinstance(s.generator.bit_generator, np.random.Philox)
+
+    def test_philox_and_pcg64_differ(self):
+        assert RngStream(0, bit_generator="philox").random() != RngStream(0).random()
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(0, bit_generator="mt19937")
+
+    def test_derived_seed_is_plain_seed_for_direct_streams(self):
+        assert RngStream(99).derived_seed() == 99
+
+    def test_derived_seed_distinguishes_forked_children(self):
+        """Forked siblings share entropy but must not alias as fault-stream
+        root seeds (regression: seed_entropy alone collapsed them)."""
+        parent = RngStream(42)
+        c1, c2 = parent.fork(2)
+        seeds = {parent.derived_seed(), c1.derived_seed(), c2.derived_seed()}
+        assert len(seeds) == 3
+
+    def test_derived_seed_composite_entropy_not_zero_aliased(self):
+        a = RngStream(np.random.SeedSequence((1, 2)))
+        b = RngStream(np.random.SeedSequence((1, 3)))
+        assert a.derived_seed() != b.derived_seed()
+        assert a.derived_seed() != 0
+
+
+class TestFaultStreams:
+    def test_key_includes_lane(self):
+        assert fault_key(3, 1) == (3, 1, FAULT_LANE_DRAW)
+        assert fault_key(3, 1, FAULT_LANE_CORRUPTION) == (3, 1, FAULT_LANE_CORRUPTION)
+
+    def test_same_key_same_stream(self):
+        a = fault_stream(42, 7, 1)
+        b = fault_stream(42, 7, 1)
+        assert [a.random() for _ in range(6)] == [b.random() for _ in range(6)]
+
+    def test_any_key_component_changes_the_stream(self):
+        base = fault_stream(42, 7, 1).random()
+        assert fault_stream(43, 7, 1).random() != base
+        assert fault_stream(42, 8, 1).random() != base
+        assert fault_stream(42, 7, 2).random() != base
+        assert fault_stream(42, 7, 1, lane=FAULT_LANE_CORRUPTION).random() != base
+
+    def test_uses_philox(self):
+        s = fault_stream(0, 0, 0)
+        assert isinstance(s.generator.bit_generator, np.random.Philox)
 
 
 class TestSpawnStreams:

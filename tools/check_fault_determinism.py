@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Flake-detection gate for multi-worker fault-injection determinism (CI).
+
+A single test run can pass by luck; this script repeats the multi-worker
+fault-injection scenarios many times and fails on the *first* observable
+difference, which is how a reintroduced scheduling dependence (a shared RNG
+stream, a whole-array restore, an unlocked event list) actually manifests —
+as a rare flake, not as a deterministic failure.
+
+Per repeat, for every scenario and every worker count in the matrix:
+
+1. run the functional benchmark under fault injection with a fixed root seed;
+2. record the injected-fault multiset, the recovery counts, and a digest of
+   every output array;
+3. fail if anything differs from the first repeat's single-worker reference
+   (identical across repeats AND across worker counts is the contract), or if
+   any run reports a fatal crash / escaped SDC / unrecovered task.
+
+Exit status 0 means every repeat of every scenario was bit-identical.
+
+Usage::
+
+    python tools/check_fault_determinism.py [--repeats 25] [--workers 1 2 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.apps.matmul import MatmulBenchmark  # noqa: E402
+from repro.apps.stream import StreamBenchmark  # noqa: E402
+from repro.core.config import ReplicationConfig  # noqa: E402
+from repro.core.engine import SelectiveReplicationEngine  # noqa: E402
+from repro.core.estimator import ArgumentSizeEstimator  # noqa: E402
+from repro.core.heuristic import AppFit  # noqa: E402
+from repro.core.policies import CompleteReplication  # noqa: E402
+from repro.core.replication import TaskReplicator  # noqa: E402
+from repro.faults.injector import FaultInjector, InjectionConfig  # noqa: E402
+from repro.faults.rates import FitRateSpec  # noqa: E402
+
+
+def build_engine(policy, sdc_p, crash_p, seed):
+    """A selective-replication engine over a freshly keyed injector."""
+    config = ReplicationConfig()
+    injector = FaultInjector(
+        config=InjectionConfig(
+            fixed_sdc_probability=sdc_p, fixed_crash_probability=crash_p
+        ),
+        root_seed=seed,
+    )
+    return SelectiveReplicationEngine(
+        policy=policy,
+        replicator=TaskReplicator(injector=injector, config=config),
+        config=config,
+    )
+
+
+def digest(arrays) -> str:
+    """SHA-256 over the raw bytes of a name->array mapping, order-pinned."""
+    h = hashlib.sha256()
+    for name, arr in sorted(arrays.items(), key=lambda kv: str(kv[0])):
+        h.update(str(name).encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def stream_crashes(n_workers: int, seed: int = 42):
+    """STREAM under 20% crash injection, fully replicated (the reinstated
+    ``test_stream_survives_injected_crashes`` scenario)."""
+    engine = build_engine(CompleteReplication(), sdc_p=0.0, crash_p=0.2, seed=seed)
+    result, arrays = StreamBenchmark().functional_run(
+        n_workers=n_workers, hook=engine,
+        array_elements=2048, block_elements=512, iterations=2,
+    )
+    assert result.succeeded, result.errors
+    return (
+        tuple(engine.replicator.injector.injected_multiset()),
+        tuple(sorted(engine.recovery_counts().items())),
+        digest(arrays),
+    )
+
+
+def matmul_mixed_faults(n_workers: int, seed: int = 7):
+    """Blocked matmul (non-idempotent ``c += a @ b``) under crash + SDC
+    injection, fully replicated."""
+    engine = build_engine(CompleteReplication(), sdc_p=0.1, crash_p=0.1, seed=seed)
+    result, c_blocks, _ = MatmulBenchmark().functional_run(
+        n_workers=n_workers, hook=engine, matrix_size=96, block_size=32
+    )
+    assert result.succeeded, result.errors
+    return (
+        tuple(engine.replicator.injector.injected_multiset()),
+        tuple(sorted(engine.recovery_counts().items())),
+        digest(c_blocks),
+    )
+
+
+def matmul_appfit(n_workers: int):
+    """The quickstart shape: App_FIT partial protection + SDC injection.
+    Exercises submission-order pre-decision on top of keyed draws."""
+    n_tasks = 27
+    spec = FitRateSpec()
+    est = ArgumentSizeEstimator(spec.scaled(10.0))
+    threshold = n_tasks * spec.total_fit_for_bytes(3 * 32 * 32 * 8)
+    engine = build_engine(
+        AppFit(threshold, n_tasks, est), sdc_p=0.05, crash_p=0.0, seed=13
+    )
+    result, c_blocks, _ = MatmulBenchmark().functional_run(
+        n_workers=n_workers, hook=engine, matrix_size=96, block_size=32
+    )
+    assert result.succeeded, result.errors
+    return (
+        tuple(engine.replicator.injector.injected_multiset()),
+        tuple(sorted(engine.recovery_counts().items())),
+        digest(c_blocks),
+    )
+
+
+SCENARIOS = (
+    ("stream-crashes", stream_crashes),
+    ("matmul-mixed-faults", matmul_mixed_faults),
+    ("matmul-appfit", matmul_appfit),
+)
+
+#: Recovery-count keys that must be zero in every run of every scenario
+#: (replication is complete or the seed is known-clean for the App_FIT case).
+MUST_BE_ZERO = ("fatal_crashes", "unrecovered")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=25,
+                        help="how many times each scenario runs (default 25)")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker-count matrix (default 1 2 4)")
+    args = parser.parse_args()
+
+    t0 = time.perf_counter()
+    failures = 0
+    for name, scenario in SCENARIOS:
+        reference = scenario(args.workers[0])
+        ref_counts = dict(reference[1])
+        if not reference[0]:
+            print(f"FAIL {name}: scenario injected no faults — it tests nothing")
+            failures += 1
+            continue
+        # The reference counts are what every repeat is compared against, so
+        # validating the must-be-zero outcomes once here covers every run.
+        bad = {k: ref_counts[k] for k in MUST_BE_ZERO if ref_counts[k]}
+        if bad:
+            print(f"FAIL {name}: non-recoverable outcomes present: {bad}")
+            failures += 1
+            continue
+        runs = 0
+        for repeat in range(args.repeats):
+            for n_workers in args.workers:
+                observed = scenario(n_workers)
+                runs += 1
+                if observed != reference:
+                    failures += 1
+                    print(
+                        f"FAIL {name}: repeat {repeat} at n_workers={n_workers} "
+                        f"diverged from the reference run"
+                    )
+                    for label, ref, got in zip(
+                        ("fault multiset", "recovery counts", "array digest"),
+                        reference, observed,
+                    ):
+                        if ref != got:
+                            print(f"  {label}:\n    reference: {ref}\n    observed : {got}")
+                    break
+            else:
+                continue
+            break
+        else:
+            counts = {k: v for k, v in ref_counts.items() if v}
+            print(
+                f"ok   {name}: {runs} runs identical across "
+                f"n_workers={args.workers} ({counts})"
+            )
+    elapsed = time.perf_counter() - t0
+    if failures:
+        print(f"{failures} scenario(s) failed in {elapsed:.1f}s")
+        return 1
+    print(f"all {len(SCENARIOS)} scenarios deterministic over "
+          f"{args.repeats} repeats x {args.workers} workers in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
