@@ -35,10 +35,16 @@ setup(
     long_description_content_type="text/markdown",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # The C simulator kernel ships as source and is compiled on demand into
+    # $REPRO_KERNEL_CACHE (see repro.simulator.backend).
+    package_data={"repro.simulator": ["_simkernel.c"]},
     python_requires=">=3.9",
     install_requires=["numpy"],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        # Optional JIT backend for the batched simulator loop
+        # (REPRO_SIM_BACKEND=numba); auto-detected when installed.
+        "numba": ["numba"],
     },
     entry_points={
         "console_scripts": [

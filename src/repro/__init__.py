@@ -43,23 +43,49 @@ or, from a shell::
     python -m repro run fig3 --scale 0.1 --out results/
 """
 
-from repro.core import (
-    AppFit,
-    CompleteReplication,
-    NoReplication,
-    ReplicationConfig,
-    SelectiveReplicationEngine,
-    decide_for_graph,
-)
-from repro.faults import FailureModel, FaultInjector, FitRateSpec, exascale_scenario
-from repro.runtime import TaskRuntime, TaskGraph
+from repro._lazy import lazy_exports
 
 #: Package version.  Note: both on-disk caches hash this into every key — the
 #: results store (:func:`repro.analysis.store.spec_key`) and the
 #: compiled-graph store (:func:`repro.runtime.compiled.compiled_key`) — so
 #: bumping it invalidates all cached cells and compiled graphs; run
 #: ``repro cache gc`` to reclaim the old generation.
-__version__ = "1.3.0"
+__version__ = "1.4.0"
+
+#: Public name -> defining package, resolved lazily on first access (see
+#: :mod:`repro._lazy`): ``repro run fig5`` never pays for the functional
+#: runtime or the fault injector it does not use.
+_EXPORTS = {
+    "AppFit": "repro.core",
+    "CompleteReplication": "repro.core",
+    "NoReplication": "repro.core",
+    "ReplicationConfig": "repro.core",
+    "SelectiveReplicationEngine": "repro.core",
+    "decide_for_graph": "repro.core",
+    "FailureModel": "repro.faults",
+    "FaultInjector": "repro.faults",
+    "FitRateSpec": "repro.faults",
+    "exascale_scenario": "repro.faults",
+    "TaskGraph": "repro.runtime",
+    "TaskRuntime": "repro.runtime",
+}
+
+__getattr__, __dir__ = lazy_exports(
+    __name__,
+    _EXPORTS,
+    submodules=(
+        "analysis",
+        "apps",
+        "cli",
+        "core",
+        "distributed",
+        "faults",
+        "runtime",
+        "simulator",
+        "util",
+        "workloads",
+    ),
+)
 
 __all__ = [
     "AppFit",

@@ -1,0 +1,46 @@
+"""PEP 562 lazy-export helper for the package ``__init__`` modules.
+
+CLI startup cost is dominated by imports, and the figure targets only need a
+narrow slice of the package (the analysis drivers import their dependencies
+submodule-by-submodule).  Each package ``__init__`` therefore declares *where*
+its public names live and resolves them on first attribute access instead of
+importing every subsystem eagerly: ``import repro`` stays cheap, while
+``from repro.core import AppFit`` behaves exactly as before.
+"""
+
+from __future__ import annotations
+
+import sys
+from importlib import import_module
+from typing import Callable, Dict, Iterable, List, Tuple
+
+
+def lazy_exports(
+    module_name: str,
+    exports: Dict[str, str],
+    submodules: Iterable[str] = (),
+) -> Tuple[Callable[[str], object], Callable[[], List[str]]]:
+    """Build the ``(__getattr__, __dir__)`` pair for a lazy package init.
+
+    ``exports`` maps public name -> defining module; ``submodules`` lists
+    child modules reachable as attributes (``repro.runtime`` after ``import
+    repro``, without an explicit submodule import).  Resolved names are cached
+    on the package, so each attribute pays its import once.
+    """
+    children = frozenset(submodules)
+
+    def __getattr__(name: str) -> object:  # noqa: N807 - PEP 562 hook
+        target = exports.get(name)
+        if target is not None:
+            value = getattr(import_module(target), name)
+        elif name in children:
+            value = import_module(f"{module_name}.{name}")
+        else:
+            raise AttributeError(f"module {module_name!r} has no attribute {name!r}")
+        setattr(sys.modules[module_name], name, value)
+        return value
+
+    def __dir__() -> List[str]:
+        return sorted(set(vars(sys.modules[module_name])) | set(exports) | children)
+
+    return __getattr__, __dir__

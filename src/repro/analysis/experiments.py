@@ -26,7 +26,7 @@ parallelism and worker scheduling order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.runner import (
@@ -37,6 +37,7 @@ from repro.analysis.runner import (
     cell_kind,
     compiled_sim_cache,
     default_fast,
+    derive_seed,
     make_spec,
     sim_cache,
 )
@@ -65,7 +66,7 @@ from repro.faults.rates import FitRateSpec
 from repro.runtime.compiled import CompiledGraph
 from repro.runtime.graph import TaskGraph
 from repro.simulator.execution import SimulationConfig
-from repro.simulator.fastpath import simulate, simulate_compiled
+from repro.simulator.fastpath import simulate, simulate_compiled, simulate_compiled_batch
 from repro.simulator.machine import MachineSpec, marenostrum_cluster, shared_memory_node
 from repro.util.tables import TextTable
 
@@ -95,6 +96,35 @@ def _machine_for(benchmark: Benchmark, cores_per_node: int = 16) -> MachineSpec:
         n_nodes = getattr(benchmark, "n_nodes", 64)
         return marenostrum_cluster(n_nodes=n_nodes, cores_per_node=cores_per_node)
     return shared_memory_node(cores=cores_per_node)
+
+
+def _replica_seeds(base_seed: int, n_seeds: int) -> List[int]:
+    """The fault seeds a cell replays: its own seed plus derived replicas.
+
+    Replica seeds come from :func:`~repro.analysis.runner.derive_seed`, so they
+    are stable across processes and independent of how cells are scheduled.
+    """
+    return [base_seed] + [derive_seed(base_seed, "replica", j) for j in range(1, n_seeds)]
+
+
+def _seed_makespans(cache, graph, machine, config, seeds, fast) -> List[float]:
+    """Per-seed makespans of one cell simulation, one entry per fault seed.
+
+    The fast path replays every seed as one batch over the shared replay
+    arrays (:func:`simulate_compiled_batch`); the reference path loops the
+    scalar simulator.  Both run seed ``s`` with ``replace(config, seed=s)``,
+    so lane ``j`` is bit-identical to the corresponding single-seed run.
+    """
+    if fast:
+        sims = simulate_compiled_batch(cache, machine, config, seeds=seeds)
+    else:
+        sims = [simulate(graph, machine, replace(config, seed=s), fast=False) for s in seeds]
+    return [sim.makespan_s for sim in sims]
+
+
+def _mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; exact pass-through for a single value (0 + x == x)."""
+    return sum(values) / len(values)
 
 
 def _appfit_threshold(graph: TaskGraph, rate_spec: FitRateSpec, fast: bool = False) -> float:
@@ -526,6 +556,7 @@ def _fig5_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
     """One Figure 5 curve: a core-count sweep at one fixed fault rate."""
     fault_rate: float = spec.param("fault_rate")
     core_counts: Sequence[int] = spec.param("core_counts")
+    seeds = _replica_seeds(spec.seed, spec.param("n_seeds", 1))
     cache = graph = None
     if spec.fast:
         cache = compiled_sim_cache(spec.benchmark, spec.scale)
@@ -540,11 +571,7 @@ def _fig5_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
             seed=spec.seed,
             collect_records=not spec.fast,
         )
-        if spec.fast:
-            sim = simulate_compiled(cache, machine, config)
-        else:
-            sim = simulate(graph, machine, config, fast=False)
-        makespans.append(sim.makespan_s)
+        makespans.append(_mean(_seed_makespans(cache, graph, machine, config, seeds, spec.fast)))
     return _speedup_rows(spec.benchmark, fault_rate, list(core_counts), makespans)
 
 
@@ -554,11 +581,17 @@ def figure5_scalability_shared(
     fault_rates: Sequence[float] = (0.0, 0.01, 0.05),
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 0,
+    n_seeds: int = 1,
     engine: Optional[ExperimentEngine] = None,
     parallelism: Optional[int] = None,
     fast: Optional[bool] = None,
 ) -> ScalabilityResult:
-    """Speedup over 1 core of complete replication for the shared-memory group."""
+    """Speedup over 1 core of complete replication for the shared-memory group.
+
+    ``n_seeds > 1`` averages each makespan over that many fault seeds (the
+    cell's own seed plus derived replicas); the fast path replays them as one
+    batch.  The default of 1 reproduces the single-seed tables exactly.
+    """
     names = (
         list(benchmarks) if benchmarks is not None else shared_memory_benchmark_names()
     )
@@ -572,6 +605,7 @@ def figure5_scalability_shared(
             fast=eng.fast,
             core_counts=tuple(core_counts),
             fault_rate=rate,
+            n_seeds=n_seeds,
         )
         for name in names
         for rate in fault_rates
@@ -591,6 +625,7 @@ def _fig6_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
     fault_rate: float = spec.param("fault_rate")
     node_counts: Sequence[int] = spec.param("node_counts")
     cores_per_node: int = spec.param("cores_per_node", 16)
+    seeds = _replica_seeds(spec.seed, spec.param("n_seeds", 1))
     makespans: List[float] = []
     core_points: List[int] = []
     for n_nodes in node_counts:
@@ -601,13 +636,12 @@ def _fig6_curve(spec: ExperimentSpec) -> List[ExperimentRow]:
             seed=spec.seed,
             collect_records=not spec.fast,
         )
+        cache = graph = None
         if spec.fast:
             cache = compiled_sim_cache(spec.benchmark, spec.scale, n_nodes)
-            sim = simulate_compiled(cache, machine, config)
         else:
             graph = benchmark_graph(spec.benchmark, spec.scale, n_nodes)
-            sim = simulate(graph, machine, config, fast=False)
-        makespans.append(sim.makespan_s)
+        makespans.append(_mean(_seed_makespans(cache, graph, machine, config, seeds, spec.fast)))
         core_points.append(n_nodes * cores_per_node)
     return _speedup_rows(spec.benchmark, fault_rate, core_points, makespans)
 
@@ -619,12 +653,16 @@ def figure6_scalability_distributed(
     fault_rates: Sequence[float] = (0.0, 0.01, 0.05),
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 0,
+    n_seeds: int = 1,
     engine: Optional[ExperimentEngine] = None,
     parallelism: Optional[int] = None,
     fast: Optional[bool] = None,
 ) -> ScalabilityResult:
     """Speedup over the smallest configuration (64 cores in the paper) for the
-    distributed group, with complete replication and fixed per-task fault rates."""
+    distributed group, with complete replication and fixed per-task fault rates.
+
+    ``n_seeds > 1`` averages each makespan over that many fault seeds, batched
+    on the fast path; the default of 1 reproduces the single-seed tables."""
     names = (
         list(benchmarks) if benchmarks is not None else distributed_benchmark_names()
     )
@@ -639,6 +677,7 @@ def figure6_scalability_distributed(
             node_counts=tuple(node_counts),
             cores_per_node=cores_per_node,
             fault_rate=rate,
+            n_seeds=n_seeds,
         )
         for name in names
         for rate in fault_rates
@@ -1134,6 +1173,7 @@ def _workload_cell(spec: ExperimentSpec) -> ExperimentRow:
     rate_spec: FitRateSpec = spec.param("rate_spec") or FitRateSpec()
     residual: float = spec.param("residual_fit_factor", 0.0)
     cores: int = spec.param("cores", 16)
+    seeds = _replica_seeds(spec.seed, spec.param("n_seeds", 1))
 
     scaled_spec = rate_spec.scaled(multiplier)
     estimator = ArgumentSizeEstimator(scaled_spec)
@@ -1170,11 +1210,18 @@ def _workload_cell(spec: ExperimentSpec) -> ExperimentRow:
         sim_config = dict(
             crash_probability=fault_rate, seed=spec.seed, collect_records=False
         )
-        baseline = simulate_compiled(cache, machine, SimulationConfig(**sim_config))
-        selective = simulate_compiled(
-            cache,
-            machine,
-            SimulationConfig(replicated_ids=set(replicated_ids), **sim_config),
+        baseline_s = _mean(
+            _seed_makespans(cache, None, machine, SimulationConfig(**sim_config), seeds, True)
+        )
+        selective_s = _mean(
+            _seed_makespans(
+                cache,
+                None,
+                machine,
+                SimulationConfig(replicated_ids=set(replicated_ids), **sim_config),
+                seeds,
+                True,
+            )
         )
     else:
         graph = benchmark_graph(spec.benchmark, spec.scale)
@@ -1192,13 +1239,20 @@ def _workload_cell(spec: ExperimentSpec) -> ExperimentRow:
             set(replicated_ids)
         )
         sim_config = dict(crash_probability=fault_rate, seed=spec.seed)
-        baseline = simulate(graph, machine, SimulationConfig(**sim_config), fast=False)
-        selective = simulate(
-            graph,
-            machine,
-            SimulationConfig(replicated_ids=set(replicated_ids), **sim_config),
-            fast=False,
+        baseline_s = _mean(
+            _seed_makespans(None, graph, machine, SimulationConfig(**sim_config), seeds, False)
         )
+        selective_s = _mean(
+            _seed_makespans(
+                None,
+                graph,
+                machine,
+                SimulationConfig(replicated_ids=set(replicated_ids), **sim_config),
+                seeds,
+                False,
+            )
+        )
+    overhead = (selective_s - baseline_s) / baseline_s if baseline_s > 0 else 0.0
     return {
         "workload": spec.benchmark,
         "policy": policy_name,
@@ -1210,9 +1264,9 @@ def _workload_cell(spec: ExperimentSpec) -> ExperimentRow:
         "unprotected_fit": unprotected,
         "threshold": threshold,
         "meets_threshold": unprotected <= threshold * (1 + 1e-9),
-        "baseline_makespan_s": baseline.makespan_s,
-        "selective_makespan_s": selective.makespan_s,
-        "overhead_percent": 100.0 * selective.overhead_vs(baseline),
+        "baseline_makespan_s": baseline_s,
+        "selective_makespan_s": selective_s,
+        "overhead_percent": 100.0 * overhead,
     }
 
 
@@ -1223,6 +1277,7 @@ def workload_sweep(
     fault_rates: Sequence[float] = (0.0, 0.01),
     scale: float = 1.0,
     seed: int = 0,
+    n_seeds: int = 1,
     rate_spec: Optional[FitRateSpec] = None,
     residual_fit_factor: float = 0.0,
     cores: int = 16,
@@ -1259,6 +1314,7 @@ def workload_sweep(
             rate_spec=spec,
             residual_fit_factor=residual_fit_factor,
             cores=cores,
+            n_seeds=n_seeds,
         )
         for name in canonical
         for policy in policies

@@ -42,7 +42,6 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -417,6 +416,11 @@ class ExperimentEngine:
                 payloads[i] = run_cell(specs[i])
                 self._record(specs[i], payloads[i], i, total, time.perf_counter() - t0)
         else:
+            # Imported here, not at module top: single-worker runs (most CLI
+            # invocations after the engine decides serially) never pay the
+            # concurrent.futures/multiprocessing import.
+            from concurrent.futures import ProcessPoolExecutor
+
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_pool_worker_init,

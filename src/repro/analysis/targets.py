@@ -58,8 +58,10 @@ class TargetOutput:
     meta: Dict[str, Any] = field(default_factory=dict)
 
 
-#: A target builder: (scale, seed, engine) -> output.
-TargetBuilder = Callable[[float, int, ExperimentEngine], TargetOutput]
+#: A target builder: (scale, seed, engine, n_seeds=...) -> output.  Every
+#: builder accepts ``n_seeds`` so the CLI can pass it uniformly; targets whose
+#: cells never draw faults (table1, fig3, fig4, the ablations) ignore it.
+TargetBuilder = Callable[..., TargetOutput]
 
 #: Meta override for targets whose cells use no randomness: their JSON
 #: provenance records ``"seed": null`` instead of echoing the (unused) CLI seed.
@@ -129,7 +131,9 @@ def workload_sweep_recorded_text(result: WorkloadSweepResult) -> str:
 # ---------------------------------------------------------------------------------
 
 
-def _build_table1(scale: float, seed: int, engine: ExperimentEngine) -> TargetOutput:
+def _build_table1(
+    scale: float, seed: int, engine: ExperimentEngine, n_seeds: int = 1
+) -> TargetOutput:
     """Table I: the benchmark inventory."""
     result = table1_benchmark_inventory(scale=scale, engine=engine)
     return TargetOutput(
@@ -137,7 +141,9 @@ def _build_table1(scale: float, seed: int, engine: ExperimentEngine) -> TargetOu
     )
 
 
-def _build_fig3(scale: float, seed: int, engine: ExperimentEngine) -> TargetOutput:
+def _build_fig3(
+    scale: float, seed: int, engine: ExperimentEngine, n_seeds: int = 1
+) -> TargetOutput:
     """Figure 3: App_FIT replication percentages at 10x and 5x rates."""
     result = figure3_appfit(scale=scale, multipliers=(10.0, 5.0), engine=engine)
     return TargetOutput(
@@ -145,7 +151,9 @@ def _build_fig3(scale: float, seed: int, engine: ExperimentEngine) -> TargetOutp
     )
 
 
-def _build_fig4(scale: float, seed: int, engine: ExperimentEngine) -> TargetOutput:
+def _build_fig4(
+    scale: float, seed: int, engine: ExperimentEngine, n_seeds: int = 1
+) -> TargetOutput:
     """Figure 4: fault-free overhead of complete replication."""
     result = figure4_overheads(scale=scale, engine=engine)
     return TargetOutput(
@@ -153,7 +161,9 @@ def _build_fig4(scale: float, seed: int, engine: ExperimentEngine) -> TargetOutp
     )
 
 
-def _build_fig5(scale: float, seed: int, engine: ExperimentEngine) -> TargetOutput:
+def _build_fig5(
+    scale: float, seed: int, engine: ExperimentEngine, n_seeds: int = 1
+) -> TargetOutput:
     """Figure 5: shared-memory scalability (with the 0.5 scale floor)."""
     effective_scale = max(scale, FIG5_MIN_SCALE)
     result = figure5_scalability_shared(
@@ -161,6 +171,7 @@ def _build_fig5(scale: float, seed: int, engine: ExperimentEngine) -> TargetOutp
         core_counts=(1, 2, 4, 8, 16),
         fault_rates=(0.0, 0.01, 0.05),
         seed=seed,
+        n_seeds=n_seeds,
         engine=engine,
     )
     return TargetOutput(
@@ -171,20 +182,23 @@ def _build_fig5(scale: float, seed: int, engine: ExperimentEngine) -> TargetOutp
     )
 
 
-def _build_fig6(scale: float, seed: int, engine: ExperimentEngine) -> TargetOutput:
+def _build_fig6(
+    scale: float, seed: int, engine: ExperimentEngine, n_seeds: int = 1
+) -> TargetOutput:
     """Figure 6: distributed scalability on the simulated cluster."""
     result = figure6_scalability_distributed(
         scale=scale,
         node_counts=(4, 16, 64),
         fault_rates=(0.0, 0.01),
         seed=seed,
+        n_seeds=n_seeds,
         engine=engine,
     )
     return TargetOutput(result=result, text=result.render(), rows=list(result.rows))
 
 
 def _build_ablation_policies(
-    scale: float, seed: int, engine: ExperimentEngine
+    scale: float, seed: int, engine: ExperimentEngine, n_seeds: int = 1
 ) -> TargetOutput:
     """Policies ablation: App_FIT vs oracle and naive baselines."""
     # The random-baseline seed (13) is part of the ablation's definition — the
@@ -198,7 +212,7 @@ def _build_ablation_policies(
 
 
 def _build_ablation_rates(
-    scale: float, seed: int, engine: ExperimentEngine
+    scale: float, seed: int, engine: ExperimentEngine, n_seeds: int = 1
 ) -> TargetOutput:
     """Rates ablation: App_FIT demand across multipliers, per benchmark."""
     results = [

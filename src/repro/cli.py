@@ -32,7 +32,6 @@ interrupted sweep resumes where it stopped.
 from __future__ import annotations
 
 import argparse
-import csv
 import json
 import os
 import sys
@@ -99,6 +98,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="problem scale (1.0 = the paper's Table I sizes; default 1.0)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed (default 0)")
+    parser.add_argument(
+        "--n-seeds",
+        type=int,
+        default=1,
+        help="fault seeds averaged per simulated cell (default 1; extra seeds "
+        "are derived from --seed and batched on the fast path)",
+    )
     parser.add_argument(
         "--parallelism",
         type=int,
@@ -347,6 +353,8 @@ def _write_artifacts(
         fh.write("\n")
     paths.append(json_path)
 
+    import csv
+
     csv_path = os.path.join(out_dir, f"{artifact}.csv")
     fieldnames: List[str] = []
     for row in output.rows:
@@ -425,6 +433,7 @@ def _run_targets(args: argparse.Namespace, strict: bool = False) -> int:
     meta_base = {
         "scale": args.scale,
         "seed": args.seed,
+        "n_seeds": args.n_seeds,
         "fast": engine.fast,
         "code_version": code_version(),
     }
@@ -435,7 +444,7 @@ def _run_targets(args: argparse.Namespace, strict: bool = False) -> int:
         # and last_stats would only reflect the final one.
         computed0, cached0 = engine.cells_computed, engine.cells_cached
         try:
-            output = target.build(args.scale, args.seed, engine)
+            output = target.build(args.scale, args.seed, engine, n_seeds=args.n_seeds)
         except MissingRecordError as exc:
             print(f"repro: {target.name}: {exc}", file=sys.stderr)
             return 1
@@ -471,6 +480,7 @@ def _run_workload_sweep(args: argparse.Namespace) -> int:
             fault_rates=args.fault_rates,
             scale=args.scale,
             seed=args.seed,
+            n_seeds=args.n_seeds,
             residual_fit_factor=args.residual_fit_factor,
             engine=engine,
         )
@@ -489,6 +499,7 @@ def _run_workload_sweep(args: argparse.Namespace) -> int:
         "fault_rates": list(args.fault_rates),
         "scale": args.scale,
         "seed": args.seed,
+        "n_seeds": args.n_seeds,
         "fast": engine.fast,
         "code_version": code_version(),
     }
@@ -661,6 +672,11 @@ def _run_cache(args: argparse.Namespace) -> int:
         print(f"compiled graphs: {gstats['entries']}")
         print(f"workload graphs: {gstats['workloads']}")
         print(f"graph bytes    : {gstats['bytes']} ({format_bytes(gstats['bytes'])})")
+        if gstats["unreadable"] or gstats["missing_arrays"]:
+            print(
+                f"graph damage   : {gstats['unreadable']} unreadable sidecar(s), "
+                f"{gstats['missing_arrays']} missing array file(s)"
+            )
         gversions = ", ".join(
             f"{v} x{n}" for v, n in sorted(gstats["code_versions"].items())
         )
@@ -681,6 +697,11 @@ def _run_cache(args: argparse.Namespace) -> int:
             f"{gremoved['tmp']} temp, {gremoved['aged']} aged-workload compiled "
             f"graph(s) from {graphs.root}"
         )
+        if gremoved["skipped"]:
+            print(
+                f"gc: WARNING: {gremoved['skipped']} unremovable path(s) skipped "
+                f"in {graphs.root}"
+            )
         return 0
     removed = store.clear()
     gremoved = graphs.clear()

@@ -20,38 +20,61 @@ Layering (bottom to top):
   mode, used by the Figure 3 harness).
 """
 
-from repro.core.config import ReplicationConfig
-from repro.core.fit import FitAccount, FitAudit
-from repro.core.estimator import (
-    ArgumentSizeEstimator,
-    FailureRateEstimator,
-    TraceBasedEstimator,
-    VulnerabilityWeightedEstimator,
-)
-from repro.core.checkpoint import CheckpointStore, TaskCheckpoint
-from repro.core.comparator import (
-    BitwiseComparator,
-    ChecksumComparator,
-    ComparisonResult,
-    OutputComparator,
-    ToleranceComparator,
-    majority_vote,
-)
-from repro.core.replication import ReplicationOutcome, TaskReplicator
-from repro.core.heuristic import AppFit, SelectionDecision, SelectionPolicy
-from repro.core.policies import (
-    CompleteReplication,
-    FitThresholdPolicy,
-    NoReplication,
-    PeriodicReplication,
-    RandomReplication,
-    TopFitReplication,
-)
-from repro.core.knapsack import KnapsackOracle, KnapsackSolution
-from repro.core.engine import (
-    ReplicationDecisions,
-    SelectiveReplicationEngine,
-    decide_for_graph,
+from repro._lazy import lazy_exports
+
+#: Public name -> defining module, resolved lazily on first access (see
+#: :mod:`repro._lazy`): decision-only consumers never import the checkpoint
+#: store, comparators or the replication protocol they do not touch.
+_EXPORTS = {
+    "ReplicationConfig": "repro.core.config",
+    "FitAccount": "repro.core.fit",
+    "FitAudit": "repro.core.fit",
+    "ArgumentSizeEstimator": "repro.core.estimator",
+    "FailureRateEstimator": "repro.core.estimator",
+    "TraceBasedEstimator": "repro.core.estimator",
+    "VulnerabilityWeightedEstimator": "repro.core.estimator",
+    "CheckpointStore": "repro.core.checkpoint",
+    "TaskCheckpoint": "repro.core.checkpoint",
+    "BitwiseComparator": "repro.core.comparator",
+    "ChecksumComparator": "repro.core.comparator",
+    "ComparisonResult": "repro.core.comparator",
+    "OutputComparator": "repro.core.comparator",
+    "ToleranceComparator": "repro.core.comparator",
+    "majority_vote": "repro.core.comparator",
+    "ReplicationOutcome": "repro.core.replication",
+    "TaskReplicator": "repro.core.replication",
+    "AppFit": "repro.core.heuristic",
+    "SelectionDecision": "repro.core.heuristic",
+    "SelectionPolicy": "repro.core.heuristic",
+    "CompleteReplication": "repro.core.policies",
+    "FitThresholdPolicy": "repro.core.policies",
+    "NoReplication": "repro.core.policies",
+    "PeriodicReplication": "repro.core.policies",
+    "RandomReplication": "repro.core.policies",
+    "TopFitReplication": "repro.core.policies",
+    "KnapsackOracle": "repro.core.knapsack",
+    "KnapsackSolution": "repro.core.knapsack",
+    "ReplicationDecisions": "repro.core.engine",
+    "SelectiveReplicationEngine": "repro.core.engine",
+    "decide_for_graph": "repro.core.engine",
+}
+
+__getattr__, __dir__ = lazy_exports(
+    __name__,
+    _EXPORTS,
+    submodules=(
+        "checkpoint",
+        "comparator",
+        "config",
+        "engine",
+        "estimator",
+        "fit",
+        "heuristic",
+        "knapsack",
+        "policies",
+        "replication",
+        "vectorized",
+    ),
 )
 
 __all__ = [

@@ -15,28 +15,37 @@ faults against those rates, or against fixed per-task rates for the
 recovery/scalability experiments of Section V-A2.
 """
 
-from repro.faults.errors import (
-    ErrorClass,
-    FaultEvent,
-    TaskCrashError,
-    SilentDataCorruption,
+from repro._lazy import lazy_exports
+
+#: Public name -> defining module, resolved lazily on first access (see
+#: :mod:`repro._lazy`): the analysis drivers use the rates/model half and
+#: never pay for the injector or corruption helpers.
+_EXPORTS = {
+    "ErrorClass": "repro.faults.errors",
+    "FaultEvent": "repro.faults.errors",
+    "TaskCrashError": "repro.faults.errors",
+    "SilentDataCorruption": "repro.faults.errors",
+    "DEFAULT_CRASH_FIT_PER_32GIB": "repro.faults.rates",
+    "DEFAULT_SDC_FIT_PER_32GIB": "repro.faults.rates",
+    "ROADRUNNER_REFERENCE_BYTES": "repro.faults.rates",
+    "FitRateSpec": "repro.faults.rates",
+    "exascale_scenario": "repro.faults.rates",
+    "FailureModel": "repro.faults.model",
+    "TaskFailureRates": "repro.faults.model",
+    "FAULT_SEED_ENV": "repro.faults.injector",
+    "FaultInjector": "repro.faults.injector",
+    "FaultPlan": "repro.faults.injector",
+    "InjectionConfig": "repro.faults.injector",
+    "default_root_seed": "repro.faults.injector",
+    "corrupt_array": "repro.faults.corruption",
+    "flip_random_bit": "repro.faults.corruption",
+}
+
+__getattr__, __dir__ = lazy_exports(
+    __name__,
+    _EXPORTS,
+    submodules=("corruption", "errors", "injector", "model", "rates"),
 )
-from repro.faults.rates import (
-    DEFAULT_CRASH_FIT_PER_32GIB,
-    DEFAULT_SDC_FIT_PER_32GIB,
-    ROADRUNNER_REFERENCE_BYTES,
-    FitRateSpec,
-    exascale_scenario,
-)
-from repro.faults.model import FailureModel, TaskFailureRates
-from repro.faults.injector import (
-    FAULT_SEED_ENV,
-    FaultInjector,
-    FaultPlan,
-    InjectionConfig,
-    default_root_seed,
-)
-from repro.faults.corruption import corrupt_array, flip_random_bit
 
 __all__ = [
     "DEFAULT_CRASH_FIT_PER_32GIB",

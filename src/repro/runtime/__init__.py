@@ -20,25 +20,53 @@ in pure Python:
   engine's worker processes memory-map instead of rebuilding graphs.
 """
 
-from repro.runtime.task import (
-    Direction,
-    DataHandle,
-    DataRegion,
-    TaskArgument,
-    TaskDescriptor,
-    arg_in,
-    arg_inout,
-    arg_out,
-    arg_value,
+from repro._lazy import lazy_exports
+
+#: Public name -> defining module, resolved lazily on first access (see
+#: :mod:`repro._lazy`): simulation-mode consumers import only the compiled
+#: graphs and never pay for the threaded execution substrate.
+_EXPORTS = {
+    "Direction": "repro.runtime.task",
+    "DataHandle": "repro.runtime.task",
+    "DataRegion": "repro.runtime.task",
+    "TaskArgument": "repro.runtime.task",
+    "TaskDescriptor": "repro.runtime.task",
+    "arg_in": "repro.runtime.task",
+    "arg_inout": "repro.runtime.task",
+    "arg_out": "repro.runtime.task",
+    "arg_value": "repro.runtime.task",
+    "CompiledGraph": "repro.runtime.compiled",
+    "CompiledGraphStore": "repro.runtime.compiled",
+    "compile_graph": "repro.runtime.compiled",
+    "DependencyTracker": "repro.runtime.dependencies",
+    "TaskGraph": "repro.runtime.graph",
+    "ReadyScheduler": "repro.runtime.scheduler",
+    "SchedulingPolicy": "repro.runtime.scheduler",
+    "ThreadPool": "repro.runtime.threadpool",
+    "ExecutionResult": "repro.runtime.executor",
+    "GraphExecutor": "repro.runtime.executor",
+    "TaskRuntime": "repro.runtime.runtime",
+    "RuntimeConfig": "repro.runtime.runtime",
+    "RuntimeEvent": "repro.runtime.events",
+    "EventKind": "repro.runtime.events",
+    "EventLog": "repro.runtime.events",
+}
+
+__getattr__, __dir__ = lazy_exports(
+    __name__,
+    _EXPORTS,
+    submodules=(
+        "compiled",
+        "dependencies",
+        "events",
+        "executor",
+        "graph",
+        "runtime",
+        "scheduler",
+        "task",
+        "threadpool",
+    ),
 )
-from repro.runtime.compiled import CompiledGraph, CompiledGraphStore, compile_graph
-from repro.runtime.dependencies import DependencyTracker
-from repro.runtime.graph import TaskGraph
-from repro.runtime.scheduler import ReadyScheduler, SchedulingPolicy
-from repro.runtime.threadpool import ThreadPool
-from repro.runtime.executor import ExecutionResult, GraphExecutor
-from repro.runtime.runtime import TaskRuntime, RuntimeConfig
-from repro.runtime.events import RuntimeEvent, EventKind, EventLog
 
 __all__ = [
     "CompiledGraph",

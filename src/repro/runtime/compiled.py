@@ -582,13 +582,22 @@ class CompiledGraphStore:
         os.replace(meta_tmp, self.meta_path_for(key))
         return key
 
-    def _quarantine(self, key: str) -> None:
-        """Best-effort removal of one entry (arrays + sidecar)."""
+    def _quarantine(self, key: str) -> int:
+        """Best-effort removal of one entry (arrays + sidecar).
+
+        Returns the number of paths that could *not* be removed (a missing
+        file is not a failure) so callers surface the count instead of
+        silently leaving the entry behind.
+        """
+        failed = 0
         for path in (self.path_for(key), self.meta_path_for(key)):
             try:
                 os.remove(path)
-            except OSError:
+            except FileNotFoundError:
                 pass
+            except OSError:
+                failed += 1
+        return failed
 
     # -- maintenance -----------------------------------------------------------
 
@@ -639,12 +648,29 @@ class CompiledGraphStore:
         return rows
 
     def stats(self) -> Dict[str, Any]:
-        """Aggregate store statistics (entry count, bytes, versions, workloads)."""
+        """Aggregate store statistics (entry count, bytes, versions, workloads).
+
+        ``unreadable`` counts sidecars that exist but cannot be read or
+        parsed, and ``missing_arrays`` counts valid sidecars whose ``.npz``
+        cannot be sized — both previously dropped without a trace, which made
+        a half-broken store indistinguishable from a healthy one.
+        """
         n_entries = 0
         n_bytes = 0
         n_workloads = 0
+        unreadable = 0
+        missing_arrays = 0
         versions: Dict[str, int] = {}
-        for meta in self.entries():
+        for meta_path in self._meta_paths():
+            try:
+                with open(meta_path, "r", encoding="utf-8") as fh:
+                    meta = json.load(fh)
+            except (OSError, ValueError):
+                unreadable += 1
+                continue
+            if not isinstance(meta, dict) or "key" not in meta:
+                unreadable += 1
+                continue
             n_entries += 1
             if meta.get("workload"):
                 n_workloads += 1
@@ -654,13 +680,15 @@ class CompiledGraphStore:
             try:
                 n_bytes += os.path.getsize(self.path_for(meta["key"]))
             except OSError:
-                pass
+                missing_arrays += 1
         return {
             "root": self.root,
             "entries": n_entries,
             "bytes": n_bytes,
             "workloads": n_workloads,
             "code_versions": versions,
+            "unreadable": unreadable,
+            "missing_arrays": missing_arrays,
         }
 
     def gc(self, workload_max_age_s: Optional[float] = None) -> Dict[str, int]:
@@ -672,6 +700,10 @@ class CompiledGraphStore:
         orphaned entries forever.  ``None`` (the library default) disables
         aging; the CLI passes :data:`DEFAULT_WORKLOAD_MAX_AGE_S` or the
         ``REPRO_WORKLOAD_MAX_AGE_S`` override.  Table I entries never age.
+
+        The summary's ``skipped`` counts paths that should have been removed
+        but could not be (permissions, a directory squatting on an entry
+        path, ...): a nonzero value means the store still holds garbage.
         """
         current = code_version()
         now = time.time()
@@ -679,8 +711,9 @@ class CompiledGraphStore:
         removed_orphan = 0
         removed_tmp = 0
         removed_aged = 0
+        skipped = 0
         if not os.path.isdir(self.root):
-            return {"stale": 0, "orphan": 0, "tmp": 0, "aged": 0}
+            return {"stale": 0, "orphan": 0, "tmp": 0, "aged": 0, "skipped": 0}
         for shard in sorted(os.listdir(self.root)):
             shard_dir = os.path.join(self.root, shard)
             if not os.path.isdir(shard_dir):
@@ -694,7 +727,7 @@ class CompiledGraphStore:
                         os.remove(path)
                         removed_tmp += 1
                     except OSError:
-                        pass
+                        skipped += 1
                     continue
                 if name.endswith(".npz"):
                     if name[: -len(".npz")] + ".json" not in sidecars:
@@ -702,7 +735,7 @@ class CompiledGraphStore:
                             os.remove(path)
                             removed_orphan += 1
                         except OSError:
-                            pass
+                            skipped += 1
                     continue
                 if not name.endswith(".json"):
                     continue
@@ -715,16 +748,20 @@ class CompiledGraphStore:
                     meta = {}
                     version = None
                 if version != current:
-                    self._quarantine(key)
-                    removed_stale += 1
+                    failed = self._quarantine(key)
+                    skipped += failed
+                    if failed == 0:
+                        removed_stale += 1
                     continue
                 if (
                     workload_max_age_s is not None
                     and meta.get("workload")
                     and now - float(meta.get("created_at", 0.0)) > workload_max_age_s
                 ):
-                    self._quarantine(key)
-                    removed_aged += 1
+                    failed = self._quarantine(key)
+                    skipped += failed
+                    if failed == 0:
+                        removed_aged += 1
             if os.path.isdir(shard_dir) and not os.listdir(shard_dir):
                 try:
                     os.rmdir(shard_dir)
@@ -735,6 +772,7 @@ class CompiledGraphStore:
             "orphan": removed_orphan,
             "tmp": removed_tmp,
             "aged": removed_aged,
+            "skipped": skipped,
         }
 
     def clear(self) -> int:

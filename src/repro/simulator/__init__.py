@@ -19,6 +19,13 @@ loop, and :func:`~repro.simulator.fastpath.simulate_graph_fast` is the
 vectorized fast path (precomputed per-graph arrays, chunked fault draws) that
 produces bit-identical results; :func:`~repro.simulator.fastpath.simulate`
 dispatches between them.
+
+The fast path's event loop itself has interchangeable *backends* (pure
+Python, an optional numba JIT, a self-compiled C kernel — see
+:mod:`repro.simulator.backend`), all bit-identical, selected via
+``$REPRO_SIM_BACKEND``; and
+:func:`~repro.simulator.fastpath.simulate_compiled_batch` replays a whole
+batch of fault seeds over shared replay arrays in one kernel invocation.
 """
 
 from repro.simulator.machine import MachineSpec, shared_memory_node, marenostrum_cluster
@@ -30,7 +37,13 @@ from repro.simulator.execution import (
     SimulationResult,
     simulate_graph,
 )
-from repro.simulator.fastpath import SimGraphCache, simulate, simulate_graph_fast
+from repro.simulator.fastpath import (
+    SimGraphCache,
+    simulate,
+    simulate_compiled,
+    simulate_compiled_batch,
+    simulate_graph_fast,
+)
 
 __all__ = [
     "EventQueue",
@@ -43,6 +56,8 @@ __all__ = [
     "marenostrum_cluster",
     "shared_memory_node",
     "simulate",
+    "simulate_compiled",
+    "simulate_compiled_batch",
     "simulate_graph",
     "simulate_graph_fast",
 ]

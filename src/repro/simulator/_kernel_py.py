@@ -1,0 +1,370 @@
+"""Numba-compatible twin of the C replay kernel (``_simkernel.c``).
+
+One function, :func:`kernel`, written in the nopython subset: typed NumPy
+workspaces, inner closures for the heap primitives (lengths live in one-cell
+int64 arrays because numba closures cannot rebind enclosing scalars), and no
+Python objects in the hot loop.  The same function object is
+
+* JIT-compiled by :mod:`repro.simulator.backend` when numba is installed
+  (the ``numba`` backend), and
+* executed as plain Python by the test suite to pin its semantics against the
+  scalar reference even on machines without numba.
+
+Argument order mirrors ``simulate_kernel`` in ``_simkernel.c`` so the two
+backends share one dispatch site in ``fastpath``.  Every float operation,
+comparison, event-ordering rule and fault-draw cursor step matches the
+reference loops in :mod:`repro.simulator.fastpath` — events are ordered by the
+total order (time, sequence number), so heap-layout differences cannot change
+the pop sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Return codes, matching ``_simkernel.c``.
+OK = 0
+ERR_ALLOC = 1
+ERR_HEAP_OVERFLOW = 2
+ERR_DRAWS_EXHAUSTED = 3
+
+#: Event kinds, matching ``fastpath`` / ``_simkernel.c``.
+_READY, _FREE, _SPARE_FREE, _COMPLETE = 0, 1, 2, 3
+
+
+def kernel(
+    n,
+    n_nodes,
+    cores_per_node,
+    spares_per_node,
+    net_latency,
+    net_bandwidth,
+    contention,
+    collect,
+    p_crash,
+    p_sdc,
+    decision_s,
+    dur,
+    mem,
+    core_busy0,
+    rep_core_busy,
+    completion_spare,
+    core_busy_nospare,
+    completion_nospare,
+    overhead_rep,
+    restore_dur,
+    restore_dur_vote,
+    succ_indptr,
+    succ_indices,
+    edge_bytes,
+    in_degree,
+    node_of,
+    is_replicated,
+    uniforms,
+    n_uniforms,
+    out_scalars,
+    out_counts,
+    start_at,
+    finish_at,
+    overhead_at,
+    recovery_at,
+):
+    """Replay one compiled graph; returns a status code (0 = OK)."""
+    crash_mid = 0.0 < p_crash < 1.0
+    crash_hi = p_crash >= 1.0
+    sdc_mid = 0.0 < p_sdc < 1.0
+    sdc_hi = p_sdc >= 1.0
+
+    # (time, seq) event heap with (kind, idx) payload.
+    cap = 4 * n + 8
+    ev_time = np.empty(cap, np.float64)
+    ev_seq = np.empty(cap, np.int64)
+    ev_kind = np.empty(cap, np.int64)
+    ev_idx = np.empty(cap, np.int64)
+    hlen = np.zeros(1, np.int64)
+
+    def heap_push(time, seq, kind, idx):
+        pos = hlen[0]
+        hlen[0] = pos + 1
+        ev_time[pos] = time
+        ev_seq[pos] = seq
+        ev_kind[pos] = kind
+        ev_idx[pos] = idx
+        while pos > 0:
+            parent = (pos - 1) // 2
+            if ev_time[pos] < ev_time[parent] or (
+                ev_time[pos] == ev_time[parent] and ev_seq[pos] < ev_seq[parent]
+            ):
+                ev_time[pos], ev_time[parent] = ev_time[parent], ev_time[pos]
+                ev_seq[pos], ev_seq[parent] = ev_seq[parent], ev_seq[pos]
+                ev_kind[pos], ev_kind[parent] = ev_kind[parent], ev_kind[pos]
+                ev_idx[pos], ev_idx[parent] = ev_idx[parent], ev_idx[pos]
+                pos = parent
+            else:
+                break
+
+    def heap_pop():
+        top_time = ev_time[0]
+        top_kind = ev_kind[0]
+        top_idx = ev_idx[0]
+        last = hlen[0] - 1
+        hlen[0] = last
+        if last > 0:
+            ev_time[0] = ev_time[last]
+            ev_seq[0] = ev_seq[last]
+            ev_kind[0] = ev_kind[last]
+            ev_idx[0] = ev_idx[last]
+            pos = 0
+            while True:
+                left = 2 * pos + 1
+                right = left + 1
+                best = pos
+                if left < last and (
+                    ev_time[left] < ev_time[best]
+                    or (ev_time[left] == ev_time[best] and ev_seq[left] < ev_seq[best])
+                ):
+                    best = left
+                if right < last and (
+                    ev_time[right] < ev_time[best]
+                    or (ev_time[right] == ev_time[best] and ev_seq[right] < ev_seq[best])
+                ):
+                    best = right
+                if best == pos:
+                    break
+                ev_time[pos], ev_time[best] = ev_time[best], ev_time[pos]
+                ev_seq[pos], ev_seq[best] = ev_seq[best], ev_seq[pos]
+                ev_kind[pos], ev_kind[best] = ev_kind[best], ev_kind[pos]
+                ev_idx[pos], ev_idx[best] = ev_idx[best], ev_idx[pos]
+                pos = best
+        return top_time, top_kind, top_idx
+
+    # Per-node ready heaps (plain int min-heaps of dense task indices) share
+    # one backing array: each task enters its node's queue exactly once.
+    ready = np.empty(max(n, 1), np.int64)
+    ready_off = np.zeros(n_nodes, np.int64)
+    ready_len = np.zeros(n_nodes, np.int64)
+    node_count = np.zeros(n_nodes, np.int64)
+    for i in range(n):
+        node_count[node_of[i]] += 1
+    off = 0
+    for nid in range(n_nodes):
+        ready_off[nid] = off
+        off += node_count[nid]
+
+    def ready_push(nid, value):
+        base = ready_off[nid]
+        pos = ready_len[nid]
+        ready_len[nid] = pos + 1
+        ready[base + pos] = value
+        while pos > 0:
+            parent = (pos - 1) // 2
+            if ready[base + pos] < ready[base + parent]:
+                ready[base + pos], ready[base + parent] = (
+                    ready[base + parent],
+                    ready[base + pos],
+                )
+                pos = parent
+            else:
+                break
+
+    def ready_pop(nid):
+        base = ready_off[nid]
+        top = ready[base]
+        last = ready_len[nid] - 1
+        ready_len[nid] = last
+        if last > 0:
+            ready[base] = ready[base + last]
+            pos = 0
+            while True:
+                left = 2 * pos + 1
+                right = left + 1
+                best = pos
+                if left < last and ready[base + left] < ready[base + best]:
+                    best = left
+                if right < last and ready[base + right] < ready[base + best]:
+                    best = right
+                if best == pos:
+                    break
+                ready[base + pos], ready[base + best] = (
+                    ready[base + best],
+                    ready[base + pos],
+                )
+                pos = best
+        return top
+
+    pending = in_degree.copy()
+    earliest = np.zeros(max(n, 1), np.float64)
+    free_cores = np.empty(n_nodes, np.int64)
+    free_spares = np.empty(n_nodes, np.int64)
+    node_mem = np.zeros(n_nodes, np.float64)
+    for nid in range(n_nodes):
+        free_cores[nid] = cores_per_node
+        free_spares[nid] = spares_per_node
+
+    dpos = 0
+    crashes = 0
+    sdcs = 0
+    replicated_count = 0
+    n_started = 0
+    total_overhead = 0.0
+    total_recovery = 0.0
+    total_work = 0.0
+    makespan = 0.0
+
+    seq = 0
+    for i in range(n):
+        if pending[i] == 0:
+            heap_push(0.0, seq, _READY, i)
+            seq += 1
+
+    while hlen[0] > 0:
+        now, kind, i = heap_pop()
+        nid = node_of[i]
+        if kind == _READY:
+            ready_push(nid, i)
+        elif kind == _FREE:
+            free_cores[nid] += 1
+        elif kind == _SPARE_FREE:
+            free_spares[nid] += 1
+            continue
+        else:  # _COMPLETE
+            for k in range(succ_indptr[i], succ_indptr[i + 1]):
+                s = succ_indices[k]
+                delay = 0.0
+                if node_of[s] != nid:
+                    delay = net_latency + edge_bytes[k] / net_bandwidth
+                arrival = now + delay
+                if arrival > earliest[s]:
+                    earliest[s] = arrival
+                pending[s] -= 1
+                if pending[s] == 0:
+                    at = now if now > earliest[s] else earliest[s]
+                    heap_push(at, seq, _READY, s)
+                    seq += 1
+
+        # try_start(nid): drain the node's ready heap while cores are free.
+        while free_cores[nid] > 0 and ready_len[nid] > 0:
+            i = ready_pop(nid)
+            free_cores[nid] -= 1
+            use_spare = False
+            crash1 = False
+            sdc1 = False
+            if is_replicated[i]:
+                replicated_count += 1
+                if free_spares[nid] > 0:
+                    free_spares[nid] -= 1
+                    use_spare = True
+                    core_busy = rep_core_busy[i]
+                    completion = completion_spare[i]
+                else:
+                    core_busy = core_busy_nospare[i]
+                    completion = completion_nospare[i]
+                if crash_mid:
+                    if dpos + 2 > n_uniforms:
+                        return ERR_DRAWS_EXHAUSTED
+                    crash0 = uniforms[dpos] < p_crash
+                    dpos += 1
+                    crash1 = uniforms[dpos] < p_crash
+                    dpos += 1
+                else:
+                    crash0 = crash_hi
+                    crash1 = crash_hi
+                if sdc_mid:
+                    if crash0:
+                        sdc0 = False
+                    else:
+                        if dpos >= n_uniforms:
+                            return ERR_DRAWS_EXHAUSTED
+                        sdc0 = uniforms[dpos] < p_sdc
+                        dpos += 1
+                    if crash1:
+                        sdc1 = False
+                    else:
+                        if dpos >= n_uniforms:
+                            return ERR_DRAWS_EXHAUSTED
+                        sdc1 = uniforms[dpos] < p_sdc
+                        dpos += 1
+                else:
+                    sdc0 = (not crash0) and sdc_hi
+                    sdc1 = (not crash1) and sdc_hi
+                crashes += int(crash0) + int(crash1)
+                sdcs += int(sdc0) + int(sdc1)
+                if crash0 and crash1:
+                    recovery = restore_dur[i]
+                    completion += recovery
+                    total_recovery += recovery
+                elif (sdc0 != sdc1) and not (crash0 or crash1):
+                    recovery = restore_dur_vote[i]
+                    completion += recovery
+                    total_recovery += recovery
+                else:
+                    recovery = 0.0
+                overhead = overhead_rep[i]
+            else:
+                if crash_mid:
+                    if dpos >= n_uniforms:
+                        return ERR_DRAWS_EXHAUSTED
+                    crash0 = uniforms[dpos] < p_crash
+                    dpos += 1
+                else:
+                    crash0 = crash_hi
+                if sdc_mid:
+                    if crash0:
+                        sdc0 = False
+                    else:
+                        if dpos >= n_uniforms:
+                            return ERR_DRAWS_EXHAUSTED
+                        sdc0 = uniforms[dpos] < p_sdc
+                        dpos += 1
+                else:
+                    sdc0 = (not crash0) and sdc_hi
+                crashes += int(crash0)
+                sdcs += int(sdc0)
+                if crash0:
+                    recovery = dur[i]
+                    core_busy = core_busy0[i] + recovery
+                    total_recovery += recovery
+                else:
+                    recovery = 0.0
+                    core_busy = core_busy0[i]
+                completion = core_busy
+                overhead = decision_s
+
+            total_overhead += overhead
+            total_work += dur[i]
+            if contention:
+                node_mem[nid] += mem[i]
+            finish = now + completion
+            if finish > makespan:
+                makespan = finish
+            if collect:
+                start_at[i] = now
+                finish_at[i] = finish
+                overhead_at[i] = overhead
+                recovery_at[i] = recovery
+            n_started += 1
+            # Spare release precedes core release at equal timestamps, as in
+            # the reference loop.
+            if use_spare:
+                heap_push(now + core_busy, seq, _SPARE_FREE, i)
+                seq += 1
+            heap_push(now + core_busy, seq, _FREE, i)
+            seq += 1
+            heap_push(finish, seq, _COMPLETE, i)
+            seq += 1
+
+    max_node_mem = 0.0
+    for nid in range(n_nodes):
+        if node_mem[nid] > max_node_mem:
+            max_node_mem = node_mem[nid]
+    out_scalars[0] = makespan
+    out_scalars[1] = total_work
+    out_scalars[2] = total_overhead
+    out_scalars[3] = total_recovery
+    out_scalars[4] = max_node_mem
+    out_counts[0] = crashes
+    out_counts[1] = sdcs
+    out_counts[2] = replicated_count
+    out_counts[3] = n_started
+    out_counts[4] = dpos
+    return OK

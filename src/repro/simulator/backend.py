@@ -1,0 +1,346 @@
+"""Simulator loop backends: pure Python, optional numba JIT, self-built C kernel.
+
+The compiled-graph replay loop in :mod:`repro.simulator.fastpath` is pure
+Python and stays the *reference* — every other backend must be bit-identical
+to it, which the equivalence suite asserts.  This module provides the faster
+executions of the same loop:
+
+``python``
+    The fastpath's own scalar loops.  Always available; the fallback.
+``cext``
+    ``_simkernel.c`` compiled on first use with the system C compiler
+    (``-O2 -ffp-contract=off``, no Python headers needed) and driven through
+    :mod:`ctypes`.  The shared object is cached under
+    ``$REPRO_KERNEL_CACHE`` (default ``~/.cache/repro/kernels``) keyed by the
+    source hash, so later runs only ``dlopen`` it.
+``numba``
+    The nopython twin in :mod:`repro.simulator._kernel_py`, JIT-compiled when
+    numba is installed.  numba stays an optional dependency (``pip install
+    repro-appfit[numba]``); when it is absent this backend reports
+    unavailable and selection falls through.
+``pykernel``
+    The numba twin executed as plain Python.  Far slower than the fastpath —
+    it exists so the twin's semantics are pinned by tests even on machines
+    without numba.  Never chosen automatically.
+
+Selection: ``REPRO_SIM_BACKEND`` picks one of ``auto|python|numba|cext``
+(``pykernel`` is accepted for debugging).  ``auto`` — the default — prefers
+``cext`` and then ``numba``: importing numba costs over a second of startup,
+which would dwarf the loop savings in short CLI runs, while the cached C
+kernel loads in microseconds.  Forcing an unavailable backend raises with the
+recorded reason.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import importlib.util
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Environment variable naming the backend to use.
+BACKEND_ENV = "REPRO_SIM_BACKEND"
+
+#: Environment variable overriding the compiled-kernel cache directory.
+KERNEL_CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+#: Environment variable overriding the C compiler (default: cc/gcc/clang).
+CC_ENV = "REPRO_CC"
+
+_KERNEL_SOURCE = os.path.join(os.path.dirname(__file__), "_simkernel.c")
+
+#: Return codes of the kernels (matching ``_simkernel.c``).
+_ERRORS = {
+    1: "kernel workspace allocation failed",
+    2: "event heap overflow (kernel bug)",
+    3: "pre-drawn uniform block exhausted (draw-bound bug)",
+}
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when a requested backend cannot run on this machine."""
+
+
+#: Positional metadata passed to every kernel ahead of the arrays:
+#: (n, n_nodes, cores_per_node, spares_per_node, net_latency, net_bandwidth,
+#:  contention, collect, p_crash, p_sdc, decision_s).
+Meta = Tuple[int, int, int, int, float, float, int, int, float, float, float]
+
+
+class KernelBackend:
+    """A compiled execution of the replay loop.
+
+    ``run_batch`` replays ``n_lanes`` seed lanes: ``uniforms`` holds one
+    pre-drawn row per lane, outputs are written at lane offsets.  Returns the
+    kernel status code (0 = OK).
+    """
+
+    name: str = "python"
+
+    def run_batch(
+        self,
+        n_lanes: int,
+        meta: Meta,
+        arrays: Tuple[np.ndarray, ...],
+        uniforms: np.ndarray,
+        n_uniforms: int,
+        out_scalars: np.ndarray,
+        out_counts: np.ndarray,
+        record_arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> int:
+        raise NotImplementedError
+
+
+class CExtBackend(KernelBackend):
+    """ctypes driver over the self-compiled ``_simkernel.c`` shared object."""
+
+    name = "cext"
+
+    def __init__(self) -> None:
+        self._lib = _load_kernel_lib()
+        i64 = ctypes.c_longlong
+        f64 = ctypes.c_double
+        i32 = ctypes.c_int
+        ptr = ctypes.c_void_p
+        fn = self._lib.simulate_kernel_batch
+        fn.restype = i32
+        fn.argtypes = (
+            [i64, i64, i64, i64, i64, f64, f64, i32, i32, f64, f64, f64]
+            + [ptr] * 10  # replay arrays
+            + [ptr, ptr, ptr, ptr, ptr, ptr]  # csr + degrees + placement + flags
+            + [ptr, i64]  # uniforms
+            + [ptr, ptr]  # out scalars/counts
+            + [ptr, ptr, ptr, ptr]  # record arrays
+        )
+        self._fn = fn
+
+    def run_batch(self, n_lanes, meta, arrays, uniforms, n_uniforms, out_scalars, out_counts, record_arrays):
+        (n, n_nodes, cores, spares, net_lat, net_bw, contention, collect, p_crash, p_sdc, decision_s) = meta
+        def p(a: np.ndarray):
+            return a.ctypes.data_as(ctypes.c_void_p)
+        return self._fn(
+            n_lanes, n, n_nodes, cores, spares, net_lat, net_bw,
+            contention, collect, p_crash, p_sdc, decision_s,
+            *[p(a) for a in arrays],
+            p(uniforms), n_uniforms,
+            p(out_scalars), p(out_counts),
+            *[p(a) for a in record_arrays],
+        )
+
+
+class _PyKernelBackend(KernelBackend):
+    """The numba twin, lane-looped — plain Python (``pykernel``) by default."""
+
+    name = "pykernel"
+
+    def __init__(self) -> None:
+        from repro.simulator._kernel_py import kernel
+
+        self._kernel = kernel
+
+    def run_batch(self, n_lanes, meta, arrays, uniforms, n_uniforms, out_scalars, out_counts, record_arrays):
+        (n, n_nodes, cores, spares, net_lat, net_bw, contention, collect, p_crash, p_sdc, decision_s) = meta
+        start_at, finish_at, overhead_at, recovery_at = record_arrays
+        for lane in range(n_lanes):
+            rec = lane if collect else 0
+            rc = self._kernel(
+                n, n_nodes, cores, spares, net_lat, net_bw,
+                contention, collect, p_crash, p_sdc, decision_s,
+                *arrays,
+                uniforms[lane], n_uniforms,
+                out_scalars[lane], out_counts[lane],
+                start_at[rec], finish_at[rec], overhead_at[rec], recovery_at[rec],
+            )
+            if rc != 0:
+                return rc
+        return 0
+
+
+class NumbaBackend(_PyKernelBackend):
+    """The numba-JITed twin (optional dependency)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if importlib.util.find_spec("numba") is None:
+            raise BackendUnavailable("numba is not installed (pip install repro-appfit[numba])")
+        import numba
+
+        from repro.simulator._kernel_py import kernel
+
+        # cache=True persists the machine code next to _kernel_py.py so the
+        # JIT cost is paid once per interpreter/ABI, not once per process.
+        self._kernel = numba.njit(cache=True, fastmath=False)(kernel)
+
+
+class PythonBackend(KernelBackend):
+    """Marker backend: the fastpath's scalar loops handle execution."""
+
+    name = "python"
+
+    def run_batch(self, *args, **kwargs):  # pragma: no cover - never called
+        raise RuntimeError("the python backend has no kernel; fastpath runs the scalar loops")
+
+
+# -- C kernel build ---------------------------------------------------------
+
+
+def kernel_cache_dir() -> str:
+    """Directory holding compiled kernel shared objects."""
+    override = os.environ.get(KERNEL_CACHE_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "kernels")
+
+
+def _find_cc() -> Optional[str]:
+    override = os.environ.get(CC_ENV)
+    if override:
+        return shutil.which(override) or (override if os.path.exists(override) else None)
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def kernel_lib_path() -> str:
+    """Path of the compiled kernel for the current source (not necessarily built)."""
+    with open(_KERNEL_SOURCE, "rb") as fh:
+        digest = hashlib.sha256(fh.read()).hexdigest()[:16]
+    return os.path.join(kernel_cache_dir(), f"simkernel-{digest}.so")
+
+
+def build_kernel_lib(verbose: bool = False) -> str:
+    """Compile ``_simkernel.c`` into the kernel cache; returns the .so path.
+
+    Idempotent: if the shared object for the current source hash exists it is
+    reused.  ``-ffp-contract=off`` forbids multiply-add contraction so the
+    compiler cannot alter float results (the loop has no multiplies, but the
+    flag makes the bit-identity guarantee explicit); ``-march`` is left at the
+    default for the same reason.
+    """
+    target = kernel_lib_path()
+    if os.path.exists(target):
+        return target
+    cc = _find_cc()
+    if cc is None:
+        raise BackendUnavailable("no C compiler found (set REPRO_CC or install gcc/clang)")
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=os.path.dirname(target))
+    os.close(fd)
+    cmd = [cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off", "-o", tmp, _KERNEL_SOURCE]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise BackendUnavailable(
+                f"kernel compilation failed ({' '.join(cmd)}):\n{proc.stderr.strip()}"
+            )
+        os.replace(tmp, target)  # atomic: concurrent builders race benignly
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+    if verbose:  # pragma: no cover - debugging aid
+        print(f"built {target} with {cc}")
+    return target
+
+
+def _load_kernel_lib() -> ctypes.CDLL:
+    try:
+        return ctypes.CDLL(build_kernel_lib())
+    except OSError as exc:  # corrupt cache entry: rebuild once
+        path = kernel_lib_path()
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        try:
+            return ctypes.CDLL(build_kernel_lib())
+        except OSError:
+            raise BackendUnavailable(f"cannot load compiled kernel {path}: {exc}")
+
+
+# -- selection --------------------------------------------------------------
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {
+    "python": PythonBackend,
+    "cext": CExtBackend,
+    "numba": NumbaBackend,
+    "pykernel": _PyKernelBackend,
+}
+
+#: Backends tried by ``auto``, in order.  cext first: a cached .so loads in
+#: microseconds while importing numba costs >1s of startup per process.
+_AUTO_ORDER = ("cext", "numba")
+
+_instances: Dict[str, KernelBackend] = {}
+_failures: Dict[str, str] = {}
+
+
+def _get_backend(name: str) -> KernelBackend:
+    inst = _instances.get(name)
+    if inst is not None:
+        return inst
+    if name in _failures:
+        raise BackendUnavailable(_failures[name])
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown simulator backend {name!r} (expected auto|{'|'.join(_FACTORIES)})")
+    try:
+        inst = factory()
+    except BackendUnavailable as exc:
+        _failures[name] = str(exc)
+        raise
+    _instances[name] = inst
+    return inst
+
+
+def resolve_backend(name: Optional[str] = None) -> KernelBackend:
+    """The backend to use: explicit ``name``, else ``$REPRO_SIM_BACKEND``, else auto.
+
+    ``auto`` falls back to the pure-Python loops when no compiled backend is
+    available; a *named* backend that is unavailable raises
+    :class:`BackendUnavailable` with the reason.
+    """
+    name = name or os.environ.get(BACKEND_ENV) or "auto"
+    name = name.strip().lower()
+    if name == "auto":
+        for cand in _AUTO_ORDER:
+            try:
+                return _get_backend(cand)
+            except BackendUnavailable:
+                continue
+        return _get_backend("python")
+    return _get_backend(name)
+
+
+def backend_status() -> Dict[str, str]:
+    """Availability of every backend, for diagnostics (``repro targets``-style)."""
+    status: Dict[str, str] = {}
+    for name in _FACTORIES:
+        try:
+            _get_backend(name)
+            status[name] = "available"
+        except BackendUnavailable as exc:
+            status[name] = f"unavailable: {exc}"
+    return status
+
+
+def reset_backends() -> None:
+    """Forget memoised backends/failures (tests that change the environment)."""
+    _instances.clear()
+    _failures.clear()
+
+
+def kernel_error(rc: int) -> str:
+    """Human-readable message of a nonzero kernel status code."""
+    return _ERRORS.get(rc, f"unknown kernel error {rc}")

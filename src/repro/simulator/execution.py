@@ -51,6 +51,10 @@ class SimulationConfig:
 
     #: Ids of tasks to replicate; ``None`` means replicate nothing and the
     #: string ``"all"`` (via :meth:`replicate_all`) selects every task.
+    #: Any iterable of ids is accepted and normalised to a ``frozenset`` so
+    #: membership tests stay O(1) (a list-valued config used to make the fast
+    #: path's per-task ``in`` scan O(n·m)) and so the value is hashable for
+    #: the replay-array memos.
     replicated_ids: Optional[Set[int]] = None
     replicate_all: bool = False
     costs: ReplicationCostModel = field(default_factory=ReplicationCostModel)
@@ -76,6 +80,8 @@ class SimulationConfig:
     def __post_init__(self) -> None:
         check_probability(self.crash_probability, "crash_probability")
         check_probability(self.sdc_probability, "sdc_probability")
+        if self.replicated_ids is not None and not isinstance(self.replicated_ids, frozenset):
+            self.replicated_ids = frozenset(self.replicated_ids)
 
     def is_replicated(self, task_id: int) -> bool:
         """Whether a task is selected for replication in this simulation."""

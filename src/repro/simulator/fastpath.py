@@ -31,14 +31,15 @@ harness's ``--reference`` flag) to fall back to the reference implementation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.runtime.compiled import CompiledGraph, compile_graph
 from repro.runtime.graph import TaskGraph
+from repro.simulator import backend as _backends
 from repro.simulator.costs import ReplicationCostModel
 from repro.simulator.execution import (
     SimulatedTaskRecord,
@@ -104,33 +105,74 @@ class SimGraphCache:
             compiled = compile_graph(graph)
         self.graph = graph
         self.compiled = compiled
-        n = self.n = compiled.n
-        self.task_ids: List[int] = compiled.task_ids.tolist()
+        self.n = compiled.n
         self.durations = np.asarray(compiled.durations)
         self.mem_bytes = np.asarray(compiled.mem_bytes)
         self.input_bytes = np.asarray(compiled.input_bytes)
         self.output_bytes = np.asarray(compiled.output_bytes)
-        #: Explicit node placements (-1 when the runtime is free to choose).
-        self.node_attr: List[int] = compiled.node_attr.tolist()
-        self.in_degree: List[int] = compiled.in_degrees().tolist()
-        ptr = compiled.succ_indptr.tolist()
-        idx = compiled.succ_indices.tolist()
-        ebs = compiled.edge_bytes.tolist()
-        #: Successors as dense indices, sorted like the reference loop iterates.
-        self.successors: List[List[int]] = [
-            idx[ptr[i] : ptr[i + 1]] for i in range(n)
-        ]
-        #: Per-edge communication payloads, aligned with :attr:`successors`.
-        self.edge_bytes: List[List[float]] = [
-            ebs[ptr[i] : ptr[i + 1]] for i in range(n)
-        ]
+        # The Python-list views of the compiled arrays (what the scalar loops
+        # index) are built lazily: the kernel backends run straight off the
+        # ndarrays, so list materialisation is paid only when the pure-Python
+        # loops (or the record assembly) actually need it.
+        self._task_ids: Optional[List[int]] = None
+        self._node_attr: Optional[List[int]] = None
+        self._in_degree: Optional[List[int]] = None
+        self._successors: Optional[List[List[int]]] = None
+        self._edge_bytes: Optional[List[List[float]]] = None
         self._node_maps: Dict[int, List[int]] = {}
+        self._node_maps_np: Dict[int, np.ndarray] = {}
         self._replay: Dict[Tuple[ReplicationCostModel, bool, float], _ReplayArrays] = {}
+        self._replay_np: Dict[
+            Tuple[ReplicationCostModel, bool, float], Tuple[np.ndarray, ...]
+        ] = {}
+        self._static_np: Optional[Tuple[np.ndarray, ...]] = None
+        self._flags_np: Dict[Tuple[bool, Optional[frozenset]], np.ndarray] = {}
 
     @classmethod
     def from_compiled(cls, compiled: CompiledGraph) -> "SimGraphCache":
         """A cache over a compiled graph alone (e.g. mmap-loaded by a worker)."""
         return cls(compiled=compiled)
+
+    # -- lazy list views (indexed by the pure-Python loops) ------------------
+
+    @property
+    def task_ids(self) -> List[int]:
+        """Task ids in dense index order."""
+        if self._task_ids is None:
+            self._task_ids = self.compiled.task_ids.tolist()
+        return self._task_ids
+
+    @property
+    def node_attr(self) -> List[int]:
+        """Explicit node placements (-1 when the runtime is free to choose)."""
+        if self._node_attr is None:
+            self._node_attr = self.compiled.node_attr.tolist()
+        return self._node_attr
+
+    @property
+    def in_degree(self) -> List[int]:
+        """Predecessor counts in dense index order."""
+        if self._in_degree is None:
+            self._in_degree = self.compiled.in_degrees().tolist()
+        return self._in_degree
+
+    @property
+    def successors(self) -> List[List[int]]:
+        """Successors as dense indices, sorted like the reference loop iterates."""
+        if self._successors is None:
+            ptr = self.compiled.succ_indptr.tolist()
+            idx = self.compiled.succ_indices.tolist()
+            self._successors = [idx[ptr[i] : ptr[i + 1]] for i in range(self.n)]
+        return self._successors
+
+    @property
+    def edge_bytes(self) -> List[List[float]]:
+        """Per-edge communication payloads, aligned with :attr:`successors`."""
+        if self._edge_bytes is None:
+            ptr = self.compiled.succ_indptr.tolist()
+            ebs = self.compiled.edge_bytes.tolist()
+            self._edge_bytes = [ebs[ptr[i] : ptr[i + 1]] for i in range(self.n)]
+        return self._edge_bytes
 
     # -- memoised derived quantities ----------------------------------------
 
@@ -138,14 +180,24 @@ class SimGraphCache:
         """Node of every task on an ``n_nodes`` machine (reference placement rule)."""
         cached = self._node_maps.get(n_nodes)
         if cached is None:
-            if n_nodes == 1:
-                cached = [0] * self.n
-            else:
-                cached = [
-                    (attr % n_nodes) if attr >= 0 else (i % n_nodes)
-                    for i, attr in enumerate(self.node_attr)
-                ]
+            cached = self.node_map_np(n_nodes).tolist()
             self._node_maps[n_nodes] = cached
+        return cached
+
+    def node_map_np(self, n_nodes: int) -> np.ndarray:
+        """:meth:`node_map` as an int64 array (what the kernel backends index)."""
+        cached = self._node_maps_np.get(n_nodes)
+        if cached is None:
+            if n_nodes == 1:
+                cached = np.zeros(self.n, dtype=np.int64)
+            else:
+                attr = np.asarray(self.compiled.node_attr, dtype=np.int64)
+                idx = np.arange(self.n, dtype=np.int64)
+                # Same placement rule the reference applies per task:
+                # (attr % n_nodes) if attr >= 0 else (i % n_nodes).
+                cached = np.where(attr >= 0, attr % n_nodes, idx % n_nodes)
+            cached = np.ascontiguousarray(cached, dtype=np.int64)
+            self._node_maps_np[n_nodes] = cached
         return cached
 
     def replay_arrays(
@@ -160,6 +212,26 @@ class SimGraphCache:
         """
         key = (costs, bool(contention), machine.memory_bandwidth_Bps)
         cached = self._replay.get(key)
+        if cached is None:
+            nd = self.replay_arrays_np(machine, costs, contention)
+            # The list views index the very same ndarrays the kernel backends
+            # run on, so the two execution paths cannot diverge numerically.
+            cached = _ReplayArrays(*(a.tolist() for a in nd))
+            self._replay[key] = cached
+        return cached
+
+    def replay_arrays_np(
+        self, machine: MachineSpec, costs: ReplicationCostModel, contention: bool
+    ) -> Tuple[np.ndarray, ...]:
+        """:meth:`replay_arrays` as contiguous float64 ndarrays (kernel order).
+
+        The tuple order matches the ``_ReplayArrays`` fields and the kernel
+        argument order: dur, mem, core_busy0, rep_core_busy, completion_spare,
+        core_busy_nospare, completion_nospare, overhead_rep, restore_dur,
+        restore_dur_vote.
+        """
+        key = (costs, bool(contention), machine.memory_bandwidth_Bps)
+        cached = self._replay_np.get(key)
         if cached is None:
             checkpoint = (
                 costs.checkpoint_latency_s + self.input_bytes / costs.checkpoint_bandwidth_Bps
@@ -182,19 +254,61 @@ class SimGraphCache:
             replica_path = (checkpoint + dur) + compare
             replica_tail = creation_s + replica_path
             core_busy_nospare = rep_core_busy + replica_path
-            cached = _ReplayArrays(
-                dur=dur.tolist(),
-                mem=self.mem_bytes.tolist(),
-                core_busy0=core_busy0.tolist(),
-                rep_core_busy=rep_core_busy.tolist(),
-                completion_spare=np.maximum(rep_core_busy, replica_tail).tolist(),
-                core_busy_nospare=core_busy_nospare.tolist(),
-                completion_nospare=np.maximum(core_busy_nospare, replica_tail).tolist(),
-                overhead_rep=((decision_s + creation_s) + (checkpoint + compare)).tolist(),
-                restore_dur=(restore + dur).tolist(),
-                restore_dur_vote=((restore + dur) + vote).tolist(),
+            cached = tuple(
+                np.ascontiguousarray(a, dtype=np.float64)
+                for a in (
+                    dur,
+                    self.mem_bytes,
+                    core_busy0,
+                    rep_core_busy,
+                    np.maximum(rep_core_busy, replica_tail),
+                    core_busy_nospare,
+                    np.maximum(core_busy_nospare, replica_tail),
+                    (decision_s + creation_s) + (checkpoint + compare),
+                    restore + dur,
+                    (restore + dur) + vote,
+                )
             )
-            self._replay[key] = cached
+            self._replay_np[key] = cached
+        return cached
+
+    def static_np(self) -> Tuple[np.ndarray, ...]:
+        """Graph-structure arrays the kernels index: CSR successors + degrees.
+
+        Order matches the kernel argument order: succ_indptr, succ_indices,
+        edge_bytes, in_degree.
+        """
+        cached = self._static_np
+        if cached is None:
+            c = self.compiled
+            cached = (
+                np.ascontiguousarray(c.succ_indptr, dtype=np.int64),
+                np.ascontiguousarray(c.succ_indices, dtype=np.int64),
+                np.ascontiguousarray(c.edge_bytes, dtype=np.float64),
+                np.ascontiguousarray(c.in_degrees(), dtype=np.int64),
+            )
+            self._static_np = cached
+        return cached
+
+    def replicated_flags_np(self, config: SimulationConfig) -> np.ndarray:
+        """Per-task replication flags as a uint8 array (kernel form).
+
+        ``np.isin`` over int64 task ids decides membership exactly like the
+        per-task ``tid in replicated_ids`` of :func:`_replicated_flags`.
+        """
+        key = (bool(config.replicate_all), config.replicated_ids)
+        cached = self._flags_np.get(key)
+        if cached is None:
+            if config.replicate_all:
+                cached = np.ones(self.n, dtype=np.uint8)
+            elif config.replicated_ids is not None:
+                ids = np.fromiter(config.replicated_ids, dtype=np.int64, count=len(config.replicated_ids))
+                cached = np.ascontiguousarray(
+                    np.isin(self.compiled.task_ids, ids).astype(np.uint8)
+                )
+            else:
+                cached = np.zeros(self.n, dtype=np.uint8)
+            self._flags_np[key] = cached
         return cached
 
 
@@ -212,19 +326,200 @@ def simulate_compiled(
     cache: SimGraphCache,
     machine: MachineSpec,
     config: Optional[SimulationConfig] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Replay a compiled graph on ``machine``; bit-identical to the reference.
 
     This is the entry point worker processes use: ``cache`` may wrap a
     memory-mapped :class:`~repro.runtime.compiled.CompiledGraph` with no
-    ``TaskGraph`` behind it.
+    ``TaskGraph`` behind it.  ``backend`` overrides the loop backend
+    (``$REPRO_SIM_BACKEND``/auto otherwise — see
+    :mod:`repro.simulator.backend`); every backend is bit-identical.
     """
     config = config if config is not None else SimulationConfig()
+    chosen = _backends.resolve_backend(backend)
+    if chosen.name != "python" and cache.n > 0 and machine.n_nodes >= 1:
+        return _replay_kernel_batch(cache, machine, config, [config.seed], chosen, configs=[config])[0]
+    return _simulate_python(cache, machine, config)
+
+
+def _simulate_python(
+    cache: SimGraphCache, machine: MachineSpec, config: SimulationConfig
+) -> SimulationResult:
+    """The pure-Python scalar replay (the reference the kernels must match)."""
     arrays = cache.replay_arrays(machine, config.costs, config.model_memory_contention)
     is_replicated = _replicated_flags(cache, config)
     if machine.n_nodes == 1:
         return _replay_single_node(cache, machine, config, arrays, is_replicated)
     return _replay_multi_node(cache, machine, config, arrays, is_replicated)
+
+
+def simulate_compiled_batch(
+    cache: SimGraphCache,
+    machine: MachineSpec,
+    config: Optional[SimulationConfig] = None,
+    seeds: Sequence[int] = (0,),
+    backend: Optional[str] = None,
+) -> List[SimulationResult]:
+    """Replay one compiled graph for a whole batch of fault seeds.
+
+    Seed ``seeds[j]`` becomes lane ``j`` over the shared replay arrays: the
+    graph structure, per-task cost terms and replication flags are prepared
+    once, each lane pre-draws its own uniform block from
+    ``default_rng(SeedSequence(seed))`` — the same chunked generator sequence
+    the scalar path consumes — and the selected backend replays all lanes in
+    one kernel invocation.  Lane ``j`` is bit-identical to
+    ``simulate_compiled(cache, machine, replace(config, seed=seeds[j]))``, so
+    results do not depend on batch composition or seed order.
+    """
+    config = config if config is not None else SimulationConfig()
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    chosen = _backends.resolve_backend(backend)
+    if chosen.name == "python" or cache.n == 0 or machine.n_nodes < 1:
+        return [
+            _simulate_python(cache, machine, replace(config, seed=int(s))) for s in seeds
+        ]
+    return _replay_kernel_batch(cache, machine, config, seeds, chosen)
+
+
+def _max_draws(n_replicated: int, n_plain: int, config: SimulationConfig) -> int:
+    """Upper bound on uniform draws one lane can consume, chunk-rounded.
+
+    Replicated tasks draw two crash Bernoullis and at most two SDC ones,
+    plain tasks one of each; draws only happen for probabilities strictly
+    inside (0, 1).  Rounding up to whole chunks mirrors the scalar buffers —
+    only the consumed prefix affects results, so overdrawing is harmless.
+    """
+    per = 0
+    if 0.0 < config.crash_probability < 1.0:
+        per += 2 * n_replicated + n_plain
+    if 0.0 < config.sdc_probability < 1.0:
+        per += 2 * n_replicated + n_plain
+    if per == 0:
+        return 0
+    return -(-per // _DRAW_CHUNK) * _DRAW_CHUNK
+
+
+def _replay_kernel_batch(
+    cache: SimGraphCache,
+    machine: MachineSpec,
+    config: SimulationConfig,
+    seeds: Sequence[int],
+    backend: "_backends.KernelBackend",
+    configs: Optional[List[SimulationConfig]] = None,
+) -> List[SimulationResult]:
+    """Run a seed batch through a compiled kernel backend and assemble results."""
+    n = cache.n
+    n_nodes = machine.n_nodes
+    n_lanes = len(seeds)
+    collect = bool(config.collect_records)
+    contention = bool(config.model_memory_contention)
+
+    replay = cache.replay_arrays_np(machine, config.costs, contention)
+    static = cache.static_np()
+    node_of = cache.node_map_np(n_nodes)
+    flags = cache.replicated_flags_np(config)
+    arrays = replay + static + (node_of, flags)
+
+    n_replicated = int(flags.sum())
+    draws = _max_draws(n_replicated, n - n_replicated, config)
+    if draws:
+        uniforms = np.empty((n_lanes, draws), dtype=np.float64)
+        for j, seed in enumerate(seeds):
+            np.random.default_rng(np.random.SeedSequence(int(seed))).random(out=uniforms[j])
+    else:
+        uniforms = np.zeros((1, 1), dtype=np.float64)
+
+    out_scalars = np.zeros((n_lanes, 5), dtype=np.float64)
+    out_counts = np.zeros((n_lanes, 5), dtype=np.int64)
+    if collect:
+        rec_shape = (n_lanes, n)
+    else:
+        rec_shape = (1, 1)
+    start_at = np.zeros(rec_shape, dtype=np.float64)
+    finish_at = np.zeros(rec_shape, dtype=np.float64)
+    overhead_at = np.zeros(rec_shape, dtype=np.float64)
+    recovery_at = np.zeros(rec_shape, dtype=np.float64)
+
+    meta = (
+        n,
+        n_nodes,
+        machine.cores_per_node,
+        machine.spare_cores_per_node,
+        machine.network_latency_s,
+        machine.network_bandwidth_Bps,
+        int(contention),
+        int(collect),
+        config.crash_probability,
+        config.sdc_probability,
+        config.costs.decision_s,
+    )
+    rc = backend.run_batch(
+        n_lanes,
+        meta,
+        arrays,
+        uniforms,
+        draws,
+        out_scalars,
+        out_counts,
+        (start_at, finish_at, overhead_at, recovery_at),
+    )
+    if rc != 0:
+        raise RuntimeError(
+            f"simulator backend {backend.name!r} failed: {_backends.kernel_error(rc)}"
+        )
+
+    if collect:
+        node_of_list = cache.node_map(n_nodes)
+        is_replicated = _replicated_flags(cache, config)
+        dur_list = cache.replay_arrays(machine, config.costs, contention).dur
+    else:
+        node_of_list = []
+        is_replicated = []
+        dur_list = []
+
+    results: List[SimulationResult] = []
+    for j, seed in enumerate(seeds):
+        if configs is not None:
+            lane_config = configs[j]
+        else:
+            lane_config = replace(config, seed=int(seed))
+        if collect:
+            record_arrays: Optional[Tuple[List[float], ...]] = (
+                start_at[j].tolist(),
+                finish_at[j].tolist(),
+                overhead_at[j].tolist(),
+                recovery_at[j].tolist(),
+                dur_list,
+            )
+        else:
+            record_arrays = None
+        scalars = out_scalars[j]
+        counts = out_counts[j]
+        results.append(
+            _finish(
+                cache,
+                machine,
+                lane_config,
+                node_of_list,
+                is_replicated,
+                int(counts[3]),
+                float(scalars[0]),
+                float(scalars[4]),
+                (
+                    float(scalars[1]),
+                    float(scalars[2]),
+                    float(scalars[3]),
+                    int(counts[0]),
+                    int(counts[1]),
+                    int(counts[2]),
+                ),
+                record_arrays,
+            )
+        )
+    return results
 
 
 def _finish(

@@ -76,14 +76,22 @@ def format_bytes(n_bytes: float) -> str:
     """Human-readable binary size (``"1.50 MiB"``, ``"312 B"``).
 
     Used by ``repro cache ls|stats`` so store sizes are readable at a glance;
-    negative inputs keep their sign.
+    negative inputs keep their sign.  Rounding happens *after* unit selection,
+    so a value whose rendering reaches the next binary boundary is promoted
+    (1048575 bytes formats as ``"1.00 MiB"``, never ``"1024.00 KiB"``), and a
+    magnitude that renders as zero drops the sign (no ``"-0 B"``).
     """
-    sign = "-" if n_bytes < 0 else ""
     value = abs(float(n_bytes))
-    for unit, factor in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
-        if value >= factor:
-            return f"{sign}{value / factor:.2f} {unit}"
-    return f"{sign}{value:.0f} B"
+    units = (("GiB", GIB), ("MiB", MIB), ("KiB", KIB), ("B", 1))
+    for i, (unit, factor) in enumerate(units):
+        if value >= factor or factor == 1:
+            rendered = f"{value / factor:.2f}" if factor > 1 else f"{value:.0f}"
+            if i > 0 and float(rendered) >= KIB:
+                unit, factor = units[i - 1]
+                rendered = f"{value / factor:.2f}"
+            break
+    sign = "-" if n_bytes < 0 and float(rendered) != 0.0 else ""
+    return f"{sign}{rendered} {unit}"
 
 
 def bytes_to_gib(n_bytes: float) -> float:

@@ -313,8 +313,44 @@ class TestInvalidation:
         with open(store.path_for(key) + ".tmp.999", "wb") as fh:
             fh.write(b"junk")
         removed = store.gc()
-        assert removed == {"stale": 0, "orphan": 1, "tmp": 1, "aged": 0}
+        assert removed == {"stale": 0, "orphan": 1, "tmp": 1, "aged": 0, "skipped": 0}
         assert store.contains("stream", SCALE)
+
+    def test_gc_counts_unremovable_paths_as_skipped(
+        self, graphs, tmp_path, monkeypatch
+    ):
+        store = CompiledGraphStore(str(tmp_path))
+        monkeypatch.setenv("REPRO_CODE_VERSION", "test-old")
+        key = store.save("stream", SCALE, compile_graph(graphs["stream"]))
+        # Replace the arrays file with a non-empty directory: os.remove then
+        # fails deterministically (even as root), like any unremovable entry.
+        npz = store.path_for(key)
+        os.remove(npz)
+        os.makedirs(os.path.join(npz, "blocker"))
+
+        monkeypatch.setenv("REPRO_CODE_VERSION", "test-new")
+        removed = store.gc()
+        assert removed["skipped"] == 1
+        # The half-removed entry is not reported as cleanly collected.
+        assert removed["stale"] == 0
+
+    def test_stats_counts_unreadable_and_missing(self, graphs, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "test-keep")
+        store = CompiledGraphStore(str(tmp_path))
+        key = store.save("stream", SCALE, compile_graph(graphs["stream"]))
+        clean = store.stats()
+        assert clean["entries"] == 1
+        assert clean["unreadable"] == 0 and clean["missing_arrays"] == 0
+
+        # A corrupt sidecar and a sidecar whose arrays vanished both surface.
+        bad_meta = store.meta_path_for("ee" * 32)
+        os.makedirs(os.path.dirname(bad_meta), exist_ok=True)
+        with open(bad_meta, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        os.remove(store.path_for(key))
+        damaged = store.stats()
+        assert damaged["unreadable"] == 1
+        assert damaged["missing_arrays"] == 1
 
 
 # ---------------------------------------------------------------------------------

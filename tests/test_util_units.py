@@ -55,6 +55,39 @@ class TestSizeUnits:
         assert per_byte * 32 * units.MIB == pytest.approx(2.22e3 / 1024)
 
 
+class TestFormatBytes:
+    def test_plain_values(self):
+        assert units.format_bytes(0) == "0 B"
+        assert units.format_bytes(312) == "312 B"
+        assert units.format_bytes(2048) == "2.00 KiB"
+        assert units.format_bytes(1.5 * units.MIB) == "1.50 MiB"
+        assert units.format_bytes(3 * units.GIB) == "3.00 GiB"
+
+    def test_negative_keeps_sign(self):
+        assert units.format_bytes(-2048) == "-2.00 KiB"
+        assert units.format_bytes(-312) == "-312 B"
+
+    def test_boundary_promotes_unit(self):
+        # One byte under 1 MiB renders as 1024.00 after rounding, so the unit
+        # must be promoted: never "1024.00 KiB".
+        assert units.format_bytes(units.MIB - 1) == "1.00 MiB"
+        assert units.format_bytes(1023.9999 * units.KIB) == "1.00 MiB"
+        assert units.format_bytes(units.GIB - 1) == "1.00 GiB"
+
+    def test_near_boundary_stays_unpromoted(self):
+        # 1023.99 KiB does not reach 1024.00 when rounded — no promotion.
+        assert units.format_bytes(1023.99 * units.KIB) == "1023.99 KiB"
+        assert units.format_bytes(1023 * units.KIB) == "1023.00 KiB"
+
+    def test_byte_to_kib_boundary(self):
+        assert units.format_bytes(1023.6) == "1.00 KiB"
+        assert units.format_bytes(1023.4) == "1023 B"
+
+    def test_no_negative_zero(self):
+        assert units.format_bytes(-0.0) == "0 B"
+        assert units.format_bytes(-0.4) == "0 B"
+
+
 class TestTimeUnits:
     def test_hours(self):
         assert units.hours(2) == 7200

@@ -19,7 +19,8 @@ Usage::
 
 An existing ``BENCH_<target>.json`` has its ``baseline`` carried forward
 unless ``--baseline`` overrides it, so the original reference point survives
-re-recording.
+re-recording, and its previous measurement is appended to the ``history``
+list — re-recording never destroys the perf trajectory, it extends it.
 """
 
 from __future__ import annotations
@@ -97,6 +98,21 @@ def bench_target(target: str, scale: float, repeats: int) -> dict:
     }
 
 
+#: Top-level measurement fields snapshotted into ``history`` on re-record
+#: (everything except ``baseline`` and ``history`` themselves).
+_HISTORY_KEYS = (
+    "target",
+    "scale",
+    "fully_cold_s",
+    "cold_results_warm_graphs_s",
+    "median_s",
+    "python",
+    "recorded_at",
+    "code_version",
+    "speedup_vs_baseline",
+)
+
+
 def main(argv=None) -> int:
     """Entry point: measure the requested targets and write BENCH_*.json."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -118,18 +134,23 @@ def main(argv=None) -> int:
         doc = bench_target(target, args.scale, args.repeats)
         doc["code_version"] = __version__
         path = os.path.join(REPO_ROOT, f"BENCH_{target}.json")
-        baseline = None
-        if args.baseline:
-            baseline = json.loads(args.baseline)
-        elif os.path.exists(path):
+        prior = None
+        if os.path.exists(path):
             with open(path, "r", encoding="utf-8") as fh:
-                baseline = json.load(fh).get("baseline")
+                prior = json.load(fh)
+        baseline = json.loads(args.baseline) if args.baseline else (
+            prior.get("baseline") if prior else None
+        )
         if baseline:
             doc["baseline"] = baseline
             if baseline.get("median_s"):
                 doc["speedup_vs_baseline"] = round(
                     baseline["median_s"] / doc["median_s"], 3
                 )
+        history = list(prior.get("history", [])) if prior else []
+        if prior and prior.get("recorded_at"):
+            history.append({k: prior[k] for k in _HISTORY_KEYS if k in prior})
+        doc["history"] = history
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
             fh.write("\n")
