@@ -25,7 +25,11 @@ The package provides:
   (:mod:`repro.analysis.store`) behind every driver,
 * the unified ``repro`` CLI (:mod:`repro.cli`; also ``python -m repro``)
   with ``run`` / ``sweep`` / ``report`` / ``cache`` / ``workloads``
-  subcommands.
+  subcommands,
+* a sweep service (:mod:`repro.serve`; ``repro serve`` / ``submit`` /
+  ``status``): an HTTP job queue over the results store whose workers
+  shard each grid through atomic, expiring cell leases — N processes or
+  machines on one shared cache root drain a sweep exactly once.
 
 Configuration environment variables (``REPRO_PARALLELISM``,
 ``REPRO_REFERENCE``, ``REPRO_BENCH_SCALE``, ``REPRO_CACHE_DIR``,
@@ -50,7 +54,7 @@ from repro._lazy import lazy_exports
 #: compiled-graph store (:func:`repro.runtime.compiled.compiled_key`) — so
 #: bumping it invalidates all cached cells and compiled graphs; run
 #: ``repro cache gc`` to reclaim the old generation.
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Public name -> defining package, resolved lazily on first access (see
 #: :mod:`repro._lazy`): ``repro run fig5`` never pays for the functional
@@ -81,6 +85,7 @@ __getattr__, __dir__ = lazy_exports(
         "distributed",
         "faults",
         "runtime",
+        "serve",
         "simulator",
         "util",
         "workloads",

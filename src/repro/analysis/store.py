@@ -53,6 +53,34 @@ from repro.runtime.compiled import (  # noqa: F401  (re-exported public API)
 #: tracks the *semantics* of cell functions).
 RECORD_FORMAT: int = 1
 
+#: Lease records (sweep-service cell claims, :mod:`repro.serve.leases`) live
+#: *next to* their result record but in their own suffix namespace, so the
+#: record machinery — ``records()``, ``ls``, quarantine — never mistakes a
+#: live lease (or a half-written one) for a corrupted result and deletes it.
+#: Only ``stats``/``gc``/``clear`` know about them, and only to count them
+#: separately (and to reap the expired ones).
+LEASE_SUFFIX: str = ".lease"
+
+#: Environment override for the lease time-to-live (seconds).
+LEASE_TTL_ENV: str = "REPRO_LEASE_TTL_S"
+
+#: Default lease TTL: long enough that any real cell renews many times before
+#: expiry, short enough that a crashed worker's cells are reclaimed quickly.
+DEFAULT_LEASE_TTL_S: float = 30.0
+
+
+def lease_ttl_seconds() -> float:
+    """The lease TTL: ``REPRO_LEASE_TTL_S`` or the 30-second default."""
+    env = os.environ.get(LEASE_TTL_ENV)
+    if env:
+        try:
+            ttl = float(env)
+            if ttl > 0:
+                return ttl
+        except ValueError:
+            pass
+    return DEFAULT_LEASE_TTL_S
+
 
 def _canonical(obj: Any) -> Any:
     """Reduce ``obj`` to canonical JSON-encodable data, deterministically.
@@ -147,6 +175,15 @@ class ResultStore:
     def path_for(self, key: str) -> str:
         """The record file of a key."""
         return os.path.join(self.root, key[:2], key + ".json")
+
+    def lease_path_for(self, key: str) -> str:
+        """The lease file of a key (``<root>/<key[:2]>/<key>.lease``).
+
+        Same shard directory as the result record so a worker's claim and its
+        eventual result live side by side, but a distinct suffix so nothing in
+        the record machinery ever parses — or quarantines — a lease.
+        """
+        return os.path.join(self.root, key[:2], key + LEASE_SUFFIX)
 
     def key(self, spec: ExperimentSpec) -> str:
         """The content hash of a spec (see :func:`spec_key`)."""
@@ -257,6 +294,44 @@ class ResultStore:
                     paths.append(os.path.join(shard_dir, name))
         return paths
 
+    def _lease_paths(self) -> List[str]:
+        """Every lease file currently on disk, in stable (sharded) order."""
+        paths: List[str] = []
+        if not os.path.isdir(self.root):
+            return paths
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(LEASE_SUFFIX):
+                    paths.append(os.path.join(shard_dir, name))
+        return paths
+
+    def _lease_expired(self, path: str, now: Optional[float] = None) -> Optional[bool]:
+        """Whether the lease at ``path`` has expired; ``None`` if it vanished.
+
+        A lease that cannot be parsed (a half-written acquire caught
+        mid-flight) is **not** corruption: it is treated as live until its
+        file mtime plus the configured TTL has passed, then as expired.  This
+        is what keeps ``gc`` from ever deleting a claim a worker is about to
+        finish writing.
+        """
+        if now is None:
+            now = time.time()
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            deadline = float(doc["deadline"])
+        except (FileNotFoundError,):
+            return None
+        except (OSError, ValueError, TypeError, KeyError):
+            try:
+                return os.path.getmtime(path) + lease_ttl_seconds() < now
+            except OSError:
+                return None
+        return deadline < now
+
     def ls(self) -> List[Dict[str, Any]]:
         """One summary dict per record (for ``repro cache ls``)."""
         rows: List[Dict[str, Any]] = []
@@ -277,7 +352,12 @@ class ResultStore:
         return rows
 
     def stats(self) -> Dict[str, Any]:
-        """Aggregate store statistics (record count, bytes, versions)."""
+        """Aggregate store statistics (record count, bytes, versions, leases).
+
+        Leases are counted in their own buckets (live vs expired), never as
+        records — a sweep-service drain in flight shows up here as a handful
+        of live leases, not as store corruption.
+        """
         paths = self._record_paths()
         n_bytes = 0
         versions: Dict[str, int] = {}
@@ -292,11 +372,24 @@ class ResultStore:
                 continue
             n_records += 1
             versions[record.code_version] = versions.get(record.code_version, 0) + 1
+        leases_live = 0
+        leases_expired = 0
+        now = time.time()
+        for path in self._lease_paths():
+            expired = self._lease_expired(path, now)
+            if expired is None:
+                continue
+            if expired:
+                leases_expired += 1
+            else:
+                leases_live += 1
         return {
             "root": self.root,
             "records": n_records,
             "bytes": n_bytes,
             "code_versions": versions,
+            "leases_live": leases_live,
+            "leases_expired": leases_expired,
         }
 
     def gc(self) -> Dict[str, int]:
@@ -304,20 +397,44 @@ class ResultStore:
 
         Returns counts of what was removed.  Records written by the *current*
         code version are untouched, so ``gc`` after an upgrade reclaims
-        exactly the unreachable generation.
+        exactly the unreachable generation.  Lease files are handled in their
+        own namespace: expired ones (including reclaim tombstones left by a
+        crashed reclaimer) are reaped and counted as ``lease_expired``, live
+        ones are counted as ``lease_live`` and **never** touched — a lease is
+        a claim, not a record, so it can never be "corrupt".
         """
         current = code_version()
         removed_stale = 0
         removed_corrupt = 0
         removed_tmp = 0
+        lease_live = 0
+        lease_expired = 0
+        empty = {
+            "stale": 0, "corrupt": 0, "tmp": 0, "lease_live": 0, "lease_expired": 0
+        }
         if not os.path.isdir(self.root):
-            return {"stale": 0, "corrupt": 0, "tmp": 0}
+            return empty
+        now = time.time()
         for shard in sorted(os.listdir(self.root)):
             shard_dir = os.path.join(self.root, shard)
             if not os.path.isdir(shard_dir):
                 continue
             for name in sorted(os.listdir(shard_dir)):
                 path = os.path.join(shard_dir, name)
+                if ".reclaim." in name:
+                    # A reclaim tombstone survives only if the reclaiming
+                    # worker crashed between rename and unlink; always stale.
+                    self._quarantine(path)
+                    lease_expired += 1
+                    continue
+                if name.endswith(LEASE_SUFFIX):
+                    expired = self._lease_expired(path, now)
+                    if expired:
+                        self._quarantine(path)
+                        lease_expired += 1
+                    elif expired is not None:
+                        lease_live += 1
+                    continue
                 if ".tmp." in name:
                     self._quarantine(path)
                     removed_tmp += 1
@@ -339,14 +456,26 @@ class ResultStore:
                     os.rmdir(shard_dir)
                 except OSError:
                     pass
-        return {"stale": removed_stale, "corrupt": removed_corrupt, "tmp": removed_tmp}
+        return {
+            "stale": removed_stale,
+            "corrupt": removed_corrupt,
+            "tmp": removed_tmp,
+            "lease_live": lease_live,
+            "lease_expired": lease_expired,
+        }
 
     def clear(self) -> int:
-        """Delete every record (the root directory itself is kept). Returns count."""
+        """Delete every record (the root directory itself is kept).
+
+        Returns the number of *records* removed; lease files are removed too
+        (a cleared store has nothing left to claim) but not counted.
+        """
         removed = 0
         for path in self._record_paths():
             self._quarantine(path)
             removed += 1
+        for path in self._lease_paths():
+            self._quarantine(path)
         if os.path.isdir(self.root):
             for shard in os.listdir(self.root):
                 shard_dir = os.path.join(self.root, shard)

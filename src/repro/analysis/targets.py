@@ -126,6 +126,36 @@ def workload_sweep_recorded_text(result: WorkloadSweepResult) -> str:
     return result.render() + ("\n\nworkloads swept:\n" + legend if names else "")
 
 
+def render_artifact_texts(output: TargetOutput, meta: Dict[str, Any]) -> Dict[str, str]:
+    """The txt/json/csv artifact contents of one target output.
+
+    Single source of truth for artifact bytes: ``repro run`` writes these
+    strings to files and the sweep service serves them over HTTP, so a target
+    computed locally and one drained through ``repro serve`` produce
+    byte-identical artifacts.  ``meta`` must carry only deterministic
+    provenance (scale, seed, code version — never timestamps or job ids).
+    """
+    import csv
+    import io
+    import json
+
+    fieldnames: List[str] = []
+    for row in output.rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in output.rows:
+        writer.writerow(row)
+    return {
+        "txt": output.text + "\n",
+        "json": json.dumps({**meta, "rows": output.rows}, indent=2) + "\n",
+        "csv": buf.getvalue(),
+    }
+
+
 # ---------------------------------------------------------------------------------
 # target builders
 # ---------------------------------------------------------------------------------

@@ -10,6 +10,10 @@ One entry point replaces the per-example argparse copies::
     repro report fig3              # re-render artifacts from stored records
     repro cache ls|stats|gc|clear  # maintain the results + compiled-graph stores
     repro targets                  # list runnable targets
+    repro serve --workers 2        # the sweep service (HTTP + local workers)
+    repro serve --worker           # a pure worker draining the shared cache root
+    repro submit --target fig5 --wait --out results   # submit to the service
+    repro status [JOB_ID]          # poll the service's job queue
 
 Installed as a ``repro`` console script by ``setup.py`` and also runnable as
 ``python -m repro``.  Every run/sweep/report invocation shares the same knobs:
@@ -49,6 +53,7 @@ from repro.analysis.targets import (
     TARGETS,
     Target,
     TargetOutput,
+    render_artifact_texts,
     resolve_targets,
     workload_sweep_recorded_text,
 )
@@ -318,6 +323,126 @@ def build_parser() -> argparse.ArgumentParser:
         "(re-importable via trace:file=FILE)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep service (HTTP frontend and/or a sweep worker)",
+        description="Sweep-as-a-service. Default mode serves the HTTP API "
+        "(submit/status/events/artifacts/health/stats) with --workers local "
+        "drain threads; --worker mode runs a pure worker process that drains "
+        "the shared cache root's job queue — start any number on any machines "
+        "sharing that root, and cell leases shard the grids exactly once.",
+    )
+    serve.add_argument(
+        "--host", default=None, help="bind host (default: REPRO_SERVE_BIND or 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default: REPRO_SERVE_BIND or 8765; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="embedded worker threads (default 1; 0 = frontend only)",
+    )
+    serve.add_argument(
+        "--worker",
+        action="store_true",
+        help="run one worker process instead of the HTTP server",
+    )
+    serve.add_argument(
+        "--idle-exit",
+        action="store_true",
+        help="worker mode: exit once the job queue is drained (for CI/scripts)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="worker mode: queue poll interval while idle (default 0.5)",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cell lease TTL (default: REPRO_LEASE_TTL_S or 30)",
+    )
+    serve.add_argument("--cache-dir", default=None, metavar="DIR")
+    serve.add_argument(
+        "--no-graph-cache",
+        action="store_true",
+        help="rebuild task graphs in-process instead of sharing compiled graphs",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running service and optionally wait for it",
+        description="POST one job to `repro serve`: a named target, a workload "
+        "sweep, or a benchmark sweep. With --wait, polls until the job "
+        "finishes; with --out, downloads the .txt/.json/.csv artifacts.",
+    )
+    submit.add_argument(
+        "--url",
+        default=None,
+        help="service base URL (default: REPRO_SERVE_URL or the default bind)",
+    )
+    submit.add_argument("--target", default=None, help=f"registry target: {', '.join(TARGETS)}")
+    submit.add_argument(
+        "--workload", nargs="+", default=None, metavar="SPEC", help="workload sweep specs"
+    )
+    submit.add_argument(
+        "--benchmarks", nargs="+", default=None, metavar="NAME", help="benchmark sweep names"
+    )
+    submit.add_argument("--scale", type=float, default=1.0)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--n-seeds", type=int, default=1)
+    submit.add_argument("--policies", nargs="+", default=["app_fit"], metavar="POLICY")
+    submit.add_argument("--multipliers", nargs="+", type=float, default=[10.0, 5.0], metavar="X")
+    submit.add_argument(
+        "--fault-rates", nargs="+", type=float, default=[0.0, 0.01], metavar="P"
+    )
+    submit.add_argument("--residual-fit-factor", type=float, default=0.0)
+    submit.add_argument(
+        "--reference",
+        action="store_true",
+        help="request the scalar reference path (fast=false cells)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="poll until the job is done or failed"
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="--wait limit (default 600)",
+    )
+    submit.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="with --wait: download the artifacts into DIR",
+    )
+    submit.add_argument("-q", "--quiet", action="store_true")
+
+    status_cmd = sub.add_parser(
+        "status",
+        help="show the service's job queue (or one job)",
+        description="Query a running `repro serve` for job states and cell "
+        "progress; with a JOB_ID, show that job's derived status document.",
+    )
+    status_cmd.add_argument("job", nargs="?", default=None, metavar="JOB_ID")
+    status_cmd.add_argument(
+        "--url",
+        default=None,
+        help="service base URL (default: REPRO_SERVE_URL or the default bind)",
+    )
+
     targets_cmd = sub.add_parser("targets", help="list the runnable figure/table targets")
     targets_cmd.set_defaults(command="targets")
 
@@ -338,35 +463,19 @@ def _write_artifacts(
     output: TargetOutput,
     meta: Dict[str, Any],
 ) -> List[str]:
-    """Write the .txt/.json/.csv artifacts of one target; return their paths."""
+    """Write the .txt/.json/.csv artifacts of one target; return their paths.
+
+    Contents come from :func:`~repro.analysis.targets.render_artifact_texts`,
+    the same composer the sweep service serves over HTTP, so local runs and
+    served jobs emit byte-identical artifacts.
+    """
     os.makedirs(out_dir, exist_ok=True)
     paths = []
-
-    txt_path = os.path.join(out_dir, f"{artifact}.txt")
-    with open(txt_path, "w", encoding="utf-8") as fh:
-        fh.write(output.text + "\n")
-    paths.append(txt_path)
-
-    json_path = os.path.join(out_dir, f"{artifact}.json")
-    with open(json_path, "w", encoding="utf-8") as fh:
-        json.dump({**meta, "rows": output.rows}, fh, indent=2)
-        fh.write("\n")
-    paths.append(json_path)
-
-    import csv
-
-    csv_path = os.path.join(out_dir, f"{artifact}.csv")
-    fieldnames: List[str] = []
-    for row in output.rows:
-        for key in row:
-            if key not in fieldnames:
-                fieldnames.append(key)
-    with open(csv_path, "w", encoding="utf-8", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=fieldnames)
-        writer.writeheader()
-        for row in output.rows:
-            writer.writerow(row)
-    paths.append(csv_path)
+    for fmt, content in render_artifact_texts(output, meta).items():
+        path = os.path.join(out_dir, f"{artifact}.{fmt}")
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            fh.write(content)
+        paths.append(path)
     return paths
 
 
@@ -710,6 +819,186 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_url(url: Optional[str]) -> str:
+    """Resolve the service base URL: flag > ``REPRO_SERVE_URL`` > default bind."""
+    if url:
+        return url.rstrip("/")
+    env = os.environ.get("REPRO_SERVE_URL")
+    if env:
+        return env.rstrip("/")
+    from repro.serve.app import default_bind
+
+    host, port = default_bind()
+    return f"http://{host}:{port}"
+
+
+def _http_json(url: str, body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """One GET (or POST, when a body is given) returning the parsed JSON."""
+    import urllib.request
+
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"} if data else {}
+    )
+    with urllib.request.urlopen(request) as resp:
+        return json.load(resp)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """`repro serve`: the HTTP service, or (with --worker) one drain process."""
+    from repro.serve.app import ReproServer
+    from repro.serve.workers import SweepWorker
+
+    configure_graph_cache(
+        enabled=(False if args.no_graph_cache else env_graph_cache_enabled(True)),
+        root=args.cache_dir,
+    )
+    if args.worker:
+        worker = SweepWorker(
+            args.cache_dir, ttl_s=args.ttl, poll_interval_s=None
+        )
+        print(f"worker {worker.owner} draining {worker.store.root}", flush=True)
+        try:
+            worker.run_forever(poll_s=args.poll_interval, idle_exit=args.idle_exit)
+        except KeyboardInterrupt:
+            pass
+        print(
+            f"worker {worker.owner}: {worker.jobs_drained} job(s) drained, "
+            f"{worker.cells_computed} cell(s) computed, "
+            f"{worker.cells_cached} cached",
+            flush=True,
+        )
+        return 0
+    server = ReproServer(
+        root=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=max(0, args.workers),
+        ttl_s=args.ttl,
+    )
+    print(
+        f"serving {server.store.root} at {server.url} "
+        f"({len(server.workers)} local worker(s))",
+        flush=True,
+    )
+    server.serve_forever()
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    """`repro submit`: POST one job; optionally wait and fetch artifacts."""
+    import urllib.error
+
+    modes = [m for m in (args.target, args.workload, args.benchmarks) if m]
+    if len(modes) != 1:
+        print(
+            "repro: submit needs exactly one of --target, --workload, --benchmarks",
+            file=sys.stderr,
+        )
+        return 2
+    request: Dict[str, Any] = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "n_seeds": args.n_seeds,
+        "fast": not args.reference,
+    }
+    if args.target:
+        request["target"] = args.target
+    else:
+        request["policies"] = list(args.policies)
+        request["multipliers"] = list(args.multipliers)
+        request["residual_fit_factor"] = args.residual_fit_factor
+        if args.workload:
+            request["workloads"] = list(args.workload)
+            request["fault_rates"] = list(args.fault_rates)
+        else:
+            request["benchmarks"] = list(args.benchmarks)
+    base = _service_url(args.url)
+    try:
+        submitted = _http_json(f"{base}/api/v1/jobs", body=request)
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        print(f"repro: submit rejected ({exc.code}): {detail}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"repro: cannot reach {base}: {exc}", file=sys.stderr)
+        return 1
+    job = submitted["job"]
+    if not args.quiet:
+        print(f"submitted {job['id']} ({job['artifact']}) to {base}")
+    if not args.wait:
+        return 0
+    deadline = time.monotonic() + args.timeout
+    status: Dict[str, Any] = {}
+    while time.monotonic() < deadline:
+        status = _http_json(f"{base}/api/v1/jobs/{job['id']}")
+        if status["state"] in ("done", "failed"):
+            break
+        time.sleep(0.2)
+    cells = status.get("cells", {})
+    if not args.quiet:
+        print(
+            f"{job['id']}: {status.get('state', 'unknown')} "
+            f"({cells.get('computed', 0)} computed, {cells.get('cached', 0)} cached "
+            f"of {cells.get('total', '?')})"
+        )
+    if status.get("state") == "failed":
+        print(f"repro: job failed: {status.get('error')}", file=sys.stderr)
+        return 1
+    if status.get("state") != "done":
+        print(f"repro: timed out waiting for {job['id']}", file=sys.stderr)
+        return 1
+    if args.out:
+        import urllib.request
+
+        os.makedirs(args.out, exist_ok=True)
+        for fmt in ("txt", "json", "csv"):
+            with urllib.request.urlopen(
+                f"{base}/api/v1/jobs/{job['id']}/artifacts/{fmt}"
+            ) as resp:
+                blob = resp.read()
+            path = os.path.join(args.out, f"{job['artifact']}.{fmt}")
+            with open(path, "wb") as fh:
+                fh.write(blob)
+            if not args.quiet:
+                print(f"  -> {path}")
+    return 0
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    """`repro status`: the queue summary, or one job's status document."""
+    import urllib.error
+
+    base = _service_url(args.url)
+    try:
+        if args.job:
+            status = _http_json(f"{base}/api/v1/jobs/{args.job}")
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        listing = _http_json(f"{base}/api/v1/jobs")
+    except urllib.error.HTTPError as exc:
+        print(f"repro: {exc.code} from {base}: {exc.reason}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"repro: cannot reach {base}: {exc}", file=sys.stderr)
+        return 1
+    jobs = listing["jobs"]
+    if not jobs:
+        print(f"{base}: no jobs")
+        return 0
+    header = f"{'id':<14} {'state':<8} {'artifact':<26} {'done':>6} {'total':>6} {'computed':>9}"
+    print(header)
+    print("-" * len(header))
+    for status in jobs:
+        cells = status["cells"]
+        total = "?" if cells["total"] is None else cells["total"]
+        print(
+            f"{status['id']:<14} {status['state']:<8} {status['artifact']:<26} "
+            f"{cells['done']:>6} {total:>6} {cells['computed']:>9}"
+        )
+    return 0
+
+
 def _run_list_targets() -> int:
     """`repro targets`: list the registry."""
     width = max(len(name) for name in TARGETS)
@@ -740,6 +1029,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_cache(args)
     if args.command == "workloads":
         return _run_workloads(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "status":
+        return _run_status(args)
     if args.command == "targets":
         return _run_list_targets()
     parser.print_help()

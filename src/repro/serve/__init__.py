@@ -1,0 +1,39 @@
+"""Sweep-as-a-service: an HTTP frontend plus lease-sharded sweep workers.
+
+The package layers a small service on top of the experiment engine and the
+content-addressed result store:
+
+* :mod:`repro.serve.leases` — atomic, expiring per-cell claims; the entire
+  multi-worker coordination plane is lease files in the shared cache root.
+* :mod:`repro.serve.jobs` — the on-disk job queue: normalized sweep requests,
+  an append-only progress journal, derived status, artifact composition.
+* :mod:`repro.serve.workers` — the drain loop: a lease-aware engine that
+  shards any job's cell grid across N workers, exactly once per cell.
+* :mod:`repro.serve.app` — the stdlib HTTP server (``repro serve``) exposing
+  submit/status/events/artifacts/health/stats.
+
+Exports resolve lazily (PEP 562) so ``import repro.serve`` stays cheap.
+"""
+
+from repro._lazy import lazy_exports
+
+__getattr__, __dir__ = lazy_exports(
+    __name__,
+    exports={
+        "ReproServer": "repro.serve.app",
+        "default_bind": "repro.serve.app",
+        "JobStore": "repro.serve.jobs",
+        "JobValidationError": "repro.serve.jobs",
+        "JobIncompleteError": "repro.serve.jobs",
+        "normalize_request": "repro.serve.jobs",
+        "compose_artifacts": "repro.serve.jobs",
+        "LeaseStore": "repro.serve.leases",
+        "LeaseHeartbeat": "repro.serve.leases",
+        "LeaseRecord": "repro.serve.leases",
+        "default_owner_id": "repro.serve.leases",
+        "LeaseDrainEngine": "repro.serve.workers",
+        "SweepWorker": "repro.serve.workers",
+        "list_workers": "repro.serve.workers",
+    },
+    submodules=("app", "jobs", "leases", "workers"),
+)

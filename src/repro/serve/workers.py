@@ -1,0 +1,381 @@
+"""Sweep workers: lease-coordinated drain of job grids over the shared store.
+
+A worker — an in-process thread of ``repro serve --workers N`` or a separate
+``repro serve --worker`` process, possibly on another machine — repeatedly
+scans the job queue and *drains* each unfinished job: it runs the job's
+request through the ordinary experiment drivers, but on a
+:class:`LeaseDrainEngine` whose ``map`` claims each missing cell through the
+lease protocol before computing it.  N workers pointed at one cache root
+therefore shard a grid automatically: every cell is computed by exactly the
+worker that won its lease, everyone else observes the result as a cache hit,
+and a crashed worker's claims expire and are recomputed by the survivors.
+
+The drain makes no assumptions about which worker started first, how many
+there are, or whether they share a machine — the shared filesystem is the
+entire coordination plane.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.runner import ExperimentEngine, ExperimentSpec, run_cell
+from repro.analysis.store import ResultStore
+from repro.serve.jobs import WORKERS_SUBDIR, JobStore, execute_request
+from repro.serve.leases import LeaseHeartbeat, LeaseStore, default_owner_id
+
+#: How often a worker republishes its liveness file (seconds).
+LIVENESS_INTERVAL_S: float = 2.0
+
+#: An event sink: receives plan/cell/error dicts (the job journal appender).
+EventSink = Callable[[Dict[str, Any]], None]
+
+
+class LeaseDrainEngine(ExperimentEngine):
+    """An :class:`ExperimentEngine` whose grid execution is lease-sharded.
+
+    Drop-in for the experiment drivers: ``map`` still returns payloads in
+    spec order and the ``cells_computed`` / ``cells_cached`` counters keep
+    their meaning — but a miss is only computed after winning the cell's
+    lease, and a cell leased elsewhere is awaited (poll the store; reclaim
+    and compute it ourselves if the lease expires unrenewed).
+
+    Exactly-once argument, per cell: the store is re-checked *after* the
+    lease is won (a previous holder may have committed between our miss and
+    our acquire), so a compute happens only under a held lease on a key with
+    no record; lease acquisition is single-winner; and the heartbeat renews
+    the lease for as long as the compute runs.  Only a holder paused beyond
+    its TTL can duplicate work — detected via the heartbeat's lost set and
+    harmless, since cells are deterministic and record writes atomic.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        leases: LeaseStore,
+        heartbeat: LeaseHeartbeat,
+        emit: Optional[EventSink] = None,
+        plan: Optional[Callable[[List[str]], None]] = None,
+        fast: Optional[bool] = None,
+        poll_interval_s: Optional[float] = None,
+        stop: Optional[threading.Event] = None,
+    ) -> None:
+        super().__init__(parallelism=1, fast=fast, store=store, force=False)
+        self.leases = leases
+        self.heartbeat = heartbeat
+        self.emit = emit
+        self.plan = plan
+        #: How long to sleep when every remaining cell is leased elsewhere.
+        self.poll_interval_s = (
+            float(poll_interval_s)
+            if poll_interval_s is not None
+            else min(0.25, leases.ttl_s / 4.0)
+        )
+        self._stop = stop if stop is not None else threading.Event()
+        #: Cells this engine computed although the lease was lost mid-compute
+        #: (duplicate work after a pause beyond the TTL; counted, not hidden).
+        self.cells_duplicated = 0
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> List[Any]:
+        """Drain one grid: claim-compute-release misses, await foreign leases."""
+        specs = list(specs)
+        total = len(specs)
+        keys = [self.store.key(spec) for spec in specs]
+        if self.plan is not None:
+            self.plan(keys)
+        computed0, cached0 = self.cells_computed, self.cells_cached
+        payloads: List[Any] = [None] * total
+        pending = set(range(total))
+        while pending:
+            if self._stop.is_set():
+                raise RuntimeError("drain interrupted by shutdown")
+            progressed = False
+            for i in sorted(pending):
+                if self._fill(specs[i], keys[i], payloads, i):
+                    pending.discard(i)
+                    progressed = True
+            if pending and not progressed:
+                # Every remaining cell is leased by another worker: wait for
+                # results to land (or leases to expire) instead of spinning.
+                time.sleep(self.poll_interval_s)
+        self.last_stats = (
+            self.cells_computed - computed0,
+            self.cells_cached - cached0,
+        )
+        return payloads
+
+    def _fill(
+        self, spec: ExperimentSpec, key: str, payloads: List[Any], i: int
+    ) -> bool:
+        """Try to finish one cell; ``True`` when ``payloads[i]`` is set."""
+        record = self.store.get(spec)
+        if record is not None:
+            payloads[i] = record.payload
+            self._count_cached(spec, key)
+            return True
+        if not self.leases.acquire(key):
+            return False  # live foreign lease: poll again later
+        try:
+            # Re-check under the lease: the previous holder may have
+            # committed between our store miss and our acquire.
+            record = self.store.get(spec)
+            if record is not None:
+                payloads[i] = record.payload
+                self._count_cached(spec, key)
+                return True
+            with self.heartbeat.guard(key):
+                t0 = time.perf_counter()
+                payload = run_cell(spec)
+                elapsed = time.perf_counter() - t0
+            if key in self.heartbeat.lost:
+                self.cells_duplicated += 1
+            self.store.put(spec, payload, elapsed_s=elapsed)
+            payloads[i] = payload
+            self.cells_computed += 1
+            self._emit_cell(spec, key, cached=False, elapsed_s=elapsed)
+            return True
+        finally:
+            self.leases.release(key)
+
+    def _count_cached(self, spec: ExperimentSpec, key: str) -> None:
+        """Account one cache hit (computed here earlier, elsewhere, or ever)."""
+        self.cells_cached += 1
+        self._emit_cell(spec, key, cached=True)
+
+    def _emit_cell(
+        self,
+        spec: ExperimentSpec,
+        key: str,
+        cached: bool,
+        elapsed_s: Optional[float] = None,
+    ) -> None:
+        """Report one finished cell to the event sink, if any."""
+        if self.emit is None:
+            return
+        event = {
+            "type": "cell",
+            "key": key,
+            "kind": spec.kind,
+            "benchmark": spec.benchmark,
+            "cached": cached,
+            "t": time.time(),
+        }
+        if elapsed_s is not None:
+            event["elapsed_s"] = round(elapsed_s, 6)
+        self.emit(event)
+
+
+class _LivenessWriter(threading.Thread):
+    """A daemon thread republishing one worker's liveness file.
+
+    The health endpoint reads these files to report worker liveness; a file
+    older than a few intervals means the worker is gone (the lease protocol
+    already handles its cells, this is purely observability).
+    """
+
+    def __init__(self, worker: "SweepWorker", interval_s: float) -> None:
+        super().__init__(name=f"liveness-{worker.owner}", daemon=True)
+        self.worker = worker
+        self.interval_s = interval_s
+        # Not named _stop: threading.Thread uses a private method of that name.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        """Write the liveness file every interval until stopped."""
+        while True:
+            self.worker.write_liveness()
+            if self._halt.wait(self.interval_s):
+                return
+
+    def stop(self) -> None:
+        """Stop the thread and remove the liveness file (clean shutdown)."""
+        self._halt.set()
+        self.join(timeout=5.0)
+        try:
+            os.remove(self.worker.liveness_path)
+        except OSError:
+            pass
+
+
+class SweepWorker:
+    """One queue-draining worker bound to a shared cache root."""
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        owner: Optional[str] = None,
+        ttl_s: Optional[float] = None,
+        poll_interval_s: Optional[float] = None,
+        liveness_interval_s: float = LIVENESS_INTERVAL_S,
+    ) -> None:
+        self.owner = owner if owner is not None else default_owner_id()
+        self.store = ResultStore(root)
+        self.jobs = JobStore(self.store.root)
+        self.leases = LeaseStore(self.store.root, owner=self.owner, ttl_s=ttl_s)
+        self.heartbeat = LeaseHeartbeat(self.leases)
+        self.poll_interval_s = poll_interval_s
+        self.liveness_interval_s = liveness_interval_s
+        self.started_at = time.time()
+        self.jobs_drained = 0
+        self.jobs_failed = 0
+        self.cells_computed = 0
+        self.cells_cached = 0
+        self._liveness: Optional[_LivenessWriter] = None
+
+    # -- liveness --------------------------------------------------------------
+
+    @property
+    def liveness_path(self) -> str:
+        """This worker's liveness file under ``serve/workers/``."""
+        return os.path.join(self.store.root, WORKERS_SUBDIR, f"{self.owner}.json")
+
+    def write_liveness(self) -> None:
+        """Atomically republish the liveness document."""
+        path = self.liveness_path
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        doc = {
+            "owner": self.owner,
+            "pid": os.getpid(),
+            "started_at": self.started_at,
+            "updated_at": time.time(),
+            "interval_s": self.liveness_interval_s,
+            "jobs_drained": self.jobs_drained,
+            "jobs_failed": self.jobs_failed,
+            "cells_computed": self.cells_computed,
+            "cells_cached": self.cells_cached,
+        }
+        tmp = path + f".tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - liveness is best-effort
+            pass
+
+    # -- draining --------------------------------------------------------------
+
+    def drain_job(
+        self, job: Dict[str, Any], stop: Optional[threading.Event] = None
+    ) -> Dict[str, Any]:
+        """Drain one job to completion (or failure); returns this drain's stats.
+
+        Several workers may drain the same job concurrently — that is the
+        sharding mechanism, not a conflict.  Whichever drain finishes first
+        writes the done marker; every drain finishing at all implies every
+        cell of the job is in the store.
+        """
+        job_id = job["id"]
+        request = job["request"]
+        engine = LeaseDrainEngine(
+            store=self.store,
+            leases=self.leases,
+            heartbeat=self.heartbeat,
+            emit=lambda e: self.jobs.append_event(job_id, {**e, "owner": self.owner}),
+            plan=lambda keys: self.jobs.append_plan_event(job_id, keys, self.owner),
+            fast=request.get("fast", True),
+            poll_interval_s=self.poll_interval_s,
+            stop=stop,
+        )
+        try:
+            execute_request(request, engine)
+        except Exception as exc:
+            message = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            self.jobs.append_event(
+                job_id,
+                {"type": "error", "owner": self.owner, "message": message, "t": time.time()},
+            )
+            self.jobs.mark_failed(job_id, self.owner, message)
+            self.jobs_failed += 1
+            raise
+        summary = {
+            "owner": self.owner,
+            "cells_total": engine.cells_computed + engine.cells_cached,
+            "cells_computed": engine.cells_computed,
+            "cells_cached": engine.cells_cached,
+            "cells_duplicated": engine.cells_duplicated,
+        }
+        self.jobs.mark_done(job_id, summary)
+        self.jobs_drained += 1
+        self.cells_computed += engine.cells_computed
+        self.cells_cached += engine.cells_cached
+        return summary
+
+    def run_once(self, stop: Optional[threading.Event] = None) -> int:
+        """Drain every currently pending job once; returns how many finished."""
+        drained = 0
+        for job in self.jobs.pending_jobs():
+            if stop is not None and stop.is_set():
+                break
+            try:
+                self.drain_job(job, stop=stop)
+                drained += 1
+            except Exception:
+                # The job is marked failed (or the shutdown interrupted us);
+                # move on so one poisoned job cannot wedge the queue.
+                continue
+        return drained
+
+    def run_forever(
+        self,
+        stop: Optional[threading.Event] = None,
+        poll_s: float = 0.5,
+        idle_exit: bool = False,
+    ) -> None:
+        """The worker main loop: heartbeats on, drain, sleep, repeat.
+
+        ``idle_exit=True`` returns as soon as the queue has no pending jobs
+        (used by tests and the CI smoke); otherwise the loop runs until
+        ``stop`` is set.
+        """
+        stop = stop if stop is not None else threading.Event()
+        self.heartbeat.start()
+        self._liveness = _LivenessWriter(self, self.liveness_interval_s)
+        self._liveness.start()
+        try:
+            while not stop.is_set():
+                self.run_once(stop=stop)
+                if idle_exit and not self.jobs.pending_jobs():
+                    return
+                stop.wait(poll_s)
+        finally:
+            self.heartbeat.stop()
+            if self._liveness is not None:
+                self._liveness.stop()
+                self._liveness = None
+
+
+def list_workers(
+    root: Optional[str] = None, now: Optional[float] = None
+) -> List[Dict[str, Any]]:
+    """Every known worker's liveness document, annotated with ``alive``.
+
+    A worker is reported alive while its liveness file is younger than three
+    republish intervals — the same "missed a few heartbeats" rule the lease
+    TTL applies to cell claims.
+    """
+    store = ResultStore(root)
+    workers_dir = os.path.join(store.root, WORKERS_SUBDIR)
+    if now is None:
+        now = time.time()
+    rows: List[Dict[str, Any]] = []
+    if not os.path.isdir(workers_dir):
+        return rows
+    for name in sorted(os.listdir(workers_dir)):
+        if not name.endswith(".json") or ".tmp." in name:
+            continue
+        try:
+            with open(os.path.join(workers_dir, name), "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        age = now - float(doc.get("updated_at", 0.0))
+        interval = float(doc.get("interval_s", LIVENESS_INTERVAL_S))
+        rows.append({**doc, "age_s": round(age, 3), "alive": age < 3.0 * interval})
+    return rows

@@ -169,7 +169,9 @@ def test_gc_drops_stale_versions_and_orphan_temps(tmp_path, monkeypatch):
         fh.write("partial")
 
     removed = store.gc()
-    assert removed == {"stale": 1, "corrupt": 0, "tmp": 1}
+    assert removed == {
+        "stale": 1, "corrupt": 0, "tmp": 1, "lease_live": 0, "lease_expired": 0
+    }
     remaining = list(store.records())
     assert len(remaining) == 1
     assert remaining[0].payload == {"x": 2}

@@ -12,9 +12,16 @@ measures, via the real CLI:
   kept: every cell recomputed from memory-mapped compiled graphs (the
   ISSUE-3 acceptance configuration, repeated ``--repeats`` times).
 
+The pseudo-target ``serve`` measures the sweep service instead: an
+in-process ``ReproServer`` with one local worker, timing a cold fig5 submit
+(submit -> drained -> artifact fetched) against warm resubmissions of the
+same sweep (zero computed cells, artifacts straight from the shared store)
+into ``BENCH_serve.json``.
+
 Usage::
 
     python tools/bench_perf.py fig5 fig6 --scale 0.2 --repeats 3
+    python tools/bench_perf.py serve --scale 0.2 --repeats 3
     python tools/bench_perf.py fig5 --baseline '{"label": "PR 2", "median_s": 4.06}'
 
 An existing ``BENCH_<target>.json`` has its ``baseline`` carried forward
@@ -98,6 +105,64 @@ def bench_target(target: str, scale: float, repeats: int) -> dict:
     }
 
 
+def bench_serve(scale: float, repeats: int) -> dict:
+    """Measure the sweep service: cold submit vs warm resubmit latency.
+
+    Runs a real in-process server (port 0, one worker thread) on a throwaway
+    cache root, submits the fig5 sweep, and times submit -> done -> artifact
+    fetch.  The cold number includes every cell computation; the warm numbers
+    are pure queue + lease + compose overhead (zero computed cells — the
+    measurement asserts it).
+    """
+    import json as _json
+    import urllib.request
+
+    from repro.serve.app import ReproServer
+
+    def _roundtrip(base: str) -> tuple:
+        request = urllib.request.Request(
+            base + "/api/v1/jobs",
+            data=_json.dumps({"target": "fig5", "scale": scale}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        t0 = time.perf_counter()
+        with urllib.request.urlopen(request) as resp:
+            job_id = _json.load(resp)["job"]["id"]
+        while True:
+            with urllib.request.urlopen(base + f"/api/v1/jobs/{job_id}") as resp:
+                status = _json.load(resp)
+            if status["state"] in ("done", "failed"):
+                break
+            time.sleep(0.02)
+        assert status["state"] == "done", status
+        with urllib.request.urlopen(base + f"/api/v1/jobs/{job_id}/artifacts/txt"):
+            pass
+        return time.perf_counter() - t0, status["cells"]["computed"]
+
+    workdir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    server = ReproServer(root=workdir, host="127.0.0.1", port=0, workers=1).start()
+    try:
+        cold_s, cold_computed = _roundtrip(server.url)
+        assert cold_computed > 0, "cold submit computed nothing"
+        warm_runs = []
+        for _ in range(repeats):
+            warm_s, warm_computed = _roundtrip(server.url)
+            assert warm_computed == 0, "warm resubmit recomputed cells"
+            warm_runs.append(warm_s)
+    finally:
+        server.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "target": "serve",
+        "scale": scale,
+        "fully_cold_s": round(cold_s, 4),
+        "warm_resubmit_s": [round(t, 4) for t in warm_runs],
+        "median_s": round(statistics.median(warm_runs), 4),
+        "python": sys.version.split()[0],
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
 #: Top-level measurement fields snapshotted into ``history`` on re-record
 #: (everything except ``baseline`` and ``history`` themselves).
 _HISTORY_KEYS = (
@@ -105,6 +170,7 @@ _HISTORY_KEYS = (
     "scale",
     "fully_cold_s",
     "cold_results_warm_graphs_s",
+    "warm_resubmit_s",
     "median_s",
     "python",
     "recorded_at",
@@ -131,7 +197,10 @@ def main(argv=None) -> int:
     from repro import __version__
 
     for target in args.targets:
-        doc = bench_target(target, args.scale, args.repeats)
+        if target == "serve":
+            doc = bench_serve(args.scale, args.repeats)
+        else:
+            doc = bench_target(target, args.scale, args.repeats)
         doc["code_version"] = __version__
         path = os.path.join(REPO_ROOT, f"BENCH_{target}.json")
         prior = None

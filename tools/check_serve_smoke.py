@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Sweep-service smoke gate (CI): serve, drain with 2 workers, warm-0, shutdown.
+
+Against a real in-process :class:`repro.serve.app.ReproServer` (port 0, two
+local worker threads, throwaway cache root) this script:
+
+1. submits a tiny workload sweep over HTTP and polls it to completion,
+   failing unless every one of its cells was computed exactly once across
+   the two lease-sharded workers (journal-verified);
+2. resubmits the identical sweep and fails unless the warm drain computes
+   **zero** cells and the served txt/json/csv artifacts are byte-identical
+   to the cold ones;
+3. checks health/stats report the drained queue, two live workers, and no
+   leftover live leases;
+4. stops the server and fails if shutdown leaves worker liveness files
+   behind or takes longer than a grace period (a clean, joinable exit).
+
+Exit status 0 means the service path is healthy.  Runs in a temp directory;
+nothing is left behind.
+
+Usage::
+
+    python tools/check_serve_smoke.py [--scale 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+import urllib.request
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.serve.app import ReproServer  # noqa: E402
+from repro.serve.jobs import WORKERS_SUBDIR  # noqa: E402
+
+#: The smoke sweep: 2 multipliers x 2 fault rates over one small workload.
+def smoke_request(scale: float) -> dict:
+    """The tiny workload-sweep submission the smoke drives end to end."""
+    return {
+        "workloads": ["layered:depth=4,width=3,seed=7"],
+        "policies": ["app_fit"],
+        "multipliers": [10.0, 5.0],
+        "fault_rates": [0.0, 0.01],
+        "scale": scale,
+    }
+
+
+def _post(url: str, doc: dict) -> dict:
+    """POST one JSON document, returning the parsed response."""
+    request = urllib.request.Request(
+        url, data=json.dumps(doc).encode(), headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request) as resp:
+        return json.load(resp)
+
+
+def _get(url: str):
+    """GET one URL, returning parsed JSON (or raw bytes for artifacts)."""
+    with urllib.request.urlopen(url) as resp:
+        raw = resp.read()
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+def _drain(base: str, doc: dict, timeout_s: float = 120.0) -> dict:
+    """Submit one job and poll until it finishes; returns the final status."""
+    job_id = _post(f"{base}/api/v1/jobs", doc)["job"]["id"]
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = _get(f"{base}/api/v1/jobs/{job_id}")
+        if status["state"] in ("done", "failed"):
+            return status
+        time.sleep(0.05)
+    raise SystemExit(f"FAIL: job {job_id} did not finish within {timeout_s}s")
+
+
+def _artifacts(base: str, job_id: str) -> dict:
+    """All three artifact blobs of one finished job."""
+    return {
+        fmt: _get(f"{base}/api/v1/jobs/{job_id}/artifacts/{fmt}")
+        for fmt in ("txt", "json", "csv")
+    }
+
+
+def main(argv=None) -> int:
+    """Run the smoke; exit non-zero on the first violated invariant."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    root = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    server = ReproServer(root=root, host="127.0.0.1", port=0, workers=2, ttl_s=10.0)
+    server.start()
+    failures = []
+    try:
+        base = server.url
+        cold = _drain(base, smoke_request(args.scale))
+        if cold["state"] != "done":
+            failures.append(f"cold job ended {cold['state']}: {cold.get('error')}")
+        total = cold["cells"]["total"]
+        if not total or cold["cells"]["computed"] != total:
+            failures.append(
+                f"cold drain: expected {total} computed cells, saw {cold['cells']}"
+            )
+        events = _get(f"{base}/api/v1/jobs/{cold['id']}/events")["events"]
+        computed_keys = [
+            e["key"] for e in events if e.get("type") == "cell" and not e.get("cached")
+        ]
+        if len(computed_keys) != len(set(computed_keys)):
+            failures.append(f"a cell was computed twice: {sorted(computed_keys)}")
+        cold_blobs = _artifacts(base, cold["id"])
+
+        warm = _drain(base, smoke_request(args.scale))
+        if warm["cells"]["computed"] != 0:
+            failures.append(f"warm resubmit recomputed cells: {warm['cells']}")
+        if warm["cells"]["cached"] != total:
+            failures.append(f"warm resubmit missed cache hits: {warm['cells']}")
+        warm_blobs = _artifacts(base, warm["id"])
+        for fmt in cold_blobs:
+            if cold_blobs[fmt] != warm_blobs[fmt]:
+                failures.append(f"warm {fmt} artifact differs from cold")
+
+        health = _get(f"{base}/api/v1/health")
+        if health["queue_depth"] != 0 or health["workers_alive"] != 2:
+            failures.append(f"unhealthy after drain: {health}")
+        stats = _get(f"{base}/api/v1/stats")
+        if stats["store"]["leases_live"] != 0:
+            failures.append(f"live leases left after drain: {stats['store']}")
+        if stats["store"]["records"] != total:
+            failures.append(
+                f"store holds {stats['store']['records']} records, expected {total}"
+            )
+    finally:
+        t0 = time.perf_counter()
+        server.stop()
+        shutdown_s = time.perf_counter() - t0
+
+    if shutdown_s > 30.0:
+        failures.append(f"shutdown took {shutdown_s:.1f}s")
+    leftover = [
+        name
+        for name in (
+            os.listdir(os.path.join(root, WORKERS_SUBDIR))
+            if os.path.isdir(os.path.join(root, WORKERS_SUBDIR))
+            else []
+        )
+        if name.endswith(".json")
+    ]
+    if leftover:
+        failures.append(f"liveness files left after shutdown: {leftover}")
+    shutil.rmtree(root, ignore_errors=True)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"serve smoke OK: {total} cells exactly-once across 2 workers, "
+        f"warm resubmit computed 0, shutdown in {shutdown_s:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
