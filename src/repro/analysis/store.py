@@ -68,6 +68,26 @@ LEASE_TTL_ENV: str = "REPRO_LEASE_TTL_S"
 #: expiry, short enough that a crashed worker's cells are reclaimed quickly.
 DEFAULT_LEASE_TTL_S: float = 30.0
 
+#: Attempt markers (``<key>.attempt.<n>``) are the crash-persistent retry
+#: ledger of a cell: each computation attempt first claims the lowest free
+#: ordinal with an O_EXCL create, so attempt indices are globally unique
+#: across workers, processes, and restarts — which is also what keys the
+#: chaos engine's per-attempt fault draws (a kill injected at attempt ``n``
+#: never re-fires, because the restarted worker claims ``n+1``).
+ATTEMPT_INFIX: str = ".attempt."
+
+#: A poison tombstone (``<key>.poison``) marks a cell that exhausted its
+#: attempt budget; write-once, carries the exception chain of every failed
+#: attempt.  Workers refuse poisoned cells and jobs over them fail fast.
+POISON_SUFFIX: str = ".poison"
+
+#: Environment override for the per-cell attempt budget.
+CELL_ATTEMPTS_ENV: str = "REPRO_CELL_ATTEMPTS"
+
+#: Default attempt budget: a cell may fail this many distinct attempts
+#: (across all workers) before it is quarantined.
+DEFAULT_CELL_ATTEMPTS: int = 3
+
 
 def lease_ttl_seconds() -> float:
     """The lease TTL: ``REPRO_LEASE_TTL_S`` or the 30-second default."""
@@ -80,6 +100,19 @@ def lease_ttl_seconds() -> float:
         except ValueError:
             pass
     return DEFAULT_LEASE_TTL_S
+
+
+def cell_attempt_budget() -> int:
+    """Per-cell attempt budget: ``REPRO_CELL_ATTEMPTS`` or the default of 3."""
+    env = os.environ.get(CELL_ATTEMPTS_ENV)
+    if env:
+        try:
+            budget = int(env)
+            if budget > 0:
+                return budget
+        except ValueError:
+            pass
+    return DEFAULT_CELL_ATTEMPTS
 
 
 def _canonical(obj: Any) -> Any:
@@ -185,6 +218,14 @@ class ResultStore:
         """
         return os.path.join(self.root, key[:2], key + LEASE_SUFFIX)
 
+    def attempt_path_for(self, key: str, n: int) -> str:
+        """The marker file of a cell's ``n``-th computation attempt."""
+        return os.path.join(self.root, key[:2], f"{key}{ATTEMPT_INFIX}{n}")
+
+    def poison_path_for(self, key: str) -> str:
+        """The quarantine tombstone of a cell that exhausted its attempts."""
+        return os.path.join(self.root, key[:2], key + POISON_SUFFIX)
+
     def key(self, spec: ExperimentSpec) -> str:
         """The content hash of a spec (see :func:`spec_key`)."""
         return spec_key(spec)
@@ -250,10 +291,30 @@ class ResultStore:
 
     # -- write ----------------------------------------------------------------
 
+    def _chaos(self):
+        """The active chaos engine for this root, or ``None`` (the norm).
+
+        Imported lazily — :mod:`repro.serve.chaos` sits a layer above the
+        store, and only chaos runs pay for the import at all.
+        """
+        try:
+            from repro.serve.chaos import active_chaos
+        except ImportError:  # pragma: no cover - serve layer absent
+            return None
+        return active_chaos(self.root)
+
     def put(
         self, spec: ExperimentSpec, payload: Any, elapsed_s: Optional[float] = None
     ) -> StoreRecord:
-        """Persist one computed cell and return its record."""
+        """Persist one computed cell and return its record.
+
+        Publication is a temp-file write plus ``os.replace``, so a reader can
+        never observe a half-written *record* — which is also why injected
+        store-write chaos fails *before* the rename (a torn temp file plus an
+        EIO, the shape of a crash mid-write), never after: the published
+        namespace stays atomic even under fault injection, and the caller's
+        bounded retry simply rewrites the temp.
+        """
         key = self.key(spec)
         record = StoreRecord(
             key=key,
@@ -266,10 +327,127 @@ class ResultStore:
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = path + f".tmp.{os.getpid()}"
+        chaos = self._chaos()
+        if chaos is not None and chaos.store_put_fails(key):
+            from repro.serve.chaos import ChaosInjectedIOError
+
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(record.to_json())[:64])
+            raise ChaosInjectedIOError(f"injected EIO writing record {key[:12]}")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(record.to_json(), fh)
+        if chaos is not None:
+            chaos.rename_delay(key)
         os.replace(tmp, path)
         return record
+
+    # -- attempt registry & poison quarantine ----------------------------------
+
+    def claim_attempt(self, key: str, owner: str, budget: Optional[int] = None) -> Optional[int]:
+        """Claim the next attempt ordinal for a cell, or ``None`` if exhausted.
+
+        O_EXCL creation of ``<key>.attempt.<n>`` makes each ordinal single-
+        winner across every worker process, and the markers persist across
+        crashes — a worker killed mid-attempt leaves its marker behind, so the
+        attempt still counts against the budget (a crash-looping cell cannot
+        retry forever).
+        """
+        if budget is None:
+            budget = cell_attempt_budget()
+        path0 = self.attempt_path_for(key, 0)
+        os.makedirs(os.path.dirname(path0), exist_ok=True)
+        doc = {"key": key, "owner": owner, "started_at": time.time()}
+        for n in range(budget):
+            try:
+                fd = os.open(
+                    self.attempt_path_for(key, n),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                continue
+            except OSError:
+                return None
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump({**doc, "attempt": n}, fh)
+            return n
+        return None
+
+    def record_attempt_failure(self, key: str, n: int, error: str) -> None:
+        """Attach the failure reason to an attempt marker (atomic rewrite)."""
+        path = self.attempt_path_for(key, n)
+        doc: Dict[str, Any] = {"key": key, "attempt": n}
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc.update(json.load(fh))
+        except (OSError, ValueError):
+            pass
+        doc["error"] = error
+        doc["failed_at"] = time.time()
+        tmp = path + f".tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)
+        except OSError:  # best effort: the marker's existence is what counts
+            self._quarantine(tmp)
+
+    def attempts(self, key: str) -> List[Dict[str, Any]]:
+        """Every attempt marker of a cell, in attempt order."""
+        out: List[Dict[str, Any]] = []
+        shard_dir = os.path.join(self.root, key[:2])
+        prefix = key + ATTEMPT_INFIX
+        try:
+            names = os.listdir(shard_dir)
+        except OSError:
+            return out
+        for name in names:
+            if not name.startswith(prefix):
+                continue
+            try:
+                n = int(name[len(prefix):])
+            except ValueError:
+                continue
+            doc: Dict[str, Any] = {"key": key, "attempt": n}
+            try:
+                with open(os.path.join(shard_dir, name), "r", encoding="utf-8") as fh:
+                    doc.update(json.load(fh))
+            except (OSError, ValueError):
+                pass
+            out.append(doc)
+        out.sort(key=lambda d: d["attempt"])
+        return out
+
+    def clear_attempts(self, key: str) -> None:
+        """Drop a cell's attempt markers (after its record is published).
+
+        Safe even with concurrent claimants: every worker re-checks the store
+        under its lease before computing, so a cleared ledger is only ever
+        followed by cache hits, never by a fresh attempt.
+        """
+        for doc in self.attempts(key):
+            self._quarantine(self.attempt_path_for(key, doc["attempt"]))
+
+    def write_poison(self, key: str, doc: Dict[str, Any]) -> bool:
+        """Publish a cell's quarantine tombstone (write-once, single winner)."""
+        path = self.poison_path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except (FileExistsError, OSError):
+            return False
+        payload = {"key": key, "code_version": code_version(), "created_at": time.time()}
+        payload.update(doc)
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        return True
+
+    def read_poison(self, key: str) -> Optional[Dict[str, Any]]:
+        """A cell's quarantine tombstone, or ``None`` if it is not poisoned."""
+        try:
+            with open(self.poison_path_for(key), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
 
     # -- maintenance -----------------------------------------------------------
 
@@ -296,6 +474,10 @@ class ResultStore:
 
     def _lease_paths(self) -> List[str]:
         """Every lease file currently on disk, in stable (sharded) order."""
+        return self._suffix_paths(lambda name: name.endswith(LEASE_SUFFIX))
+
+    def _suffix_paths(self, match) -> List[str]:
+        """Shard-ordered paths of every file whose name satisfies ``match``."""
         paths: List[str] = []
         if not os.path.isdir(self.root):
             return paths
@@ -304,9 +486,22 @@ class ResultStore:
             if not os.path.isdir(shard_dir):
                 continue
             for name in sorted(os.listdir(shard_dir)):
-                if name.endswith(LEASE_SUFFIX):
+                if match(name):
                     paths.append(os.path.join(shard_dir, name))
         return paths
+
+    def _worker_liveness_paths(self) -> List[str]:
+        """Worker liveness files (``<root>/serve/workers/*.json``)."""
+        workers_dir = os.path.join(self.root, "serve", "workers")
+        try:
+            names = sorted(os.listdir(workers_dir))
+        except OSError:
+            return []
+        return [
+            os.path.join(workers_dir, name)
+            for name in names
+            if name.endswith(".json")
+        ]
 
     def _lease_expired(self, path: str, now: Optional[float] = None) -> Optional[bool]:
         """Whether the lease at ``path`` has expired; ``None`` if it vanished.
@@ -383,6 +578,10 @@ class ResultStore:
                 leases_expired += 1
             else:
                 leases_live += 1
+        attempts = len(
+            self._suffix_paths(lambda n: ATTEMPT_INFIX in n and ".tmp." not in n)
+        )
+        poisoned = len(self._suffix_paths(lambda n: n.endswith(POISON_SUFFIX)))
         return {
             "root": self.root,
             "records": n_records,
@@ -390,9 +589,11 @@ class ResultStore:
             "code_versions": versions,
             "leases_live": leases_live,
             "leases_expired": leases_expired,
+            "attempts": attempts,
+            "poisoned": poisoned,
         }
 
-    def gc(self) -> Dict[str, int]:
+    def gc(self, stale_worker_age_s: Optional[float] = None) -> Dict[str, int]:
         """Drop stale records: wrong code version, corrupt files, orphan temps.
 
         Returns counts of what was removed.  Records written by the *current*
@@ -402,6 +603,17 @@ class ResultStore:
         crashed reclaimer) are reaped and counted as ``lease_expired``, live
         ones are counted as ``lease_live`` and **never** touched — a lease is
         a claim, not a record, so it can never be "corrupt".
+
+        The retry/quarantine ledger is swept too: attempt markers whose cell
+        already has a published record are spent history (``attempts``), and
+        poison tombstones from an older code version no longer poison
+        anything (``poison_stale``) — a version bump un-quarantines a cell,
+        since new code may well succeed where the old code failed.
+
+        Worker liveness files older than ``stale_worker_age_s`` (default
+        three lease TTLs) are removed and counted as ``workers_stale`` — a
+        SIGKILLed worker never deletes its own liveness file, and without
+        this sweep ``/health`` would count the corpse as a worker forever.
         """
         current = code_version()
         removed_stale = 0
@@ -409,12 +621,26 @@ class ResultStore:
         removed_tmp = 0
         lease_live = 0
         lease_expired = 0
+        removed_attempts = 0
+        poison_stale = 0
+        workers_stale = 0
         empty = {
-            "stale": 0, "corrupt": 0, "tmp": 0, "lease_live": 0, "lease_expired": 0
+            "stale": 0, "corrupt": 0, "tmp": 0, "lease_live": 0,
+            "lease_expired": 0, "attempts": 0, "poison_stale": 0,
+            "workers_stale": 0,
         }
         if not os.path.isdir(self.root):
             return empty
         now = time.time()
+        if stale_worker_age_s is None:
+            stale_worker_age_s = 3.0 * lease_ttl_seconds()
+        for path in self._worker_liveness_paths():
+            try:
+                if os.path.getmtime(path) + stale_worker_age_s < now:
+                    os.remove(path)
+                    workers_stale += 1
+            except OSError:
+                continue
         for shard in sorted(os.listdir(self.root)):
             shard_dir = os.path.join(self.root, shard)
             if not os.path.isdir(shard_dir):
@@ -439,6 +665,23 @@ class ResultStore:
                     self._quarantine(path)
                     removed_tmp += 1
                     continue
+                if ATTEMPT_INFIX in name:
+                    key = name.split(ATTEMPT_INFIX, 1)[0]
+                    if os.path.exists(os.path.join(shard_dir, key + ".json")):
+                        self._quarantine(path)
+                        removed_attempts += 1
+                    continue
+                if name.endswith(POISON_SUFFIX):
+                    try:
+                        with open(path, "r", encoding="utf-8") as fh:
+                            doc = json.load(fh)
+                        fresh = doc.get("code_version") == current
+                    except (OSError, ValueError):
+                        fresh = False
+                    if not fresh:
+                        self._quarantine(path)
+                        poison_stale += 1
+                    continue
                 if not name.endswith(".json"):
                     continue
                 record = self._load(path)
@@ -462,6 +705,9 @@ class ResultStore:
             "tmp": removed_tmp,
             "lease_live": lease_live,
             "lease_expired": lease_expired,
+            "attempts": removed_attempts,
+            "poison_stale": poison_stale,
+            "workers_stale": workers_stale,
         }
 
     def clear(self) -> int:
@@ -475,6 +721,10 @@ class ResultStore:
             self._quarantine(path)
             removed += 1
         for path in self._lease_paths():
+            self._quarantine(path)
+        for path in self._suffix_paths(
+            lambda n: ATTEMPT_INFIX in n or n.endswith(POISON_SUFFIX)
+        ):
             self._quarantine(path)
         if os.path.isdir(self.root):
             for shard in os.listdir(self.root):

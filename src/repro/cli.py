@@ -372,6 +372,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="cell lease TTL (default: REPRO_LEASE_TTL_S or 30)",
     )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crash-loop cap per embedded worker slot "
+        "(default: REPRO_WORKER_RESTARTS or 5)",
+    )
     serve.add_argument("--cache-dir", default=None, metavar="DIR")
     serve.add_argument(
         "--no-graph-cache",
@@ -428,6 +436,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="with --wait: download the artifacts into DIR",
     )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="HTTP attempts per request, with jittered backoff (default 5)",
+    )
+    submit.add_argument(
+        "--retry-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock bound on each request's retry loop (default: none)",
+    )
     submit.add_argument("-q", "--quiet", action="store_true")
 
     status_cmd = sub.add_parser(
@@ -441,6 +463,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--url",
         default=None,
         help="service base URL (default: REPRO_SERVE_URL or the default bind)",
+    )
+    status_cmd.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="HTTP attempts per request, with jittered backoff (default 5)",
+    )
+    status_cmd.add_argument(
+        "--retry-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock bound on each request's retry loop (default: none)",
     )
 
     targets_cmd = sub.add_parser("targets", help="list the runnable figure/table targets")
@@ -778,6 +814,11 @@ def _run_cache(args: argparse.Namespace) -> int:
         print(f"record bytes   : {stats['bytes']} ({format_bytes(stats['bytes'])})")
         versions = ", ".join(f"{v} x{n}" for v, n in sorted(stats["code_versions"].items()))
         print(f"code versions  : {versions or '(none)'}")
+        if stats.get("attempts") or stats.get("poisoned"):
+            print(
+                f"retry ledger   : {stats['attempts']} attempt marker(s), "
+                f"{stats['poisoned']} poisoned cell(s)"
+            )
         print(f"compiled graphs: {gstats['entries']}")
         print(f"workload graphs: {gstats['workloads']}")
         print(f"graph bytes    : {gstats['bytes']} ({format_bytes(gstats['bytes'])})")
@@ -801,6 +842,12 @@ def _run_cache(args: argparse.Namespace) -> int:
             f"gc: removed {removed['stale']} stale, {removed['corrupt']} corrupt, "
             f"{removed['tmp']} temp record(s) from {store.root}"
         )
+        if removed["attempts"] or removed["poison_stale"] or removed["workers_stale"]:
+            print(
+                f"gc: removed {removed['attempts']} spent attempt marker(s), "
+                f"{removed['poison_stale']} stale poison tombstone(s), "
+                f"{removed['workers_stale']} stale worker liveness file(s)"
+            )
         print(
             f"gc: removed {gremoved['stale']} stale, {gremoved['orphan']} orphan, "
             f"{gremoved['tmp']} temp, {gremoved['aged']} aged-workload compiled "
@@ -832,16 +879,89 @@ def _service_url(url: Optional[str]) -> str:
     return f"http://{host}:{port}"
 
 
-def _http_json(url: str, body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+class _TransientHTTPError(OSError):
+    """A retryable client failure wrapping the original exception.
+
+    The client collapses every transient shape — connection refused while the
+    server is still binding, a chaos-injected connection reset, a 5xx — into
+    this one type so the retry loop matches exactly these and nothing else
+    (a 400 is an answer, not weather).  After the budget is spent the
+    *original* exception is re-raised, so callers' ``except`` clauses never
+    learn the retry layer exists.
+    """
+
+    def __init__(self, inner: BaseException) -> None:
+        super().__init__(str(inner))
+        self.inner = inner
+
+
+def _http_call(fetch, url: str, retries: Optional[int], deadline: Optional[float]):
+    """Run one HTTP fetch through the shared retry discipline."""
+    import urllib.error
+    from http.client import HTTPException
+
+    from repro.util.retry import RetryPolicy, retry_call
+
+    def _once():
+        try:
+            return fetch()
+        except urllib.error.HTTPError as exc:
+            if exc.code >= 500:
+                raise _TransientHTTPError(exc)
+            raise
+        except (urllib.error.URLError, HTTPException, ConnectionError, TimeoutError) as exc:
+            raise _TransientHTTPError(exc)
+
+    policy = RetryPolicy(
+        max_attempts=retries if retries is not None else 5,
+        base_delay_s=0.1,
+        max_delay_s=2.0,
+        deadline_s=deadline,
+    )
+    try:
+        return retry_call(
+            _once,
+            policy=policy,
+            retryable=(_TransientHTTPError,),
+            describe=f"request {url}",
+        )
+    except _TransientHTTPError as exc:
+        raise exc.inner from exc
+
+
+def _http_json(
+    url: str,
+    body: Optional[Dict[str, Any]] = None,
+    retries: Optional[int] = None,
+    retry_deadline: Optional[float] = None,
+) -> Dict[str, Any]:
     """One GET (or POST, when a body is given) returning the parsed JSON."""
     import urllib.request
 
-    data = None if body is None else json.dumps(body).encode("utf-8")
-    request = urllib.request.Request(
-        url, data=data, headers={"Content-Type": "application/json"} if data else {}
-    )
-    with urllib.request.urlopen(request) as resp:
-        return json.load(resp)
+    def _fetch() -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=data, headers={"Content-Type": "application/json"} if data else {}
+        )
+        with urllib.request.urlopen(request) as resp:
+            return json.load(resp)
+
+    return _http_call(_fetch, url, retries, retry_deadline)
+
+
+def _http_bytes(
+    url: str,
+    retries: Optional[int] = None,
+    retry_deadline: Optional[float] = None,
+) -> bytes:
+    """One GET returning the raw body (artifact downloads)."""
+    import urllib.request
+
+    def _fetch() -> bytes:
+        with urllib.request.urlopen(url) as resp:
+            return resp.read()
+
+    return _http_call(_fetch, url, retries, retry_deadline)
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -854,8 +974,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         root=args.cache_dir,
     )
     if args.worker:
+        # A worker *process* takes chaos kills as a genuine SIGKILL —
+        # supervision (and the resulting lease expiry) is exercised for real.
         worker = SweepWorker(
-            args.cache_dir, ttl_s=args.ttl, poll_interval_s=None
+            args.cache_dir, ttl_s=args.ttl, poll_interval_s=None, hard_kill=True
         )
         print(f"worker {worker.owner} draining {worker.store.root}", flush=True)
         try:
@@ -875,10 +997,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=max(0, args.workers),
         ttl_s=args.ttl,
+        max_restarts=args.max_restarts,
     )
     print(
         f"serving {server.store.root} at {server.url} "
-        f"({len(server.workers)} local worker(s))",
+        f"({max(0, args.workers)} supervised local worker(s))",
         flush=True,
     )
     server.serve_forever()
@@ -915,7 +1038,12 @@ def _run_submit(args: argparse.Namespace) -> int:
             request["benchmarks"] = list(args.benchmarks)
     base = _service_url(args.url)
     try:
-        submitted = _http_json(f"{base}/api/v1/jobs", body=request)
+        submitted = _http_json(
+            f"{base}/api/v1/jobs",
+            body=request,
+            retries=args.retries,
+            retry_deadline=args.retry_deadline,
+        )
     except urllib.error.HTTPError as exc:
         detail = exc.read().decode("utf-8", "replace").strip()
         print(f"repro: submit rejected ({exc.code}): {detail}", file=sys.stderr)
@@ -928,13 +1056,22 @@ def _run_submit(args: argparse.Namespace) -> int:
         print(f"submitted {job['id']} ({job['artifact']}) to {base}")
     if not args.wait:
         return 0
+    from repro.util.retry import poll_delays
+
     deadline = time.monotonic() + args.timeout
+    delays = poll_delays(base_delay_s=0.2, max_delay_s=2.0)
     status: Dict[str, Any] = {}
     while time.monotonic() < deadline:
-        status = _http_json(f"{base}/api/v1/jobs/{job['id']}")
+        status = _http_json(
+            f"{base}/api/v1/jobs/{job['id']}",
+            retries=args.retries,
+            retry_deadline=args.retry_deadline,
+        )
         if status["state"] in ("done", "failed"):
             break
-        time.sleep(0.2)
+        # Jittered exponential backoff, not a fixed interval: many waiting
+        # submitters must not poll the frontend in lockstep.
+        time.sleep(min(next(delays), max(0.0, deadline - time.monotonic())))
     cells = status.get("cells", {})
     if not args.quiet:
         print(
@@ -949,14 +1086,13 @@ def _run_submit(args: argparse.Namespace) -> int:
         print(f"repro: timed out waiting for {job['id']}", file=sys.stderr)
         return 1
     if args.out:
-        import urllib.request
-
         os.makedirs(args.out, exist_ok=True)
         for fmt in ("txt", "json", "csv"):
-            with urllib.request.urlopen(
-                f"{base}/api/v1/jobs/{job['id']}/artifacts/{fmt}"
-            ) as resp:
-                blob = resp.read()
+            blob = _http_bytes(
+                f"{base}/api/v1/jobs/{job['id']}/artifacts/{fmt}",
+                retries=args.retries,
+                retry_deadline=args.retry_deadline,
+            )
             path = os.path.join(args.out, f"{job['artifact']}.{fmt}")
             with open(path, "wb") as fh:
                 fh.write(blob)
@@ -972,10 +1108,18 @@ def _run_status(args: argparse.Namespace) -> int:
     base = _service_url(args.url)
     try:
         if args.job:
-            status = _http_json(f"{base}/api/v1/jobs/{args.job}")
+            status = _http_json(
+                f"{base}/api/v1/jobs/{args.job}",
+                retries=args.retries,
+                retry_deadline=args.retry_deadline,
+            )
             print(json.dumps(status, indent=2, sort_keys=True))
             return 0
-        listing = _http_json(f"{base}/api/v1/jobs")
+        listing = _http_json(
+            f"{base}/api/v1/jobs",
+            retries=args.retries,
+            retry_deadline=args.retry_deadline,
+        )
     except urllib.error.HTTPError as exc:
         print(f"repro: {exc.code} from {base}: {exc.reason}", file=sys.stderr)
         return 1

@@ -11,6 +11,9 @@ content-addressed result store:
   shards any job's cell grid across N workers, exactly once per cell.
 * :mod:`repro.serve.app` — the stdlib HTTP server (``repro serve``) exposing
   submit/status/events/artifacts/health/stats.
+* :mod:`repro.serve.chaos` — seeded, replayable fault injection over all of
+  the above (``REPRO_CHAOS``): torn writes, EIO, stalled heartbeats, worker
+  kills, HTTP failures — the proof harness for the exactly-once claim.
 
 Exports resolve lazily (PEP 562) so ``import repro.serve`` stays cheap.
 """
@@ -33,7 +36,14 @@ __getattr__, __dir__ = lazy_exports(
         "default_owner_id": "repro.serve.leases",
         "LeaseDrainEngine": "repro.serve.workers",
         "SweepWorker": "repro.serve.workers",
+        "WorkerSupervisor": "repro.serve.workers",
+        "CellQuarantinedError": "repro.serve.workers",
         "list_workers": "repro.serve.workers",
+        "ChaosEngine": "repro.serve.chaos",
+        "WorkerKilled": "repro.serve.chaos",
+        "parse_chaos": "repro.serve.chaos",
+        "active_chaos": "repro.serve.chaos",
+        "injected_multiset": "repro.serve.chaos",
     },
-    submodules=("app", "jobs", "leases", "workers"),
+    submodules=("app", "chaos", "jobs", "leases", "workers"),
 )

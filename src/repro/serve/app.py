@@ -34,8 +34,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.analysis.store import ResultStore, lease_ttl_seconds
+from repro.serve.chaos import active_chaos
 from repro.serve.jobs import JobIncompleteError, JobStore, JobValidationError, compose_artifacts
-from repro.serve.workers import SweepWorker, list_workers
+from repro.serve.workers import SweepWorker, WorkerSupervisor, list_workers
+from repro.util.retry import RetryPolicy, retry_call
 
 #: Bind address override: ``host:port`` (CLI flags win over the env).
 BIND_ENV = "REPRO_SERVE_BIND"
@@ -120,10 +122,36 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return doc
 
+    def _chaos_preempt(self) -> bool:
+        """Maybe sabotage this request (injected frontend failure).
+
+        Alternates by draw ordinal between a 503 (the retryable-status path
+        of the client's backoff) and an abrupt connection close (the
+        connection-reset path).  Both are exactly what the
+        ``util/retry``-routed CLI client must absorb.
+        """
+        chaos = getattr(self.server, "chaos", None)
+        if chaos is None:
+            return False
+        n = chaos.http_failure(urlparse(self.path).path)
+        if n is None:
+            return False
+        if n % 2 == 0:
+            self._error(503, "injected server error (chaos)")
+        else:
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+        return True
+
     # -- methods ---------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         """POST router: job submission only."""
+        if self._chaos_preempt():
+            return
         parts = [p for p in urlparse(self.path).path.split("/") if p]
         if parts == ["api", "v1", "jobs"]:
             doc = self._read_body()
@@ -140,6 +168,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         """GET router: statuses, events, artifacts, health, stats."""
+        if self._chaos_preempt():
+            return
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         if parts[:2] != ["api", "v1"]:
@@ -201,14 +231,36 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(200, texts[fmt].encode("utf-8"), content_type)
 
 
+class _ServeHTTPServer(ThreadingHTTPServer):
+    """A threading server that doesn't traceback on torn connections.
+
+    Chaos-injected connection resets (and ordinary client hangups) surface
+    in the handler thread as ``ConnectionError``/``BrokenPipeError``; they
+    are expected, not bugs, so they must not spray stack traces over the
+    CLI's stderr.  Anything else still reports normally.
+    """
+
+    daemon_threads = True
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, BrokenPipeError, OSError)):
+            return
+        super().handle_error(request, client_address)  # pragma: no cover
+
+
 class ReproServer:
     """The sweep service: a threading HTTP server plus optional local workers.
 
     ``workers=N`` starts N :class:`~repro.serve.workers.SweepWorker` threads
-    draining the same cache root in-process — the small-deployment mode where
-    one ``repro serve`` command is the whole system.  With ``workers=0`` the
-    server is a pure frontend and every cell is computed by external
-    ``repro serve --worker`` processes (any machine sharing the cache root).
+    draining the same cache root in-process — supervised: a worker that dies
+    (a bug, or a chaos-injected kill) is restarted with backoff up to the
+    crash-loop cap — the small-deployment mode where one ``repro serve``
+    command is the whole system.  With ``workers=0`` the server is a pure
+    frontend and every cell is computed by external ``repro serve --worker``
+    processes (any machine sharing the cache root).
     """
 
     def __init__(
@@ -218,26 +270,34 @@ class ReproServer:
         port: Optional[int] = None,
         workers: int = 0,
         ttl_s: Optional[float] = None,
+        max_restarts: Optional[int] = None,
     ) -> None:
         self.store = ResultStore(root)
         self.jobs = JobStore(self.store.root)
         self.ttl_s = float(ttl_s) if ttl_s is not None else lease_ttl_seconds()
         bind_host, bind_port = default_bind(host, port)
-        self.httpd = ThreadingHTTPServer((bind_host, bind_port), _Handler)
-        self.httpd.daemon_threads = True
+        self.httpd = _ServeHTTPServer((bind_host, bind_port), _Handler)
         # The handler reaches everything through self.server; graft ourselves on.
         self.httpd.jobs = self.jobs  # type: ignore[attr-defined]
         self.httpd.health = self.health  # type: ignore[attr-defined]
         self.httpd.stats = self.stats  # type: ignore[attr-defined]
         self.httpd.compose = self.compose  # type: ignore[attr-defined]
+        self.httpd.chaos = active_chaos(self.store.root)  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
-        self._stop_workers = threading.Event()
-        self._worker_threads: List[threading.Thread] = []
-        self.workers = [
-            SweepWorker(self.store.root, ttl_s=self.ttl_s) for _ in range(workers)
-        ]
+        self.supervisor: Optional[WorkerSupervisor] = (
+            WorkerSupervisor(
+                self.store.root, workers, ttl_s=self.ttl_s, max_restarts=max_restarts
+            )
+            if workers > 0
+            else None
+        )
         self._compose_lock = threading.Lock()
         self._compose_cache: Dict[str, Dict[str, str]] = {}
+
+    @property
+    def workers(self) -> List[SweepWorker]:
+        """The embedded workers currently installed (restarts replace them)."""
+        return self.supervisor.workers if self.supervisor is not None else []
 
     # -- endpoint payloads -----------------------------------------------------
 
@@ -253,29 +313,42 @@ class ReproServer:
             cached = self._compose_cache.get(memo_key)
         if cached is not None:
             return cached
-        texts = compose_artifacts(request, self.store.root)
+        # One quick retry absorbs transient read blips (and chaos-delayed
+        # renames) without turning a genuinely unfinished job into a wait:
+        # JobIncompleteError still reaches the 409 path after the second try.
+        texts = retry_call(
+            lambda: compose_artifacts(request, self.store.root),
+            policy=RetryPolicy(max_attempts=2, base_delay_s=0.05, max_delay_s=0.1),
+            retryable=(JobIncompleteError, OSError),
+            describe="artifact composition",
+        )
         with self._compose_lock:
             self._compose_cache[memo_key] = texts
         return texts
 
     def health(self) -> Dict[str, Any]:
-        """The health document: queue depth and who is heartbeating."""
+        """The health document: queue depth, heartbeats, and supervision."""
         pending = self.jobs.pending_jobs()
         workers = list_workers(self.store.root)
-        return {
+        doc = {
             "ok": True,
             "queue_depth": len(pending),
             "workers": workers,
             "workers_alive": sum(1 for w in workers if w.get("alive")),
+            "workers_stale": sum(1 for w in workers if w.get("stale")),
             "lease_ttl_s": self.ttl_s,
         }
+        if self.supervisor is not None:
+            doc["supervisor"] = self.supervisor.stats()
+        return doc
 
     def stats(self) -> Dict[str, Any]:
         """The stats document: store counters, lease counts, job states."""
         store_stats = self.store.stats()
         jobs = self.jobs.list_jobs()
         states: Dict[str, int] = {"pending": 0, "running": 0, "done": 0, "failed": 0}
-        computed = cached = 0
+        computed = cached = retries = 0
+        quarantined_cells = 0
         for job in jobs:
             status = self.jobs.status(job["id"])
             if status is None:
@@ -283,16 +356,30 @@ class ReproServer:
             states[status["state"]] = states.get(status["state"], 0) + 1
             computed += status["cells"]["computed"]
             cached += status["cells"]["cached"]
+            retries += status["cells"].get("retries", 0)
+            quarantined_cells += len(status.get("quarantined", ()))
         total_cells = computed + cached
-        return {
+        doc = {
             "store": store_stats,
             "jobs": {"total": len(jobs), **states},
             "cells": {
                 "computed": computed,
                 "cached": cached,
                 "cache_hit_rate": (cached / total_cells) if total_cells else None,
+                "retries": retries,
+                "quarantined": quarantined_cells,
             },
+            "reclaims": sum(w.leases.reclaims for w in self.workers),
         }
+        if self.supervisor is not None:
+            doc["supervisor"] = self.supervisor.stats()
+        chaos = getattr(self.httpd, "chaos", None)
+        if chaos is not None:
+            doc["chaos"] = {
+                "profile": chaos.profile.canonical,
+                "injected": dict(chaos.injected),
+            }
+        return doc
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -303,28 +390,19 @@ class ReproServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "ReproServer":
-        """Serve in a background thread and start the embedded workers."""
+        """Serve in a background thread and start the supervised workers."""
         self._thread = threading.Thread(
             target=self.httpd.serve_forever, name="repro-serve", daemon=True
         )
         self._thread.start()
-        for i, worker in enumerate(self.workers):
-            thread = threading.Thread(
-                target=worker.run_forever,
-                kwargs={"stop": self._stop_workers, "poll_s": 0.1},
-                name=f"repro-worker-{i}",
-                daemon=True,
-            )
-            thread.start()
-            self._worker_threads.append(thread)
+        if self.supervisor is not None:
+            self.supervisor.start()
         return self
 
     def stop(self) -> None:
         """Shut down: stop workers, then the HTTP loop (idempotent)."""
-        self._stop_workers.set()
-        for thread in self._worker_threads:
-            thread.join(timeout=10.0)
-        self._worker_threads = []
+        if self.supervisor is not None:
+            self.supervisor.stop()
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:

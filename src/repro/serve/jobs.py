@@ -41,6 +41,7 @@ from repro.analysis.targets import (
     render_artifact_texts,
     workload_sweep_recorded_text,
 )
+from repro.util.retry import RetryPolicy, retry_call
 
 #: Job files live here, under the shared cache root.
 JOBS_SUBDIR = os.path.join("serve", "jobs")
@@ -407,11 +408,22 @@ class JobStore:
 
         Lines are kept far under the POSIX atomic-append pipe-buffer bound
         (plan events chunk their key lists), so concurrent workers appending
-        to the same journal never interleave bytes.
+        to the same journal never interleave bytes.  The append is retried
+        with a short backoff: losing a progress event to a transient
+        fd-exhaustion blip would silently skew the status accounting.
         """
         line = json.dumps(event, sort_keys=True)
-        with open(self.events_path(job_id), "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+
+        def _append() -> None:
+            with open(self.events_path(job_id), "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+
+        retry_call(
+            _append,
+            policy=RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.1),
+            retryable=(OSError,),
+            describe=f"append event to job {job_id}",
+        )
 
     def append_plan_event(self, job_id: str, keys: List[str], owner: str) -> None:
         """Announce one engine grid: total cell count plus (chunked) keys."""
@@ -461,12 +473,20 @@ class JobStore:
             self.done_path(job_id), {**summary, "finished_at": time.time()}
         )
 
-    def mark_failed(self, job_id: str, owner: str, message: str) -> bool:
-        """Record failure with the first error."""
-        return self._mark(
-            self.failed_path(job_id),
-            {"owner": owner, "error": message, "failed_at": time.time()},
-        )
+    def mark_failed(
+        self,
+        job_id: str,
+        owner: str,
+        message: str,
+        quarantined: Optional[List[Dict[str, Any]]] = None,
+    ) -> bool:
+        """Record failure with the first error (and any quarantined cells)."""
+        doc: Dict[str, Any] = {
+            "owner": owner, "error": message, "failed_at": time.time()
+        }
+        if quarantined:
+            doc["quarantined"] = quarantined
+        return self._mark(self.failed_path(job_id), doc)
 
     def _marker(self, path: str) -> Optional[Dict[str, Any]]:
         """Load one marker document, or ``None``."""
@@ -496,7 +516,9 @@ class JobStore:
         computed_keys: set = set()
         seen_keys: set = set()
         computed_events = 0
+        retry_events = 0
         workers: Dict[str, Dict[str, int]] = {}
+        quarantined: Dict[str, Dict[str, Any]] = {}
         for event in events:
             owner = str(event.get("owner", "?"))
             if event.get("type") == "plan":
@@ -511,6 +533,18 @@ class JobStore:
                     stats["computed"] += 1
                     computed_events += 1
                     computed_keys.add(key)
+            elif event.get("type") == "retry":
+                retry_events += 1
+                stats = workers.setdefault(owner, {"computed": 0, "cached": 0})
+                stats["retries"] = stats.get("retries", 0) + 1
+            elif event.get("type") == "quarantine":
+                # Several drains may report the same poisoned cell; the
+                # tombstone is write-once, so any copy of the document works.
+                quarantined[str(event.get("key", "?"))] = {
+                    "key": event.get("key"),
+                    "attempts": event.get("attempts"),
+                    "errors": event.get("errors", []),
+                }
         done = self._marker(self.done_path(job_id))
         failed = self._marker(self.failed_path(job_id))
         if failed is not None:
@@ -533,8 +567,10 @@ class JobStore:
                 "done": len(seen_keys),
                 "computed": computed_events,
                 "cached": len(seen_keys - computed_keys),
+                "retries": retry_events,
             },
             "workers": workers,
+            "quarantined": sorted(quarantined.values(), key=lambda q: str(q["key"])),
             "finished_at": (done or {}).get("finished_at"),
             "error": (failed or {}).get("error"),
         }

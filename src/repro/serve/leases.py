@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Set
 
 from repro.analysis.store import ResultStore, lease_ttl_seconds
+from repro.serve.chaos import active_chaos
 
 #: Format tag inside lease documents (independent of the record format).
 LEASE_FORMAT: int = 1
@@ -97,6 +98,8 @@ class LeaseStore:
         self.root = self.store.root
         self.owner = owner if owner is not None else default_owner_id()
         self.ttl_s = float(ttl_s) if ttl_s is not None else lease_ttl_seconds()
+        #: Expired leases this owner reclaimed (surfaced by ``/stats``).
+        self.reclaims = 0
 
     # -- paths / parsing -------------------------------------------------------
 
@@ -190,6 +193,7 @@ class LeaseStore:
                 fh.write(blob)
             try:
                 os.link(tmp, path)
+                self._maybe_tear(path, key, blob)
                 return True
             except FileExistsError:
                 return False
@@ -201,10 +205,31 @@ class LeaseStore:
                     return False
                 with os.fdopen(fd, "wb") as fh:
                     fh.write(blob)
+                self._maybe_tear(path, key, blob)
                 return True
         finally:
             try:
                 os.remove(tmp)
+            except OSError:
+                pass
+
+    def _maybe_tear(self, path: str, key: str, blob: bytes) -> None:
+        """Chaos hook: maybe truncate the lease document we just published.
+
+        Models a worker dying mid-publish on a filesystem without atomic
+        hard-link semantics.  Drawn only after a *successful* create — lost
+        creation races consume no draws, so the injected schedule is a pure
+        function of which keys get claimed, not of race timing.  The torn
+        document exercises the mtime+TTL grace rule: unreadable leases stay
+        live until the grace lapses, then lose to a single-winner reclaim.
+        (Our own renewals fail too — the heartbeat reports the key lost, and
+        the idempotent result write keeps the duplicate harmless.)
+        """
+        chaos = active_chaos(self.root)
+        if chaos is not None and chaos.torn_lease(key):
+            try:
+                with open(path, "wb") as fh:
+                    fh.write(blob[: max(1, len(blob) // 3)])
             except OSError:
                 pass
 
@@ -222,6 +247,7 @@ class LeaseStore:
             os.rename(path, tomb)
         except OSError:
             return False
+        self.reclaims += 1
         try:
             os.remove(tomb)
         except OSError:
@@ -289,6 +315,7 @@ class LeaseHeartbeat:
         )
         self.lost: Set[str] = set()
         self._active: Set[str] = set()
+        self._stalled: Set[str] = set()
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -316,9 +343,13 @@ class LeaseHeartbeat:
             self.beat()
 
     def beat(self) -> None:
-        """Renew every active lease once (also callable inline from tests)."""
+        """Renew every active lease once (also callable inline from tests).
+
+        Stalled keys (chaos-injected heartbeat failure) are skipped: their
+        leases age toward expiry exactly as if this worker had frozen.
+        """
         with self._lock:
-            keys = list(self._active)
+            keys = [k for k in self._active if k not in self._stalled]
         for key in keys:
             if not self.leases.renew(key):
                 with self._lock:
@@ -326,15 +357,28 @@ class LeaseHeartbeat:
                         self.lost.add(key)
 
     @contextmanager
-    def guard(self, key: str) -> Iterator[None]:
-        """Keep ``key``'s lease renewed for the duration of the block."""
+    def guard(self, key: str, stall: bool = False) -> Iterator[None]:
+        """Keep ``key``'s lease renewed for the duration of the block.
+
+        With ``stall=True`` the key is registered but never renewed — the
+        chaos engine's stalled-heartbeat fault.  One renewal is attempted at
+        guard exit so a lease that expired (and was possibly reclaimed by a
+        peer) is still reported in :attr:`lost` rather than silently dropped.
+        """
         with self._lock:
             self._active.add(key)
+            if stall:
+                self._stalled.add(key)
         try:
             yield
         finally:
             with self._lock:
                 self._active.discard(key)
+                was_stalled = key in self._stalled
+                self._stalled.discard(key)
+            if was_stalled and not self.leases.renew(key):
+                with self._lock:
+                    self.lost.add(key)
 
 
 def scan_leases(root: Optional[str] = None) -> Dict[str, int]:

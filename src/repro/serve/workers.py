@@ -25,15 +25,44 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.runner import ExperimentEngine, ExperimentSpec, run_cell
-from repro.analysis.store import ResultStore
+from repro.analysis.store import ResultStore, cell_attempt_budget, lease_ttl_seconds
+from repro.serve.chaos import ChaosInjectedCellError, WorkerKilled, active_chaos
 from repro.serve.jobs import WORKERS_SUBDIR, JobStore, execute_request
 from repro.serve.leases import LeaseHeartbeat, LeaseStore, default_owner_id
+from repro.util.retry import RetryPolicy, retry_call
 
 #: How often a worker republishes its liveness file (seconds).
 LIVENESS_INTERVAL_S: float = 2.0
 
+#: Environment override for the per-worker-slot restart budget.
+RESTARTS_ENV: str = "REPRO_WORKER_RESTARTS"
+
+#: Default crash-loop cap: a worker slot is restarted at most this many times.
+DEFAULT_MAX_RESTARTS: int = 5
+
 #: An event sink: receives plan/cell/error dicts (the job journal appender).
 EventSink = Callable[[Dict[str, Any]], None]
+
+
+class CellQuarantinedError(RuntimeError):
+    """A cell exhausted its attempt budget and is poisoned.
+
+    Raised by the drain when it meets (or writes) a poison tombstone; it
+    carries the cell's collected failure chain so the job's ``failed`` marker
+    — and therefore ``repro status`` — shows *why* the cell kept dying, not
+    just that it did.
+    """
+
+    def __init__(self, key: str, poison: Dict[str, Any]) -> None:
+        errors = "; ".join(
+            str(e.get("error", "?")) for e in poison.get("errors", [])
+        ) or "no recorded errors"
+        super().__init__(
+            f"cell {key[:12]} quarantined after "
+            f"{poison.get('attempts', '?')} failed attempt(s): {errors}"
+        )
+        self.key = key
+        self.poison = poison
 
 
 class LeaseDrainEngine(ExperimentEngine):
@@ -64,6 +93,7 @@ class LeaseDrainEngine(ExperimentEngine):
         fast: Optional[bool] = None,
         poll_interval_s: Optional[float] = None,
         stop: Optional[threading.Event] = None,
+        hard_kill: bool = False,
     ) -> None:
         super().__init__(parallelism=1, fast=fast, store=store, force=False)
         self.leases = leases
@@ -80,6 +110,13 @@ class LeaseDrainEngine(ExperimentEngine):
         #: Cells this engine computed although the lease was lost mid-compute
         #: (duplicate work after a pause beyond the TTL; counted, not hidden).
         self.cells_duplicated = 0
+        #: Cell attempts that failed and were left for a later claim.
+        self.cells_retried = 0
+        #: Whether injected worker kills should be delivered as a genuine
+        #: SIGKILL (worker processes) or a :class:`WorkerKilled` raise
+        #: (worker threads, restartable by the supervisor).
+        self.hard_kill = hard_kill
+        self._chaos = active_chaos(store.root)
 
     def map(self, specs: Sequence[ExperimentSpec]) -> List[Any]:
         """Drain one grid: claim-compute-release misses, await foreign leases."""
@@ -112,35 +149,135 @@ class LeaseDrainEngine(ExperimentEngine):
     def _fill(
         self, spec: ExperimentSpec, key: str, payloads: List[Any], i: int
     ) -> bool:
-        """Try to finish one cell; ``True`` when ``payloads[i]`` is set."""
+        """Try to finish one cell; ``True`` when ``payloads[i]`` is set.
+
+        The failure path per attempt: the attempt is first *claimed* in the
+        on-disk registry (single-winner, crash-persistent — a killed worker's
+        attempt still counts), an attempt that raises records its error and
+        returns the cell to the pending pool, and the attempt that exhausts
+        the budget writes the poison tombstone and raises
+        :class:`CellQuarantinedError` so the job fails fast instead of
+        hanging its pollers.  Chaos faults (kill / stall / slow / injected
+        failure) key off the durable attempt ordinal, which is what makes an
+        injected schedule identical across retries, restarts, and replays.
+        """
         record = self.store.get(spec)
         if record is not None:
             payloads[i] = record.payload
             self._count_cached(spec, key)
             return True
+        poison = self.store.read_poison(key)
+        if poison is not None:
+            raise CellQuarantinedError(key, poison)
         if not self.leases.acquire(key):
             return False  # live foreign lease: poll again later
+        skip_release = False
         try:
             # Re-check under the lease: the previous holder may have
-            # committed between our store miss and our acquire.
+            # committed (or poisoned) between our store miss and our acquire.
             record = self.store.get(spec)
             if record is not None:
                 payloads[i] = record.payload
                 self._count_cached(spec, key)
                 return True
-            with self.heartbeat.guard(key):
-                t0 = time.perf_counter()
-                payload = run_cell(spec)
-                elapsed = time.perf_counter() - t0
-            if key in self.heartbeat.lost:
-                self.cells_duplicated += 1
-            self.store.put(spec, payload, elapsed_s=elapsed)
+            poison = self.store.read_poison(key)
+            if poison is not None:
+                raise CellQuarantinedError(key, poison)
+            attempt = self.store.claim_attempt(key, self.leases.owner)
+            if attempt is None:
+                self._quarantine(key)
+            stall = False
+            if self._chaos is not None:
+                try:
+                    self._chaos.maybe_kill(key, attempt, hard=self.hard_kill)
+                except WorkerKilled:
+                    skip_release = True  # a killed worker releases nothing
+                    raise
+                stall = self._chaos.stall_heartbeat(key, attempt)
+            try:
+                with self.heartbeat.guard(key, stall=stall):
+                    t0 = time.perf_counter()
+                    if self._chaos is not None:
+                        self._chaos.slow_cell(key, attempt)
+                        if self._chaos.cell_fails(key, attempt):
+                            raise ChaosInjectedCellError(
+                                f"injected failure at cell {key[:12]} "
+                                f"attempt {attempt}"
+                            )
+                    payload = run_cell(spec)
+                    elapsed = time.perf_counter() - t0
+                if key in self.heartbeat.lost:
+                    self.cells_duplicated += 1
+                retry_call(
+                    lambda: self.store.put(spec, payload, elapsed_s=elapsed),
+                    policy=RetryPolicy(
+                        max_attempts=4, base_delay_s=0.01, max_delay_s=0.1
+                    ),
+                    retryable=(OSError,),
+                    describe=f"store put {key[:12]}",
+                )
+            except WorkerKilled:
+                skip_release = True
+                raise
+            except Exception as exc:
+                message = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                self.store.record_attempt_failure(key, attempt, message)
+                self.cells_retried += 1
+                if self.emit is not None:
+                    self.emit(
+                        {
+                            "type": "retry",
+                            "key": key,
+                            "attempt": attempt,
+                            "error": message,
+                            "t": time.time(),
+                        }
+                    )
+                if attempt + 1 >= cell_attempt_budget():
+                    self._quarantine(key)
+                return False  # back to pending; the next claim takes attempt+1
+            self.store.clear_attempts(key)
             payloads[i] = payload
             self.cells_computed += 1
             self._emit_cell(spec, key, cached=False, elapsed_s=elapsed)
             return True
         finally:
-            self.leases.release(key)
+            if not skip_release:
+                self.leases.release(key)
+
+    def _quarantine(self, key: str) -> None:
+        """Poison a cell whose attempt budget is spent; always raises.
+
+        The tombstone write is single-winner; a loser adopts the winner's
+        document so every drain reports the same exception chain.
+        """
+        attempts = self.store.attempts(key)
+        doc = {
+            "attempts": len(attempts),
+            "errors": [
+                {
+                    "attempt": a.get("attempt"),
+                    "owner": a.get("owner"),
+                    "error": a.get("error", "worker died mid-attempt"),
+                }
+                for a in attempts
+            ],
+        }
+        if not self.store.write_poison(key, doc):
+            doc = self.store.read_poison(key) or doc
+        if self.emit is not None:
+            self.emit(
+                {
+                    "type": "quarantine",
+                    "key": key,
+                    "attempts": doc.get("attempts"),
+                    "errors": doc.get("errors", []),
+                    "t": time.time(),
+                }
+            )
+        raise CellQuarantinedError(key, doc)
 
     def _count_cached(self, spec: ExperimentSpec, key: str) -> None:
         """Account one cache hit (computed here earlier, elsewhere, or ever)."""
@@ -194,12 +331,21 @@ class _LivenessWriter(threading.Thread):
 
     def stop(self) -> None:
         """Stop the thread and remove the liveness file (clean shutdown)."""
-        self._halt.set()
-        self.join(timeout=5.0)
+        self.halt()
         try:
             os.remove(self.worker.liveness_path)
         except OSError:
             pass
+
+    def halt(self) -> None:
+        """Stop the thread but *leave* the liveness file behind.
+
+        The simulated-SIGKILL path: a worker killed by chaos must look
+        exactly like one killed by the OS, and a real SIGKILL never unlinks
+        the liveness file — that is what the gc staleness sweep is for.
+        """
+        self._halt.set()
+        self.join(timeout=5.0)
 
 
 class SweepWorker:
@@ -212,8 +358,10 @@ class SweepWorker:
         ttl_s: Optional[float] = None,
         poll_interval_s: Optional[float] = None,
         liveness_interval_s: float = LIVENESS_INTERVAL_S,
+        hard_kill: bool = False,
     ) -> None:
         self.owner = owner if owner is not None else default_owner_id()
+        self.hard_kill = hard_kill
         self.store = ResultStore(root)
         self.jobs = JobStore(self.store.root)
         self.leases = LeaseStore(self.store.root, owner=self.owner, ttl_s=ttl_s)
@@ -280,6 +428,7 @@ class SweepWorker:
             fast=request.get("fast", True),
             poll_interval_s=self.poll_interval_s,
             stop=stop,
+            hard_kill=self.hard_kill,
         )
         try:
             execute_request(request, engine)
@@ -287,11 +436,14 @@ class SweepWorker:
             message = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
+            quarantined = None
+            if isinstance(exc, CellQuarantinedError):
+                quarantined = [{"key": exc.key, **exc.poison}]
             self.jobs.append_event(
                 job_id,
                 {"type": "error", "owner": self.owner, "message": message, "t": time.time()},
             )
-            self.jobs.mark_failed(job_id, self.owner, message)
+            self.jobs.mark_failed(job_id, self.owner, message, quarantined=quarantined)
             self.jobs_failed += 1
             raise
         summary = {
@@ -300,6 +452,7 @@ class SweepWorker:
             "cells_computed": engine.cells_computed,
             "cells_cached": engine.cells_cached,
             "cells_duplicated": engine.cells_duplicated,
+            "cells_retried": engine.cells_retried,
         }
         self.jobs.mark_done(job_id, summary)
         self.jobs_drained += 1
@@ -344,6 +497,15 @@ class SweepWorker:
                 if idle_exit and not self.jobs.pending_jobs():
                     return
                 stop.wait(poll_s)
+        except WorkerKilled:
+            # Simulated kill -9: no cleanup at all.  Leases stay on disk and
+            # expire, the liveness file lingers until the gc staleness sweep,
+            # and the supervisor (if any) sees the corpse and restarts us.
+            if self._liveness is not None:
+                self._liveness.halt()
+                self._liveness = None
+            self.heartbeat.stop()
+            raise
         finally:
             self.heartbeat.stop()
             if self._liveness is not None:
@@ -351,19 +513,172 @@ class SweepWorker:
                 self._liveness = None
 
 
+def max_worker_restarts() -> int:
+    """Per-slot restart budget: ``REPRO_WORKER_RESTARTS`` or the default of 5."""
+    env = os.environ.get(RESTARTS_ENV)
+    if env:
+        try:
+            cap = int(env)
+            if cap >= 0:
+                return cap
+        except ValueError:
+            pass
+    return DEFAULT_MAX_RESTARTS
+
+
+class WorkerSupervisor:
+    """Run N worker threads and restart the ones that die.
+
+    Each *slot* owns one :class:`SweepWorker` thread.  A thread that exits
+    with an exception — a chaos :class:`WorkerKilled`, or a genuine bug — is
+    replaced with a **fresh** worker (new owner identity, new lease store)
+    after an exponential backoff, up to a per-slot crash-loop cap
+    (``REPRO_WORKER_RESTARTS``); a slot over its cap is abandoned and counted
+    in ``crash_looped`` so ``/health`` shows the degradation instead of the
+    service silently running under-strength.  A thread that *returns* is
+    simply finished (idle-exit), never restarted.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        count: int,
+        ttl_s: Optional[float] = None,
+        poll_s: float = 0.2,
+        max_restarts: Optional[int] = None,
+        backoff_base_s: float = 0.25,
+        backoff_max_s: float = 5.0,
+    ) -> None:
+        self.root = root
+        self.count = int(count)
+        self.ttl_s = ttl_s
+        self.poll_s = float(poll_s)
+        self.max_restarts = (
+            int(max_restarts) if max_restarts is not None else max_worker_restarts()
+        )
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.restarts = 0
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._slots: List[Dict[str, Any]] = []
+        self._monitor: Optional[threading.Thread] = None
+
+    @property
+    def workers(self) -> List[SweepWorker]:
+        """The currently installed worker of every slot."""
+        with self._lock:
+            return [slot["worker"] for slot in self._slots]
+
+    def _spawn(self, slot: Dict[str, Any]) -> None:
+        """Install a fresh worker + thread into a slot (caller holds no lock)."""
+        worker = SweepWorker(self.root, ttl_s=self.ttl_s)
+        crashed = threading.Event()
+
+        def _run() -> None:
+            try:
+                worker.run_forever(stop=self._stop, poll_s=self.poll_s)
+            except BaseException:  # noqa: BLE001 - a dead worker, whatever killed it
+                crashed.set()
+
+        thread = threading.Thread(
+            target=_run, name=f"sweep-worker-{worker.owner}", daemon=True
+        )
+        with self._lock:
+            slot["worker"] = worker
+            slot["thread"] = thread
+            slot["crashed"] = crashed
+        thread.start()
+
+    def start(self) -> None:
+        """Start every slot plus the monitor thread (idempotent)."""
+        if self._monitor is not None and self._monitor.is_alive():
+            return
+        self._stop.clear()
+        if not self._slots:
+            self._slots = [
+                {"worker": None, "thread": None, "crashed": None,
+                 "restarts": 0, "next_restart_at": 0.0, "gave_up": False}
+                for _ in range(self.count)
+            ]
+        for slot in self._slots:
+            self._spawn(slot)
+        self._monitor = threading.Thread(
+            target=self._watch, name="worker-supervisor", daemon=True
+        )
+        self._monitor.start()
+
+    def stop(self) -> None:
+        """Stop the monitor and every worker thread."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        for slot in list(self._slots):
+            thread = slot.get("thread")
+            if thread is not None:
+                thread.join(timeout=5.0)
+
+    def _watch(self) -> None:
+        """Monitor loop: restart crashed slots with backoff, respect the cap."""
+        while not self._stop.wait(0.1):
+            now = time.monotonic()
+            for slot in self._slots:
+                thread = slot["thread"]
+                crashed = slot["crashed"]
+                if thread is None or thread.is_alive() or slot["gave_up"]:
+                    continue
+                if crashed is None or not crashed.is_set():
+                    continue  # clean return (idle exit): nothing to revive
+                if slot["next_restart_at"] == 0.0:
+                    if slot["restarts"] >= self.max_restarts:
+                        slot["gave_up"] = True
+                        continue
+                    delay = min(
+                        self.backoff_max_s,
+                        self.backoff_base_s * (2.0 ** slot["restarts"]),
+                    )
+                    slot["next_restart_at"] = now + delay
+                    continue
+                if now < slot["next_restart_at"]:
+                    continue
+                slot["next_restart_at"] = 0.0
+                slot["restarts"] += 1
+                self.restarts += 1
+                self._spawn(slot)
+
+    def stats(self) -> Dict[str, int]:
+        """Supervision counters for the health/stats endpoints."""
+        with self._lock:
+            alive = sum(
+                1
+                for slot in self._slots
+                if slot["thread"] is not None and slot["thread"].is_alive()
+            )
+            crash_looped = sum(1 for slot in self._slots if slot["gave_up"])
+        return {
+            "alive": alive,
+            "restarts": self.restarts,
+            "crash_looped": crash_looped,
+        }
+
+
 def list_workers(
     root: Optional[str] = None, now: Optional[float] = None
 ) -> List[Dict[str, Any]]:
-    """Every known worker's liveness document, annotated with ``alive``.
+    """Every known worker's liveness document, annotated with ``alive``/``stale``.
 
     A worker is reported alive while its liveness file is younger than three
     republish intervals — the same "missed a few heartbeats" rule the lease
-    TTL applies to cell claims.
+    TTL applies to cell claims.  A file older than three lease TTLs is
+    ``stale``: its worker was SIGKILLed (or the host died) and never cleaned
+    up after itself; ``ResultStore.gc`` removes such files.
     """
     store = ResultStore(root)
     workers_dir = os.path.join(store.root, WORKERS_SUBDIR)
     if now is None:
         now = time.time()
+    stale_after_s = 3.0 * lease_ttl_seconds()
     rows: List[Dict[str, Any]] = []
     if not os.path.isdir(workers_dir):
         return rows
@@ -377,5 +692,12 @@ def list_workers(
             continue
         age = now - float(doc.get("updated_at", 0.0))
         interval = float(doc.get("interval_s", LIVENESS_INTERVAL_S))
-        rows.append({**doc, "age_s": round(age, 3), "alive": age < 3.0 * interval})
+        rows.append(
+            {
+                **doc,
+                "age_s": round(age, 3),
+                "alive": age < 3.0 * interval,
+                "stale": age >= stale_after_s,
+            }
+        )
     return rows

@@ -20,6 +20,7 @@ from repro.util.units import (
     mtbf_hours_to_fit,
     seconds,
 )
+from repro.util.retry import RetryError, RetryPolicy, poll_delays, retry_call
 from repro.util.rng import RngStream, spawn_streams
 from repro.util.validation import (
     check_fraction,
@@ -35,6 +36,8 @@ __all__ = [
     "GIB",
     "KIB",
     "MIB",
+    "RetryError",
+    "RetryPolicy",
     "RngStream",
     "TextTable",
     "bytes_to_gib",
@@ -51,6 +54,8 @@ __all__ = [
     "microseconds",
     "milliseconds",
     "mtbf_hours_to_fit",
+    "poll_delays",
+    "retry_call",
     "seconds",
     "spawn_streams",
 ]

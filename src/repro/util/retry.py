@@ -1,0 +1,126 @@
+"""Bounded retries with exponential backoff, full jitter, and deadlines.
+
+One shared retry discipline for every unreliable boundary in the system —
+the ``repro submit``/``repro status`` HTTP client, the sweep workers'
+store/lease IO, and the server's artifact composition all route through
+:func:`retry_call`.  The policy is the textbook AWS "full jitter" scheme:
+attempt ``i`` sleeps ``uniform(0, min(max_delay, base * 2**i))``, so
+synchronized retry storms decorrelate, and two independent bounds stop the
+loop — a maximum attempt count and a wall-clock deadline.
+
+Jitter deliberately randomises *timing only*: whether an operation is
+retried, and how often, is bounded by the policy, so chaos-injected fault
+schedules (see :mod:`repro.serve.chaos`) stay replayable even though the
+sleeps between attempts vary run to run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, how fast, and for how long to keep retrying.
+
+    ``max_attempts`` counts *total* calls (first try included), so
+    ``max_attempts=1`` means no retries at all.  ``deadline_s`` is measured
+    from the first attempt; a retry is only scheduled while the deadline has
+    not passed, and the pre-retry sleep is clipped so the loop never
+    oversleeps it.  ``deadline_s=None`` leaves only the attempt bound.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    deadline_s: Optional[float] = None
+    jitter: bool = True
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """The backoff before retry number ``attempt`` (0-based), jittered."""
+        cap = min(self.max_delay_s, self.base_delay_s * (2.0 ** attempt))
+        if not self.jitter:
+            return cap
+        return (rng.random() if rng is not None else random.random()) * cap
+
+
+class RetryError(RuntimeError):
+    """Every attempt failed; the last underlying exception is ``__cause__``."""
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+def retry_call(
+    fn: Callable[[], Any],
+    *,
+    policy: Optional[RetryPolicy] = None,
+    retryable: Tuple[Type[BaseException], ...] = (OSError,),
+    describe: str = "operation",
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+) -> Any:
+    """Call ``fn`` until it succeeds, the attempts run out, or the deadline does.
+
+    Only exceptions matching ``retryable`` are retried; anything else
+    propagates immediately (a 404 is not a flaky network).  When the budget
+    is exhausted the *original* exception type propagates (raised from a
+    :class:`RetryError` carrying the attempt count), so callers' existing
+    ``except`` clauses keep working whether or not a retry happened.
+
+    ``on_retry(attempt, exc, delay_s)`` fires before each backoff sleep —
+    the CLI uses it to tell the user why it is waiting.  ``sleep`` and
+    ``rng`` are injectable so tests can pin timing without patching globals.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    attempts = max(1, int(policy.max_attempts))
+    started = time.monotonic()
+    last: Optional[BaseException] = None
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retryable as exc:
+            last = exc
+            if attempt + 1 >= attempts:
+                break
+            delay = policy.delay(attempt, rng)
+            if policy.deadline_s is not None:
+                remaining = policy.deadline_s - (time.monotonic() - started)
+                if remaining <= 0:
+                    break
+                delay = min(delay, remaining)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            sleep(delay)
+    assert last is not None  # the loop only exits via return or an exception
+    raise last from RetryError(
+        f"{describe} failed after {attempts} attempt(s): {last}", attempts
+    )
+
+
+def poll_delays(
+    base_delay_s: float = 0.1,
+    max_delay_s: float = 2.0,
+    rng: Optional[random.Random] = None,
+) -> Iterator[float]:
+    """An endless jittered backoff schedule for polling loops.
+
+    Unlike :func:`retry_call` this never gives up — the caller owns the
+    overall deadline — but the interval still grows exponentially to the cap
+    and carries full jitter, so many pollers watching one job do not beat on
+    the server in lockstep (the fix for ``--wait``'s fixed-interval poll).
+    """
+    attempt = 0
+    while True:
+        cap = min(max_delay_s, base_delay_s * (2.0 ** attempt))
+        u = rng.random() if rng is not None else random.random()
+        # Keep a floor of half the cap: pure full-jitter can draw ~0 and turn
+        # the poll into a busy loop; polling wants paced, not instant.
+        yield cap * (0.5 + 0.5 * u)
+        if cap < max_delay_s:
+            attempt += 1

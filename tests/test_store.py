@@ -170,7 +170,8 @@ def test_gc_drops_stale_versions_and_orphan_temps(tmp_path, monkeypatch):
 
     removed = store.gc()
     assert removed == {
-        "stale": 1, "corrupt": 0, "tmp": 1, "lease_live": 0, "lease_expired": 0
+        "stale": 1, "corrupt": 0, "tmp": 1, "lease_live": 0, "lease_expired": 0,
+        "attempts": 0, "poison_stale": 0, "workers_stale": 0,
     }
     remaining = list(store.records())
     assert len(remaining) == 1

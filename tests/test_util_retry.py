@@ -1,0 +1,121 @@
+"""The shared retry discipline: bounded attempts, jitter, deadlines.
+
+:mod:`repro.util.retry` backs every unreliable boundary in the serving stack
+(HTTP client, store/lease IO, artifact composition), so its contract is
+pinned precisely: which exceptions retry, how the backoff grows and jitters,
+how the deadline clips sleeps, and — critically — that exhaustion re-raises
+the *original* exception so callers' ``except`` clauses never change.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.util.retry import RetryError, RetryPolicy, poll_delays, retry_call
+
+
+class _Flaky:
+    """A callable that fails ``n`` times with ``exc`` and then returns 42."""
+
+    def __init__(self, n: int, exc: type = OSError) -> None:
+        self.n = n
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self) -> int:
+        self.calls += 1
+        if self.calls <= self.n:
+            raise self.exc(f"failure {self.calls}")
+        return 42
+
+
+def _no_sleep(_: float) -> None:
+    """A sleep stub: retries should not slow the test suite down."""
+
+
+def test_succeeds_after_transient_failures():
+    """Two failures inside a 5-attempt budget are absorbed silently."""
+    fn = _Flaky(2)
+    assert retry_call(fn, sleep=_no_sleep) == 42
+    assert fn.calls == 3
+
+
+def test_exhaustion_reraises_original_exception_type():
+    """Callers keep catching the underlying error, not a wrapper."""
+    fn = _Flaky(99)
+    with pytest.raises(OSError) as excinfo:
+        retry_call(fn, policy=RetryPolicy(max_attempts=3), sleep=_no_sleep)
+    assert fn.calls == 3
+    # The RetryError rides along as the cause, carrying the attempt count.
+    assert isinstance(excinfo.value.__cause__, RetryError)
+    assert excinfo.value.__cause__.attempts == 3
+
+
+def test_non_retryable_exceptions_propagate_immediately():
+    """A ValueError is an answer, not weather: one call, no retries."""
+    fn = _Flaky(1, exc=ValueError)
+    with pytest.raises(ValueError):
+        retry_call(fn, retryable=(OSError,), sleep=_no_sleep)
+    assert fn.calls == 1
+
+
+def test_max_attempts_one_means_no_retry():
+    fn = _Flaky(1)
+    with pytest.raises(OSError):
+        retry_call(fn, policy=RetryPolicy(max_attempts=1), sleep=_no_sleep)
+    assert fn.calls == 1
+
+
+def test_backoff_is_exponential_and_capped_without_jitter():
+    policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5, jitter=False)
+    assert [policy.delay(i) for i in range(5)] == [
+        0.1, 0.2, 0.4, 0.5, 0.5
+    ]
+
+
+def test_jittered_delay_is_full_jitter():
+    """With jitter, every delay is uniform in [0, cap] — never above the cap."""
+    policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5)
+    rng = random.Random(7)
+    delays = [policy.delay(3, rng) for _ in range(200)]
+    assert all(0.0 <= d <= 0.5 for d in delays)
+    # Full jitter spreads over the whole range (not clustered at the cap).
+    assert min(delays) < 0.1 and max(delays) > 0.4
+
+
+def test_deadline_stops_retrying():
+    """A deadline of zero means the first failure is also the last."""
+    fn = _Flaky(99)
+    with pytest.raises(OSError):
+        retry_call(
+            fn,
+            policy=RetryPolicy(max_attempts=10, deadline_s=0.0),
+            sleep=_no_sleep,
+        )
+    assert fn.calls == 1
+
+
+def test_on_retry_callback_sees_each_failure():
+    seen = []
+    fn = _Flaky(2)
+    retry_call(
+        fn,
+        on_retry=lambda attempt, exc, delay: seen.append((attempt, str(exc))),
+        sleep=_no_sleep,
+    )
+    assert [s[0] for s in seen] == [0, 1]
+    assert seen[0][1] == "failure 1"
+
+
+def test_poll_delays_grow_to_cap_and_stay_jittered():
+    """The --wait schedule: paced (floor of half the cap), bounded, endless."""
+    rng = random.Random(3)
+    gen = poll_delays(base_delay_s=0.1, max_delay_s=0.8, rng=rng)
+    delays = [next(gen) for _ in range(32)]
+    caps = [min(0.8, 0.1 * 2.0**i) for i in range(32)]
+    for delay, cap in zip(delays, caps):
+        assert cap * 0.5 <= delay <= cap
+    # The tail sits at the cap's band: between 0.4 and 0.8 forever.
+    assert all(0.4 <= d <= 0.8 for d in delays[8:])
