@@ -29,7 +29,11 @@ The package provides:
 * a sweep service (:mod:`repro.serve`; ``repro serve`` / ``submit`` /
   ``status``): an HTTP job queue over the results store whose workers
   shard each grid through atomic, expiring cell leases — N processes or
-  machines on one shared cache root drain a sweep exactly once.
+  machines on one shared cache root drain a sweep exactly once,
+* an observability layer (:mod:`repro.obs`; ``repro trace``): structured
+  span tracing (``REPRO_TRACE=light|full``), a process-local metrics
+  registry behind the service's Prometheus ``GET /metrics``, and
+  summarize/Chrome-trace-export tooling — all strictly observation-only.
 
 Configuration environment variables (``REPRO_PARALLELISM``,
 ``REPRO_REFERENCE``, ``REPRO_BENCH_SCALE``, ``REPRO_CACHE_DIR``,
@@ -54,7 +58,7 @@ from repro._lazy import lazy_exports
 #: compiled-graph store (:func:`repro.runtime.compiled.compiled_key`) — so
 #: bumping it invalidates all cached cells and compiled graphs; run
 #: ``repro cache gc`` to reclaim the old generation.
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Public name -> defining package, resolved lazily on first access (see
 #: :mod:`repro._lazy`): ``repro run fig5`` never pays for the functional
@@ -84,6 +88,7 @@ __getattr__, __dir__ = lazy_exports(
         "core",
         "distributed",
         "faults",
+        "obs",
         "runtime",
         "serve",
         "simulator",

@@ -47,6 +47,9 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 
 from repro.apps import create_benchmark
 from repro.apps.base import Benchmark
+from repro.obs.metrics import inc as metrics_inc
+from repro.obs.metrics import observe as metrics_observe
+from repro.obs.trace import active_tracer, configure_trace_root, trace_span
 from repro.runtime.compiled import (
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
@@ -269,14 +272,18 @@ def compiled_sim_cache(
     if cache is not None:
         return cache
     if graph_cache_enabled():
+        tracer = active_tracer()
         store = CompiledGraphStore(graph_cache_root())
-        compiled = store.load(name, scale, n_nodes)
+        with trace_span(tracer, "graph.load", benchmark=name, scale=scale) as span:
+            compiled = store.load(name, scale, n_nodes)
+            span.set(hit=compiled is not None)
         if compiled is None:
-            t0 = time.perf_counter()
-            compiled = compile_graph(benchmark_graph(name, scale, n_nodes))
-            store.save(
-                name, scale, compiled, n_nodes, elapsed_s=time.perf_counter() - t0
-            )
+            with trace_span(tracer, "graph.compile", benchmark=name, scale=scale):
+                t0 = time.perf_counter()
+                compiled = compile_graph(benchmark_graph(name, scale, n_nodes))
+                store.save(
+                    name, scale, compiled, n_nodes, elapsed_s=time.perf_counter() - t0
+                )
         cache = SimGraphCache.from_compiled(compiled)
     else:
         graph = benchmark_graph(name, scale, n_nodes)
@@ -290,9 +297,13 @@ def _pool_worker_init(graph_enabled: bool, graph_root: str) -> None:
 
     Workers receive the *resolved* parent configuration (a cache path and an
     on/off flag, never a graph), so their :func:`compiled_sim_cache` lookups
-    map the same store files the parent and their sibling workers map.
+    map the same store files the parent and their sibling workers map.  The
+    trace root is pinned to the same location, so worker-side spans (cell
+    compute, graph loads, simulator dispatch) land in the parent's
+    ``obs/trace.jsonl``.
     """
     configure_graph_cache(enabled=graph_enabled, root=graph_root)
+    configure_trace_root(graph_root)
 
 
 def clear_caches() -> None:
@@ -333,6 +344,22 @@ def run_cell(spec: ExperimentSpec) -> Any:
             f"unknown experiment kind {spec.kind!r}; known: {sorted(_CELL_KINDS)}"
         )
     return func(spec)
+
+
+def _run_cell_timed(spec: ExperimentSpec) -> Tuple[Any, float]:
+    """Run one cell and measure its wall time in-process (pool map target).
+
+    Pool workers execute this instead of bare :func:`run_cell` so per-cell
+    elapsed time is measured where the cell actually runs — the parent can't
+    observe it (cells overlap across workers).  The compute span is opened
+    here for the same reason: the worker process owns the cell's timeline.
+    """
+    with trace_span(
+        active_tracer(), "cell.compute", cell_kind=spec.kind, benchmark=spec.benchmark
+    ):
+        t0 = time.perf_counter()
+        payload = run_cell(spec)
+        return payload, time.perf_counter() - t0
 
 
 @dataclass
@@ -382,6 +409,9 @@ class ExperimentEngine:
         self.cells_cached = 0
         #: The (computed, cached) split of the most recent :meth:`map` call.
         self.last_stats: Tuple[int, int] = (0, 0)
+        #: The tracer resolved by the most recent :meth:`map` call (``None``
+        #: when ``REPRO_TRACE`` is off); ``_record`` reuses it for put spans.
+        self._tracer = active_tracer(store.root if store is not None else None)
 
     def map(self, specs: Sequence[ExperimentSpec]) -> List[Any]:
         """Run every cell and return their payloads in spec order.
@@ -394,44 +424,69 @@ class ExperimentEngine:
         specs = list(specs)
         total = len(specs)
         payloads: List[Any] = [None] * total
+        tracer = self._tracer = active_tracer(
+            self.store.root if self.store is not None else None
+        )
 
-        # Partition into cache hits and cells still to compute.
-        missing: List[int] = []
-        for i, spec in enumerate(specs):
-            record = None
-            if self.store is not None and not self.force:
-                record = self.store.get(spec)
-            if record is not None:
-                payloads[i] = record.payload
-                self.cells_cached += 1
-                self._notify(CellProgress(spec, i, total, cached=True))
+        with trace_span(
+            tracer, "engine.map", cells=total, parallelism=self.parallelism
+        ) as map_span:
+            # Partition into cache hits and cells still to compute.
+            missing: List[int] = []
+            for i, spec in enumerate(specs):
+                record = None
+                if self.store is not None and not self.force:
+                    record = self.store.get(spec)
+                if record is not None:
+                    payloads[i] = record.payload
+                    self.cells_cached += 1
+                    metrics_inc("repro_cells_cached_total")
+                    self._notify(CellProgress(spec, i, total, cached=True))
+                else:
+                    missing.append(i)
+
+            # Compute the misses (serially or over the pool) and persist them.
+            workers = min(self.parallelism, len(missing))
+            if workers <= 1:
+                for i in missing:
+                    key = (
+                        self.store.key(specs[i])
+                        if tracer is not None and self.store is not None
+                        else None
+                    )
+                    with trace_span(
+                        tracer,
+                        "cell.compute",
+                        key,
+                        cell_kind=specs[i].kind,
+                        benchmark=specs[i].benchmark,
+                    ):
+                        t0 = time.perf_counter()
+                        payloads[i] = run_cell(specs[i])
+                        elapsed = time.perf_counter() - t0
+                    self._record(specs[i], payloads[i], i, total, elapsed)
             else:
-                missing.append(i)
+                # Imported here, not at module top: single-worker runs (most CLI
+                # invocations after the engine decides serially) never pay the
+                # concurrent.futures/multiprocessing import.
+                from concurrent.futures import ProcessPoolExecutor
 
-        # Compute the misses (serially or over the pool) and persist them.
-        workers = min(self.parallelism, len(missing))
-        if workers <= 1:
-            for i in missing:
-                t0 = time.perf_counter()
-                payloads[i] = run_cell(specs[i])
-                self._record(specs[i], payloads[i], i, total, time.perf_counter() - t0)
-        else:
-            # Imported here, not at module top: single-worker runs (most CLI
-            # invocations after the engine decides serially) never pay the
-            # concurrent.futures/multiprocessing import.
-            from concurrent.futures import ProcessPoolExecutor
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_pool_worker_init,
+                    initargs=(graph_cache_enabled(), graph_cache_root()),
+                ) as pool:
+                    # Per-cell wall time is measured inside each worker (the
+                    # parent can't observe it — cells overlap across workers),
+                    # so records carry the true in-process compute cost.
+                    for i, (payload, elapsed) in zip(
+                        missing,
+                        pool.map(_run_cell_timed, [specs[i] for i in missing]),
+                    ):
+                        payloads[i] = payload
+                        self._record(specs[i], payload, i, total, elapsed)
 
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_pool_worker_init,
-                initargs=(graph_cache_enabled(), graph_cache_root()),
-            ) as pool:
-                # Per-cell wall time is not observable from here (cells overlap
-                # across workers), so records honestly carry elapsed_s=None
-                # rather than the gap between result arrivals.
-                for i, payload in zip(missing, pool.map(run_cell, [specs[i] for i in missing])):
-                    payloads[i] = payload
-                    self._record(specs[i], payload, i, total, None)
+            map_span.set(computed=len(missing), cached=total - len(missing))
 
         self.last_stats = (len(missing), total - len(missing))
         return payloads
@@ -446,8 +501,13 @@ class ExperimentEngine:
     ) -> None:
         """Persist one computed cell and fire the progress callback."""
         if self.store is not None:
-            self.store.put(spec, payload, elapsed_s=elapsed)
+            key = self.store.key(spec) if self._tracer is not None else None
+            with trace_span(self._tracer, "cell.put", key, cell_kind=spec.kind):
+                self.store.put(spec, payload, elapsed_s=elapsed)
         self.cells_computed += 1
+        metrics_inc("repro_cells_computed_total")
+        if elapsed is not None:
+            metrics_observe("repro_cell_compute_seconds", elapsed)
         self._notify(CellProgress(spec, index, total, cached=False, elapsed_s=elapsed))
 
     def _notify(self, event: CellProgress) -> None:

@@ -542,6 +542,7 @@ class ResultStore:
                     "fast": spec.get("fast", "?"),
                     "code_version": record.code_version,
                     "created_at": record.created_at,
+                    "elapsed_s": record.elapsed_s,
                 }
             )
         return rows

@@ -57,6 +57,7 @@ from repro.analysis.targets import (
     resolve_targets,
     workload_sweep_recorded_text,
 )
+from repro.obs.trace import configure_trace_root
 from repro.runtime.compiled import CompiledGraphStore, workload_max_age_seconds
 from repro.util.units import format_bytes
 
@@ -479,6 +480,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock bound on each request's retry loop (default: none)",
     )
 
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="summarize or export the structured trace of a cache root",
+        description="Analyse <cache>/obs/trace.jsonl (recorded when runs "
+        "execute under REPRO_TRACE=light|full): summarize prints per-site "
+        "latency percentiles and the slowest cells; export writes a Chrome "
+        "trace-event JSON file loadable in Perfetto or chrome://tracing, "
+        "with one row per worker and retry/chaos markers.",
+    )
+    trace_cmd.add_argument(
+        "action",
+        choices=("summarize", "export"),
+        help="summarize: per-site percentiles + slowest cells; "
+        "export: write a Chrome trace-event file (see --out)",
+    )
+    trace_cmd.add_argument("--cache-dir", default=None, metavar="DIR")
+    trace_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="export only: output path (default: <cache>/obs/trace_chrome.json)",
+    )
+    trace_cmd.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="summarize only: how many slowest cells to list (default 10)",
+    )
+
     targets_cmd = sub.add_parser("targets", help="list the runnable figure/table targets")
     targets_cmd.set_defaults(command="targets")
 
@@ -541,6 +572,9 @@ def _make_engine(args: argparse.Namespace, strict: bool = False) -> ExperimentEn
         ),
         root=args.cache_dir,
     )
+    # Span sites without a store in hand (graph loads, simulator dispatch)
+    # resolve their tracer against the same root the engine caches under.
+    configure_trace_root(args.cache_dir)
 
     progress = None
     if args.verbose and not args.quiet:
@@ -772,14 +806,20 @@ def _run_cache(args: argparse.Namespace) -> int:
         if not rows:
             print(f"cache at {store.root}: empty")
         else:
-            header = f"{'key':<14} {'kind':<24} {'benchmark':<10} {'scale':>6} {'seed':>6} {'fast':>5}  version"
+            header = (
+                f"{'key':<14} {'kind':<24} {'benchmark':<10} {'scale':>6} "
+                f"{'seed':>6} {'fast':>5} {'elapsed':>9}  version"
+            )
             print(header)
             print("-" * len(header))
             for row in rows:
+                elapsed = (
+                    f"{row['elapsed_s']:.3f}s" if row.get("elapsed_s") is not None else "-"
+                )
                 print(
                     f"{row['key']:<14} {row['kind']:<24} {row['benchmark']:<10} "
-                    f"{row['scale']:>6} {row['seed']:>6} {str(row['fast']):>5}  "
-                    f"{row['code_version']}"
+                    f"{row['scale']:>6} {row['seed']:>6} {str(row['fast']):>5} "
+                    f"{elapsed:>9}  {row['code_version']}"
                 )
             print(f"\n{len(rows)} record(s) in {store.root}")
         graph_rows = graphs.ls()
@@ -973,6 +1013,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         enabled=(False if args.no_graph_cache else env_graph_cache_enabled(True)),
         root=args.cache_dir,
     )
+    configure_trace_root(args.cache_dir)
     if args.worker:
         # A worker *process* takes chaos kills as a genuine SIGKILL —
         # supervision (and the resulting lease expiry) is exercised for real.
@@ -1143,6 +1184,34 @@ def _run_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """`repro trace summarize|export` over a cache root's trace log."""
+    from repro.obs.report import (
+        export_trace_file,
+        read_trace,
+        render_summary,
+        summarize_trace,
+    )
+    from repro.obs.trace import trace_path
+
+    root = ResultStore(args.cache_dir).root
+    records = read_trace(root)
+    if not records:
+        print(f"no trace records at {trace_path(root)}")
+        print("record some with REPRO_TRACE=light|full (see docs/architecture.md)")
+        return 1
+    if args.action == "summarize":
+        print(f"trace: {len(records)} record(s) at {trace_path(root)}")
+        print()
+        print(render_summary(summarize_trace(records, top=args.top)), end="")
+        return 0
+    out = args.out or os.path.join(root, "obs", "trace_chrome.json")
+    n_events = export_trace_file(root, out)
+    print(f"wrote {n_events} trace event(s) to {out}")
+    print("load it in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _run_list_targets() -> int:
     """`repro targets`: list the registry."""
     width = max(len(name) for name in TARGETS)
@@ -1179,6 +1248,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_submit(args)
     if args.command == "status":
         return _run_status(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "targets":
         return _run_list_targets()
     parser.print_help()

@@ -1,0 +1,264 @@
+"""Trace analysis: per-site percentiles, slowest cells, Chrome trace export.
+
+The read side of :mod:`repro.obs.trace`, behind ``repro trace``:
+
+* :func:`summarize_trace` — per-site latency percentiles (nearest-rank over
+  the recorded span durations) plus the slowest compute cells, rendered as
+  the ``repro trace summarize`` tables;
+* :func:`export_chrome_trace` — the span log as a Chrome trace-event JSON
+  document (the ``traceEvents`` array format), loadable in Perfetto or
+  ``chrome://tracing``: one process row per worker identity, complete
+  (``"ph": "X"``) events for spans, instant (``"ph": "i"``) events for retry
+  marks and — merged from the chaos journal — injected faults.
+
+Both operate on the parsed record list from :func:`read_trace`, so tests can
+synthesise traces without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import trace_path
+
+#: Span sites whose ``key`` identifies a result-store cell (the slowest-cells
+#: table ranks these).
+CELL_SITE = "cell.compute"
+
+
+def read_trace(root: str) -> List[Dict[str, Any]]:
+    """Every parseable record of a cache root's trace log, in file order.
+
+    A torn tail line (a worker killed mid-append) is skipped, the same
+    tolerance the chaos journal reader applies.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(trace_path(root), "r", encoding="utf-8") as fh:
+            for line in fh:
+                if not line.endswith("\n"):
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(doc, dict):
+                    records.append(doc)
+    except OSError:
+        pass
+    return records
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 100])."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    rank = max(1, min(len(sorted_values), math.ceil(q / 100.0 * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+def summarize_trace(records: List[Dict[str, Any]], top: int = 10) -> Dict[str, Any]:
+    """Aggregate one trace: per-site stats plus the slowest compute cells."""
+    durations: Dict[str, List[float]] = {}
+    marks: Dict[str, int] = {}
+    cells: List[Dict[str, Any]] = []
+    for rec in records:
+        if rec.get("kind") == "mark":
+            marks[rec.get("site", "?")] = marks.get(rec.get("site", "?"), 0) + 1
+            continue
+        if rec.get("kind") != "span":
+            continue
+        site = rec.get("site", "?")
+        dur = float(rec.get("dur_s", 0.0))
+        durations.setdefault(site, []).append(dur)
+        if site == CELL_SITE:
+            cells.append(rec)
+    sites: Dict[str, Dict[str, Any]] = {}
+    for site, values in durations.items():
+        values = sorted(values)
+        sites[site] = {
+            "count": len(values),
+            "total_s": sum(values),
+            "p50_s": percentile(values, 50),
+            "p90_s": percentile(values, 90),
+            "p99_s": percentile(values, 99),
+            "max_s": values[-1],
+        }
+    cells.sort(key=lambda r: float(r.get("dur_s", 0.0)), reverse=True)
+    slowest = [
+        {
+            "key": str(rec.get("key", "?"))[:12],
+            "dur_s": float(rec.get("dur_s", 0.0)),
+            "worker": rec.get("worker", f"pid-{rec.get('pid', '?')}"),
+            "kind": rec.get("cell_kind", "?"),
+            "benchmark": rec.get("benchmark", "?"),
+            "attempt": rec.get("attempt", 0),
+        }
+        for rec in cells[: max(0, top)]
+    ]
+    return {"sites": sites, "marks": marks, "slowest_cells": slowest}
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """The ``repro trace summarize`` text: a site table plus slowest cells."""
+    lines: List[str] = []
+    sites = summary["sites"]
+    if not sites:
+        return "trace: no span records\n"
+    header = (
+        f"{'site':<22} {'count':>7} {'total_s':>9} {'p50_ms':>9} "
+        f"{'p90_ms':>9} {'p99_ms':>9} {'max_ms':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for site in sorted(sites):
+        s = sites[site]
+        lines.append(
+            f"{site:<22} {s['count']:>7} {s['total_s']:>9.3f} "
+            f"{s['p50_s'] * 1e3:>9.2f} {s['p90_s'] * 1e3:>9.2f} "
+            f"{s['p99_s'] * 1e3:>9.2f} {s['max_s'] * 1e3:>9.2f}"
+        )
+    if summary["marks"]:
+        rendered = ", ".join(
+            f"{site} x{n}" for site, n in sorted(summary["marks"].items())
+        )
+        lines.append(f"\nmarks: {rendered}")
+    if summary["slowest_cells"]:
+        lines.append("\nslowest cells (site cell.compute):")
+        sub = f"{'key':<14} {'benchmark':<12} {'kind':<24} {'dur_ms':>9}  worker"
+        lines.append(sub)
+        lines.append("-" * len(sub))
+        for cell in summary["slowest_cells"]:
+            lines.append(
+                f"{cell['key']:<14} {str(cell['benchmark']):<12} "
+                f"{str(cell['kind']):<24} {cell['dur_s'] * 1e3:>9.2f}  {cell['worker']}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _row_of(rec: Dict[str, Any]) -> str:
+    """The worker row a record belongs to (worker identity, else its pid)."""
+    worker = rec.get("worker")
+    if worker:
+        return str(worker)
+    return f"pid-{rec.get('pid', '?')}"
+
+
+def export_chrome_trace(
+    records: List[Dict[str, Any]],
+    chaos_events: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Convert trace records to a Chrome trace-event document.
+
+    Layout: each worker identity becomes one *process* row (named via
+    ``"ph": "M"`` ``process_name`` metadata), threads within it keep their
+    (compacted) thread ids.  Spans become complete events (``"ph": "X"``,
+    microsecond ``ts``/``dur``); retry marks and chaos injections become
+    instant events (``"ph": "i"``) so they show as notches on the timeline.
+    The document loads in Perfetto and ``chrome://tracing`` as-is.
+    """
+    rows: Dict[str, int] = {}
+    tids: Dict[Tuple[str, Any], int] = {}
+    events: List[Dict[str, Any]] = []
+
+    def _pid(row: str) -> int:
+        pid = rows.get(row)
+        if pid is None:
+            pid = len(rows) + 1
+            rows[row] = pid
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": row},
+                }
+            )
+        return pid
+
+    def _tid(row: str, raw: Any) -> int:
+        key = (row, raw)
+        tid = tids.get(key)
+        if tid is None:
+            tid = len([k for k in tids if k[0] == row]) + 1
+            tids[key] = tid
+        return tid
+
+    for rec in records:
+        row = _row_of(rec)
+        pid = _pid(row)
+        tid = _tid(row, rec.get("tid"))
+        args = {
+            k: v
+            for k, v in rec.items()
+            if k not in ("kind", "site", "t", "dur_s", "pid", "tid", "id", "parent")
+        }
+        ts = float(rec.get("t", 0.0)) * 1e6
+        if rec.get("kind") == "span":
+            events.append(
+                {
+                    "name": rec.get("site", "?"),
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": float(rec.get("dur_s", 0.0)) * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        elif rec.get("kind") == "mark":
+            events.append(
+                {
+                    "name": rec.get("site", "?"),
+                    "cat": "mark",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    for injected in chaos_events or ():
+        pid = _pid("chaos")
+        events.append(
+            {
+                "name": f"chaos:{injected.get('site', '?')}",
+                "cat": "chaos",
+                "ph": "i",
+                "s": "g",
+                "ts": float(injected.get("t", 0.0)) * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "args": {
+                    "key": injected.get("key"),
+                    "n": injected.get("n"),
+                    "worker_pid": injected.get("pid"),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_trace_file(root: str, out_path: str) -> int:
+    """Write a cache root's trace as a Chrome trace file; returns event count.
+
+    Chaos injections journalled under the same root are merged in as instant
+    events on a dedicated ``chaos`` row.
+    """
+    from repro.serve.chaos import read_injected_log
+
+    doc = export_chrome_trace(read_trace(root), read_injected_log(root))
+    directory = os.path.dirname(os.path.abspath(out_path))
+    os.makedirs(directory, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True)
+        fh.write("\n")
+    return len(doc["traceEvents"])

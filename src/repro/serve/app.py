@@ -18,6 +18,7 @@ API (all JSON unless noted)::
     GET  /api/v1/jobs/<id>/artifacts/<fmt>   txt | json | csv (409 until done)
     GET  /api/v1/health                  liveness + worker heartbeats
     GET  /api/v1/stats                   store/queue/lease counters
+    GET  /metrics                        Prometheus text exposition (not JSON)
 
 Errors are ``{"error": ...}`` with conventional codes: 400 invalid request,
 404 unknown job/route/format, 409 artifacts requested before the job's cells
@@ -29,11 +30,15 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.analysis.store import ResultStore, lease_ttl_seconds
+from repro.obs.metrics import PROM_CONTENT_TYPE, metrics_enabled, render_merged
+from repro.obs.metrics import inc as metrics_inc
+from repro.obs.trace import active_tracer, trace_mode, trace_span
 from repro.serve.chaos import active_chaos
 from repro.serve.jobs import JobIncompleteError, JobStore, JobValidationError, compose_artifacts
 from repro.serve.workers import SweepWorker, WorkerSupervisor, list_workers
@@ -149,9 +154,20 @@ class _Handler(BaseHTTPRequestHandler):
     # -- methods ---------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
-        """POST router: job submission only."""
+        """POST entry: count the request, maybe trace it, then route."""
+        metrics_inc("repro_http_requests_total", method="POST")
         if self._chaos_preempt():
             return
+        with trace_span(
+            getattr(self.server, "tracer", None),
+            "http.request",
+            method="POST",
+            path=urlparse(self.path).path,
+        ):
+            self._route_post()
+
+    def _route_post(self) -> None:
+        """POST router: job submission only."""
         parts = [p for p in urlparse(self.path).path.split("/") if p]
         if parts == ["api", "v1", "jobs"]:
             doc = self._read_body()
@@ -167,11 +183,31 @@ class _Handler(BaseHTTPRequestHandler):
         self._error(404, f"no such route: POST {self.path}")
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        """GET router: statuses, events, artifacts, health, stats."""
+        """GET entry: count the request, maybe trace it, then route."""
+        metrics_inc("repro_http_requests_total", method="GET")
         if self._chaos_preempt():
             return
+        with trace_span(
+            getattr(self.server, "tracer", None),
+            "http.request",
+            method="GET",
+            path=urlparse(self.path).path,
+        ):
+            self._route_get()
+
+    def _route_get(self) -> None:
+        """GET router: statuses, events, artifacts, health, stats, metrics."""
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        if parts == ["metrics"]:
+            # Prometheus convention: the scrape endpoint lives at the root,
+            # outside the JSON API namespace.
+            if not metrics_enabled():
+                self._error(404, "metrics exposition disabled (REPRO_METRICS=off)")
+                return
+            body = self.server.metrics_text().encode("utf-8")
+            self._send(200, body, PROM_CONTENT_TYPE)
+            return
         if parts[:2] != ["api", "v1"]:
             self._error(404, f"no such route: GET {self.path}")
             return
@@ -283,6 +319,9 @@ class ReproServer:
         self.httpd.stats = self.stats  # type: ignore[attr-defined]
         self.httpd.compose = self.compose  # type: ignore[attr-defined]
         self.httpd.chaos = active_chaos(self.store.root)  # type: ignore[attr-defined]
+        self.httpd.tracer = active_tracer(self.store.root)  # type: ignore[attr-defined]
+        self.httpd.metrics_text = self.metrics_text  # type: ignore[attr-defined]
+        self.started_at = time.time()
         self._thread: Optional[threading.Thread] = None
         self.supervisor: Optional[WorkerSupervisor] = (
             WorkerSupervisor(
@@ -326,6 +365,31 @@ class ReproServer:
             self._compose_cache[memo_key] = texts
         return texts
 
+    def metrics_text(self) -> str:
+        """The Prometheus exposition: this process's registry + worker snapshots.
+
+        The uptime gauge is refreshed at scrape time; external workers'
+        counters arrive via the snapshot files they publish on the liveness
+        cadence (snapshots from this pid are skipped — embedded worker
+        threads already share the process registry).
+        """
+        from repro.obs.metrics import registry
+
+        registry().gauge("repro_uptime_seconds").set(time.time() - self.started_at)
+        return render_merged(self.store.root)
+
+    def _config_doc(self) -> Dict[str, Any]:
+        """The resolved runtime configuration an operator needs at a glance."""
+        import repro
+
+        chaos = getattr(self.httpd, "chaos", None)
+        return {
+            "version": repro.__version__,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "chaos_profile": chaos.profile.canonical if chaos is not None else None,
+            "trace_mode": trace_mode(),
+        }
+
     def health(self) -> Dict[str, Any]:
         """The health document: queue depth, heartbeats, and supervision."""
         pending = self.jobs.pending_jobs()
@@ -337,6 +401,7 @@ class ReproServer:
             "workers_alive": sum(1 for w in workers if w.get("alive")),
             "workers_stale": sum(1 for w in workers if w.get("stale")),
             "lease_ttl_s": self.ttl_s,
+            **self._config_doc(),
         }
         if self.supervisor is not None:
             doc["supervisor"] = self.supervisor.stats()
@@ -370,6 +435,7 @@ class ReproServer:
                 "quarantined": quarantined_cells,
             },
             "reclaims": sum(w.leases.reclaims for w in self.workers),
+            "config": self._config_doc(),
         }
         if self.supervisor is not None:
             doc["supervisor"] = self.supervisor.stats()

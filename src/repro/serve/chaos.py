@@ -251,6 +251,12 @@ class ChaosEngine:
         """Record one injection (atomic single-line append) and count it."""
         with self._lock:
             self.injected[site] = self.injected.get(site, 0) + 1
+        try:
+            from repro.obs.metrics import inc as _metrics_inc
+
+            _metrics_inc("repro_chaos_injections_total", site=site)
+        except ImportError:  # pragma: no cover - metrics layer absent
+            pass
         if self.root is None:
             return
         line = json.dumps(

@@ -517,6 +517,7 @@ class JobStore:
         seen_keys: set = set()
         computed_events = 0
         retry_events = 0
+        compute_s = 0.0
         workers: Dict[str, Dict[str, int]] = {}
         quarantined: Dict[str, Dict[str, Any]] = {}
         for event in events:
@@ -526,6 +527,13 @@ class JobStore:
             elif event.get("type") == "cell":
                 key = event.get("key", "?")
                 seen_keys.add(key)
+                # Cached cells carry the *original* compute cost from their
+                # store record, so compute_s reflects the grid's true cost
+                # even on a fully warm re-run.
+                try:
+                    compute_s += float(event.get("elapsed_s", 0.0) or 0.0)
+                except (TypeError, ValueError):
+                    pass
                 stats = workers.setdefault(owner, {"computed": 0, "cached": 0})
                 if event.get("cached"):
                     stats["cached"] += 1
@@ -568,6 +576,7 @@ class JobStore:
                 "computed": computed_events,
                 "cached": len(seen_keys - computed_keys),
                 "retries": retry_events,
+                "compute_s": round(compute_s, 6),
             },
             "workers": workers,
             "quarantined": sorted(quarantined.values(), key=lambda q: str(q["key"])),

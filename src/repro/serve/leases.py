@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Set
 
 from repro.analysis.store import ResultStore, lease_ttl_seconds
+from repro.obs.metrics import inc as metrics_inc
 from repro.serve.chaos import active_chaos
 
 #: Format tag inside lease documents (independent of the record format).
@@ -248,6 +249,7 @@ class LeaseStore:
         except OSError:
             return False
         self.reclaims += 1
+        metrics_inc("repro_lease_reclaims_total")
         try:
             os.remove(tomb)
         except OSError:

@@ -26,6 +26,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.runner import ExperimentEngine, ExperimentSpec, run_cell
 from repro.analysis.store import ResultStore, cell_attempt_budget, lease_ttl_seconds
+from repro.obs.metrics import inc as metrics_inc
+from repro.obs.metrics import observe as metrics_observe
+from repro.obs.metrics import write_snapshot
+from repro.obs.trace import trace_span
 from repro.serve.chaos import ChaosInjectedCellError, WorkerKilled, active_chaos
 from repro.serve.jobs import WORKERS_SUBDIR, JobStore, execute_request
 from repro.serve.leases import LeaseHeartbeat, LeaseStore, default_owner_id
@@ -164,88 +168,123 @@ class LeaseDrainEngine(ExperimentEngine):
         record = self.store.get(spec)
         if record is not None:
             payloads[i] = record.payload
-            self._count_cached(spec, key)
+            self._count_cached(spec, key, record.elapsed_s)
             return True
         poison = self.store.read_poison(key)
         if poison is not None:
             raise CellQuarantinedError(key, poison)
-        if not self.leases.acquire(key):
-            return False  # live foreign lease: poll again later
+        owner = self.leases.owner
+        with trace_span(self._tracer, "cell.claim", key, worker=owner) as claim_span:
+            if not self.leases.acquire(key):
+                # A lost claim race is a non-event: it happens once per poll
+                # for every foreign-leased cell, so the span is discarded.
+                claim_span.cancel()
+                return False  # live foreign lease: poll again later
         skip_release = False
-        try:
-            # Re-check under the lease: the previous holder may have
-            # committed (or poisoned) between our store miss and our acquire.
-            record = self.store.get(spec)
-            if record is not None:
-                payloads[i] = record.payload
-                self._count_cached(spec, key)
-                return True
-            poison = self.store.read_poison(key)
-            if poison is not None:
-                raise CellQuarantinedError(key, poison)
-            attempt = self.store.claim_attempt(key, self.leases.owner)
-            if attempt is None:
-                self._quarantine(key)
-            stall = False
-            if self._chaos is not None:
-                try:
-                    self._chaos.maybe_kill(key, attempt, hard=self.hard_kill)
-                except WorkerKilled:
-                    skip_release = True  # a killed worker releases nothing
-                    raise
-                stall = self._chaos.stall_heartbeat(key, attempt)
+        with trace_span(
+            self._tracer,
+            "cell",
+            key,
+            worker=owner,
+            cell_kind=spec.kind,
+            benchmark=spec.benchmark,
+        ) as cell_span:
             try:
-                with self.heartbeat.guard(key, stall=stall):
-                    t0 = time.perf_counter()
-                    if self._chaos is not None:
-                        self._chaos.slow_cell(key, attempt)
-                        if self._chaos.cell_fails(key, attempt):
-                            raise ChaosInjectedCellError(
-                                f"injected failure at cell {key[:12]} "
-                                f"attempt {attempt}"
-                            )
-                    payload = run_cell(spec)
-                    elapsed = time.perf_counter() - t0
-                if key in self.heartbeat.lost:
-                    self.cells_duplicated += 1
-                retry_call(
-                    lambda: self.store.put(spec, payload, elapsed_s=elapsed),
-                    policy=RetryPolicy(
-                        max_attempts=4, base_delay_s=0.01, max_delay_s=0.1
-                    ),
-                    retryable=(OSError,),
-                    describe=f"store put {key[:12]}",
-                )
-            except WorkerKilled:
-                skip_release = True
-                raise
-            except Exception as exc:
-                message = "".join(
-                    traceback.format_exception_only(type(exc), exc)
-                ).strip()
-                self.store.record_attempt_failure(key, attempt, message)
-                self.cells_retried += 1
-                if self.emit is not None:
-                    self.emit(
-                        {
-                            "type": "retry",
-                            "key": key,
-                            "attempt": attempt,
-                            "error": message,
-                            "t": time.time(),
-                        }
-                    )
-                if attempt + 1 >= cell_attempt_budget():
+                # Re-check under the lease: the previous holder may have
+                # committed (or poisoned) between our store miss and our acquire.
+                record = self.store.get(spec)
+                if record is not None:
+                    payloads[i] = record.payload
+                    self._count_cached(spec, key, record.elapsed_s)
+                    cell_span.set(outcome="cached")
+                    return True
+                poison = self.store.read_poison(key)
+                if poison is not None:
+                    raise CellQuarantinedError(key, poison)
+                attempt = self.store.claim_attempt(key, owner)
+                if attempt is None:
                     self._quarantine(key)
-                return False  # back to pending; the next claim takes attempt+1
-            self.store.clear_attempts(key)
-            payloads[i] = payload
-            self.cells_computed += 1
-            self._emit_cell(spec, key, cached=False, elapsed_s=elapsed)
-            return True
-        finally:
-            if not skip_release:
-                self.leases.release(key)
+                cell_span.set(attempt=attempt)
+                stall = False
+                if self._chaos is not None:
+                    try:
+                        self._chaos.maybe_kill(key, attempt, hard=self.hard_kill)
+                    except WorkerKilled:
+                        skip_release = True  # a killed worker releases nothing
+                        raise
+                    stall = self._chaos.stall_heartbeat(key, attempt)
+                try:
+                    with trace_span(
+                        self._tracer,
+                        "cell.compute",
+                        key,
+                        cell_kind=spec.kind,
+                        benchmark=spec.benchmark,
+                        attempt=attempt,
+                        worker=owner,
+                    ):
+                        with self.heartbeat.guard(key, stall=stall):
+                            t0 = time.perf_counter()
+                            if self._chaos is not None:
+                                self._chaos.slow_cell(key, attempt)
+                                if self._chaos.cell_fails(key, attempt):
+                                    raise ChaosInjectedCellError(
+                                        f"injected failure at cell {key[:12]} "
+                                        f"attempt {attempt}"
+                                    )
+                            payload = run_cell(spec)
+                            elapsed = time.perf_counter() - t0
+                    if key in self.heartbeat.lost:
+                        self.cells_duplicated += 1
+                        metrics_inc("repro_cells_duplicated_total")
+                    with trace_span(self._tracer, "cell.put", key, worker=owner):
+                        retry_call(
+                            lambda: self.store.put(spec, payload, elapsed_s=elapsed),
+                            policy=RetryPolicy(
+                                max_attempts=4, base_delay_s=0.01, max_delay_s=0.1
+                            ),
+                            retryable=(OSError,),
+                            describe=f"store put {key[:12]}",
+                        )
+                except WorkerKilled:
+                    skip_release = True
+                    raise
+                except Exception as exc:
+                    message = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                    self.store.record_attempt_failure(key, attempt, message)
+                    self.cells_retried += 1
+                    metrics_inc("repro_cell_retries_total")
+                    cell_span.set(outcome="retry")
+                    if self._tracer is not None:
+                        self._tracer.mark(
+                            "cell.retry", key, attempt=attempt, worker=owner
+                        )
+                    if self.emit is not None:
+                        self.emit(
+                            {
+                                "type": "retry",
+                                "key": key,
+                                "attempt": attempt,
+                                "error": message,
+                                "t": time.time(),
+                            }
+                        )
+                    if attempt + 1 >= cell_attempt_budget():
+                        self._quarantine(key)
+                    return False  # back to pending; the next claim takes attempt+1
+                self.store.clear_attempts(key)
+                payloads[i] = payload
+                self.cells_computed += 1
+                metrics_inc("repro_cells_computed_total")
+                metrics_observe("repro_cell_compute_seconds", elapsed)
+                cell_span.set(outcome="computed")
+                self._emit_cell(spec, key, cached=False, elapsed_s=elapsed)
+                return True
+            finally:
+                if not skip_release:
+                    self.leases.release(key)
 
     def _quarantine(self, key: str) -> None:
         """Poison a cell whose attempt budget is spent; always raises.
@@ -267,6 +306,7 @@ class LeaseDrainEngine(ExperimentEngine):
         }
         if not self.store.write_poison(key, doc):
             doc = self.store.read_poison(key) or doc
+        metrics_inc("repro_cells_quarantined_total")
         if self.emit is not None:
             self.emit(
                 {
@@ -279,10 +319,18 @@ class LeaseDrainEngine(ExperimentEngine):
             )
         raise CellQuarantinedError(key, doc)
 
-    def _count_cached(self, spec: ExperimentSpec, key: str) -> None:
-        """Account one cache hit (computed here earlier, elsewhere, or ever)."""
+    def _count_cached(
+        self, spec: ExperimentSpec, key: str, elapsed_s: Optional[float] = None
+    ) -> None:
+        """Account one cache hit (computed here earlier, elsewhere, or ever).
+
+        ``elapsed_s`` is the *original* compute cost carried by the store
+        record, so job status can report total compute seconds even when
+        every cell of a re-run is warm.
+        """
         self.cells_cached += 1
-        self._emit_cell(spec, key, cached=True)
+        metrics_inc("repro_cells_cached_total")
+        self._emit_cell(spec, key, cached=True, elapsed_s=elapsed_s)
 
     def _emit_cell(
         self,
@@ -404,6 +452,10 @@ class SweepWorker:
             os.replace(tmp, path)
         except OSError:  # pragma: no cover - liveness is best-effort
             pass
+        # Piggyback the metrics snapshot on the liveness cadence so the
+        # frontend's /metrics merge sees this worker's counters even when the
+        # worker runs in a separate process (or on another machine).
+        write_snapshot(self.store.root, self.owner)
 
     # -- draining --------------------------------------------------------------
 
@@ -645,6 +697,7 @@ class WorkerSupervisor:
                 slot["next_restart_at"] = 0.0
                 slot["restarts"] += 1
                 self.restarts += 1
+                metrics_inc("repro_worker_restarts_total")
                 self._spawn(slot)
 
     def stats(self) -> Dict[str, int]:

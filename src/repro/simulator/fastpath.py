@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.trace import active_tracer, trace_span
 from repro.runtime.compiled import CompiledGraph, compile_graph
 from repro.runtime.graph import TaskGraph
 from repro.simulator import backend as _backends
@@ -338,9 +339,12 @@ def simulate_compiled(
     """
     config = config if config is not None else SimulationConfig()
     chosen = _backends.resolve_backend(backend)
-    if chosen.name != "python" and cache.n > 0 and machine.n_nodes >= 1:
-        return _replay_kernel_batch(cache, machine, config, [config.seed], chosen, configs=[config])[0]
-    return _simulate_python(cache, machine, config)
+    with trace_span(
+        active_tracer(), "sim.dispatch", backend=chosen.name, tasks=cache.n, lanes=1
+    ):
+        if chosen.name != "python" and cache.n > 0 and machine.n_nodes >= 1:
+            return _replay_kernel_batch(cache, machine, config, [config.seed], chosen, configs=[config])[0]
+        return _simulate_python(cache, machine, config)
 
 
 def _simulate_python(
@@ -377,11 +381,18 @@ def simulate_compiled_batch(
     if not seeds:
         return []
     chosen = _backends.resolve_backend(backend)
-    if chosen.name == "python" or cache.n == 0 or machine.n_nodes < 1:
-        return [
-            _simulate_python(cache, machine, replace(config, seed=int(s))) for s in seeds
-        ]
-    return _replay_kernel_batch(cache, machine, config, seeds, chosen)
+    with trace_span(
+        active_tracer(),
+        "sim.dispatch",
+        backend=chosen.name,
+        tasks=cache.n,
+        lanes=len(seeds),
+    ):
+        if chosen.name == "python" or cache.n == 0 or machine.n_nodes < 1:
+            return [
+                _simulate_python(cache, machine, replace(config, seed=int(s))) for s in seeds
+            ]
+        return _replay_kernel_batch(cache, machine, config, seeds, chosen)
 
 
 def _max_draws(n_replicated: int, n_plain: int, config: SimulationConfig) -> int:

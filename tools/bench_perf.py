@@ -45,6 +45,27 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+def _peak_rss_bytes(children: bool) -> int:
+    """Peak RSS so far, in bytes (``ru_maxrss`` is KiB on Linux, bytes on macOS).
+
+    ``children=True`` reads the maximum over reaped child processes — the
+    right scope for subprocess-driven targets; ``children=False`` reads this
+    process (the in-process serve benchmark).
+    """
+    import resource
+
+    who = resource.RUSAGE_CHILDREN if children else resource.RUSAGE_SELF
+    peak = resource.getrusage(who).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def _sim_backend_name() -> str:
+    """The simulator backend this machine resolves by default."""
+    from repro.simulator import backend as _backends
+
+    return _backends.resolve_backend(None).name
+
+
 def _run_cli(target: str, scale: float, cache_dir: str, out_dir: str) -> float:
     """One timed ``repro run`` invocation; returns elapsed seconds."""
     env = dict(os.environ)
@@ -100,6 +121,8 @@ def bench_target(target: str, scale: float, repeats: int) -> dict:
         "fully_cold_s": round(fully_cold, 4),
         "cold_results_warm_graphs_s": [round(t, 4) for t in warm_runs],
         "median_s": round(statistics.median(warm_runs), 4),
+        "peak_rss_bytes": _peak_rss_bytes(children=True),
+        "sim_backend": _sim_backend_name(),
         "python": sys.version.split()[0],
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
@@ -158,6 +181,8 @@ def bench_serve(scale: float, repeats: int) -> dict:
         "fully_cold_s": round(cold_s, 4),
         "warm_resubmit_s": [round(t, 4) for t in warm_runs],
         "median_s": round(statistics.median(warm_runs), 4),
+        "peak_rss_bytes": _peak_rss_bytes(children=False),
+        "sim_backend": _sim_backend_name(),
         "python": sys.version.split()[0],
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
@@ -172,6 +197,8 @@ _HISTORY_KEYS = (
     "cold_results_warm_graphs_s",
     "warm_resubmit_s",
     "median_s",
+    "peak_rss_bytes",
+    "sim_backend",
     "python",
     "recorded_at",
     "code_version",
