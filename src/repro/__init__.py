@@ -58,7 +58,7 @@ from repro._lazy import lazy_exports
 #: compiled-graph store (:func:`repro.runtime.compiled.compiled_key`) — so
 #: bumping it invalidates all cached cells and compiled graphs; run
 #: ``repro cache gc`` to reclaim the old generation.
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: Public name -> defining package, resolved lazily on first access (see
 #: :mod:`repro._lazy`): ``repro run fig5`` never pays for the functional

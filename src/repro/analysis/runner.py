@@ -134,6 +134,22 @@ def graph_cache_root() -> str:
     return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
 
 
+#: Environment switch for direct spec→CompiledGraph generation of workloads
+#: (``repro.workloads.direct``).  On by default: the direct path is pinned
+#: byte-identical to lowering an object graph, so cache keys *and* cache
+#: contents are unchanged — the switch exists to fall back to the object
+#: path when diagnosing a suspected generator divergence.
+DIRECT_GEN_ENV = "REPRO_DIRECT_GEN"
+
+
+def direct_gen_enabled() -> bool:
+    """Whether workload graphs are emitted directly to compiled arrays."""
+    env = os.environ.get(DIRECT_GEN_ENV)
+    if env is not None:
+        return env.strip().lower() not in ("0", "false", "no", "")
+    return True
+
+
 def default_fast() -> bool:
     """Whether drivers use the vectorized fast path by default."""
     if _DEFAULTS["fast"] is not None:
@@ -271,6 +287,7 @@ def compiled_sim_cache(
     cache = _COMPILED_CACHE.get(key)
     if cache is not None:
         return cache
+    direct_spec = _direct_workload_spec(name, n_nodes)
     if graph_cache_enabled():
         tracer = active_tracer()
         store = CompiledGraphStore(graph_cache_root())
@@ -278,18 +295,61 @@ def compiled_sim_cache(
             compiled = store.load(name, scale, n_nodes)
             span.set(hit=compiled is not None)
         if compiled is None:
-            with trace_span(tracer, "graph.compile", benchmark=name, scale=scale):
-                t0 = time.perf_counter()
-                compiled = compile_graph(benchmark_graph(name, scale, n_nodes))
-                store.save(
-                    name, scale, compiled, n_nodes, elapsed_s=time.perf_counter() - t0
-                )
+            if direct_spec is not None:
+                from repro.workloads.direct import generate_compiled
+
+                with trace_span(tracer, "graph.generate", benchmark=name, scale=scale):
+                    t0 = time.perf_counter()
+                    generated = generate_compiled(direct_spec, scale)
+                    store.save(
+                        direct_spec.canonical,
+                        scale,
+                        generated,
+                        n_nodes,
+                        elapsed_s=time.perf_counter() - t0,
+                    )
+                    del generated
+                # Reload memory-mapped: the freshly written arrays are then
+                # backed by the store file, not by anonymous process memory —
+                # the property the out-of-core replay relies on.
+                compiled = store.load(name, scale, n_nodes)
+            if compiled is None:
+                with trace_span(tracer, "graph.compile", benchmark=name, scale=scale):
+                    t0 = time.perf_counter()
+                    compiled = compile_graph(benchmark_graph(name, scale, n_nodes))
+                    store.save(
+                        name, scale, compiled, n_nodes, elapsed_s=time.perf_counter() - t0
+                    )
         cache = SimGraphCache.from_compiled(compiled)
+    elif direct_spec is not None:
+        from repro.workloads.direct import generate_compiled
+
+        with trace_span(
+            active_tracer(), "graph.generate", benchmark=name, scale=scale
+        ):
+            cache = SimGraphCache.from_compiled(generate_compiled(direct_spec, scale))
     else:
         graph = benchmark_graph(name, scale, n_nodes)
         cache = sim_cache(graph)
     _COMPILED_CACHE[key] = cache
     return cache
+
+
+def _direct_workload_spec(name: str, n_nodes: Optional[int]) -> Optional[Any]:
+    """The parsed spec when ``name`` should use direct generation, else None.
+
+    Direct emission covers workload benchmarks at their registry placement
+    (``n_nodes is None`` — workload tasks carry no explicit node attribute, so
+    distributed re-placements still go through the object path) and honours
+    the ``REPRO_DIRECT_GEN`` kill switch.
+    """
+    if n_nodes is not None or not direct_gen_enabled():
+        return None
+    from repro.workloads import is_workload_name, parse_workload
+
+    if not is_workload_name(name):
+        return None
+    return parse_workload(name)
 
 
 def _pool_worker_init(graph_enabled: bool, graph_root: str) -> None:

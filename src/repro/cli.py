@@ -57,6 +57,7 @@ from repro.analysis.targets import (
     resolve_targets,
     workload_sweep_recorded_text,
 )
+from repro.obs.maintenance import obs_clear, obs_gc, obs_stats
 from repro.obs.trace import configure_trace_root
 from repro.runtime.compiled import CompiledGraphStore, workload_max_age_seconds
 from repro.util.units import format_bytes
@@ -323,6 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="gen only: write the generated graph as a trace JSON file "
         "(re-importable via trace:file=FILE)",
     )
+    workloads.add_argument(
+        "--store",
+        action="store_true",
+        help="gen only: emit the graph directly into the compiled-graph "
+        "store as flat arrays (no per-task Python objects — the only "
+        "practical path beyond ~10^6 tasks)",
+    )
+    workloads.add_argument("--cache-dir", default=None, metavar="DIR")
 
     serve = sub.add_parser(
         "serve",
@@ -771,6 +780,32 @@ def _run_workloads(args: argparse.Namespace) -> int:
         print(f"repro: {exc.args[0]}", file=sys.stderr)
         return 2
 
+    if args.store and args.action == "gen":
+        if args.out:
+            print(
+                "repro: workloads gen --store and --out are mutually exclusive "
+                "(trace export walks the object graph the direct path avoids)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.workloads import generate_compiled
+
+        store = CompiledGraphStore(args.cache_dir)
+        t0 = time.perf_counter()
+        compiled = generate_compiled(spec, args.scale)
+        elapsed = time.perf_counter() - t0
+        key = store.save(
+            spec.canonical, args.scale, compiled, None, elapsed_s=elapsed
+        )
+        print(f"canonical : {spec.canonical}")
+        print(f"scale     : {args.scale:g}")
+        print(f"tasks     : {compiled.n}")
+        print(f"edges     : {len(compiled.succ_indices)}")
+        print(f"generated : {elapsed:.3f} s (direct — no object graph)")
+        print(f"store key : {key}")
+        print(f"store file: {store.path_for(key)}")
+        return 0
+
     bench = WorkloadBenchmark(spec, scale=args.scale)
     graph = bench.build_graph()
     stats = graph.stats()
@@ -871,6 +906,16 @@ def _run_cache(args: argparse.Namespace) -> int:
             f"{v} x{n}" for v, n in sorted(gstats["code_versions"].items())
         )
         print(f"graph versions : {gversions or '(none)'}")
+        ostats = obs_stats(store.root)
+        print(
+            f"obs trace      : {format_bytes(ostats['trace_bytes'])} live, "
+            f"{ostats['rotated_segments']} rotated segment(s) "
+            f"({format_bytes(ostats['rotated_bytes'])})"
+        )
+        print(
+            f"obs metrics    : {ostats['metrics_snapshots']} snapshot(s) "
+            f"({format_bytes(ostats['metrics_bytes'])})"
+        )
         return 0
     if args.action == "gc":
         max_age = args.workload_max_age
@@ -898,11 +943,25 @@ def _run_cache(args: argparse.Namespace) -> int:
                 f"gc: WARNING: {gremoved['skipped']} unremovable path(s) skipped "
                 f"in {graphs.root}"
             )
+        oremoved = obs_gc(store.root, max_age_s=max_age if max_age > 0 else None)
+        print(
+            f"gc: removed {oremoved['rotated_segments']} rotated trace segment(s), "
+            f"{oremoved['metrics_snapshots']} stale metrics snapshot(s) from obs/"
+        )
+        if oremoved["skipped"]:
+            print(
+                f"gc: WARNING: {oremoved['skipped']} unremovable obs path(s) skipped"
+            )
         return 0
     removed = store.clear()
     gremoved = graphs.clear()
+    oremoved = obs_clear(store.root)
     print(f"clear: removed {removed} record(s) from {store.root}")
     print(f"clear: removed {gremoved} compiled graph(s) from {graphs.root}")
+    print(
+        f"clear: removed {oremoved['trace'] + oremoved['rotated_segments']} trace "
+        f"file(s), {oremoved['metrics_snapshots']} metrics snapshot(s) from obs/"
+    )
     return 0
 
 

@@ -35,10 +35,13 @@ _EXPORTS = {
     "MetricsRegistry": "repro.obs.metrics",
     "registry": "repro.obs.metrics",
     "render_prometheus": "repro.obs.metrics",
+    "obs_stats": "repro.obs.maintenance",
+    "obs_gc": "repro.obs.maintenance",
+    "obs_clear": "repro.obs.maintenance",
 }
 
 __getattr__, __dir__ = lazy_exports(
-    __name__, _EXPORTS, submodules=("metrics", "report", "trace")
+    __name__, _EXPORTS, submodules=("maintenance", "metrics", "report", "trace")
 )
 
 __all__ = sorted(_EXPORTS)

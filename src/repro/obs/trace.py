@@ -54,6 +54,34 @@ TRACE_MODES = ("off", "light", "full")
 OBS_SUBDIR = "obs"
 TRACE_LOG_NAME = "trace.jsonl"
 
+#: Environment variable capping the live trace journal size (bytes).  When an
+#: append would push ``trace.jsonl`` past the cap, the journal is atomically
+#: renamed to a ``trace-<ns>-<pid>.jsonl`` segment and a fresh journal starts.
+#: ``repro cache gc`` sweeps rotated segments; ``<= 0`` disables rotation.
+TRACE_MAX_BYTES_ENV = "REPRO_TRACE_MAX_BYTES"
+
+#: Default journal cap: large enough that a full nightly sweep fits in one
+#: segment, small enough that a forgotten ``REPRO_TRACE=full`` service loop
+#: cannot fill a disk before gc runs.
+DEFAULT_TRACE_MAX_BYTES = 64 * 1024 * 1024
+
+#: Rotated segments are ``trace-<ns>-<pid>.jsonl`` (the prefix the obs
+#: maintenance sweep matches; the live journal never matches it).
+ROTATED_TRACE_PREFIX = "trace-"
+
+
+def trace_max_bytes() -> int:
+    """The journal rotation cap (``$REPRO_TRACE_MAX_BYTES``; ``<= 0`` = off)."""
+    raw = os.environ.get(TRACE_MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_TRACE_MAX_BYTES
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{TRACE_MAX_BYTES_ENV}={raw!r} is not an integer byte count"
+        ) from None
+
 #: Sites recorded in ``light`` mode — the coarse cell lifecycle only.  Every
 #: other site (claim/put bookkeeping, graph loads, simulator dispatch, HTTP)
 #: requires ``full``.  Unknown sites default to ``full`` so a new span site is
@@ -261,10 +289,36 @@ class Tracer:
             if not self._dir_ready:
                 os.makedirs(os.path.dirname(self.path), exist_ok=True)
                 self._dir_ready = True
+            self._maybe_rotate(len(line))
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(line)
         except OSError:  # pragma: no cover - tracing is observability only
             pass
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        """Rotate the journal when one more line would exceed the size cap.
+
+        The live file is renamed (atomic on POSIX) to a uniquely named
+        segment; a concurrent appender either lands its line just before the
+        rename — the segment keeps it — or re-opens the fresh journal on its
+        next append.  A lost rotation race surfaces as ``FileNotFoundError``
+        from ``os.replace`` and is swallowed by :meth:`_append`'s handler:
+        the other process already moved the file.
+        """
+        cap = trace_max_bytes()
+        if cap <= 0:
+            return
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return  # no journal yet — nothing to rotate
+        if size <= 0 or size + incoming <= cap:
+            return
+        rotated = os.path.join(
+            os.path.dirname(self.path),
+            f"{ROTATED_TRACE_PREFIX}{time.time_ns():d}-{os.getpid()}.jsonl",
+        )
+        os.replace(self.path, rotated)
 
 
 def trace_span(

@@ -526,7 +526,21 @@ class CompiledGraphStore:
             arrays = load_npz_arrays(path, mmap=mmap)
             compiled = CompiledGraph(**{f: arrays[f] for f in ARRAY_FIELDS})
             compiled.validate()
-        except (KeyError, ValueError, OSError, zipfile.BadZipFile):
+        except (
+            KeyError,
+            ValueError,
+            OSError,
+            zipfile.BadZipFile,
+            # A torn zip need not fail cleanly: corruption overlapping the
+            # central directory can make ``np.load`` hand back raw ``bytes``
+            # for a member (no ``.shape`` → AttributeError in validate), and
+            # truncation inside a header surfaces as EOFError/struct.error
+            # from the zip machinery.  All of it is the same condition — an
+            # interrupted or damaged write — so it all quarantines.
+            AttributeError,
+            EOFError,
+            struct.error,
+        ):
             self._quarantine(key)
             return None
         return compiled

@@ -31,6 +31,8 @@ harness's ``--reference`` flag) to fall back to the reference implementation.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -64,6 +66,30 @@ _READY, _FREE, _SPARE_FREE, _COMPLETE = 0, 1, 2, 3
 #: golden artifacts pin the resulting draw sequence.)
 _DRAW_CHUNK = 4096
 
+#: Environment knob selecting the streaming chunk size of the pure-Python
+#: replay: graphs larger than this many tasks walk the event loop against
+#: chunked replay-term slices instead of materialising all ten O(n) term
+#: arrays (and their Python-list views) up front.  ``0`` disables streaming.
+SIM_CHUNK_ENV = "REPRO_SIM_CHUNK_TASKS"
+
+#: Default streaming chunk: small enough that a handful of resident chunks
+#: stay in the tens of megabytes, large enough that the frontier of any
+#: reasonable graph rarely straddles more than two or three chunks.
+DEFAULT_SIM_CHUNK_TASKS = 65536
+
+
+def sim_chunk_tasks() -> int:
+    """The streaming chunk size (``$REPRO_SIM_CHUNK_TASKS``; ``<= 0`` disables)."""
+    raw = os.environ.get(SIM_CHUNK_ENV, "").strip()
+    if not raw:
+        return DEFAULT_SIM_CHUNK_TASKS
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SIM_CHUNK_ENV}={raw!r} is not an integer task count"
+        ) from None
+
 
 @dataclass
 class _ReplayArrays:
@@ -84,6 +110,61 @@ class _ReplayArrays:
     overhead_rep: List[float]  #: replicated fault-free overhead
     restore_dur: List[float]  #: crash+crash recovery (restore + re-execute)
     restore_dur_vote: List[float]  #: sdc-mismatch recovery (restore + re-execute + vote)
+
+
+def _replay_terms(
+    durations: np.ndarray,
+    mem_bytes: np.ndarray,
+    input_bytes: np.ndarray,
+    output_bytes: np.ndarray,
+    machine: MachineSpec,
+    costs: ReplicationCostModel,
+    contention: bool,
+) -> Tuple[np.ndarray, ...]:
+    """The ten per-task replay-term arrays of one (costs, bandwidth) key.
+
+    Every expression reproduces the reference loop's scalar arithmetic with
+    the same association order, element-wise — which is what keeps the replay
+    bit-identical while moving ~15 float operations per task out of the event
+    loop.  All operations are element-wise, so calling this on aligned array
+    *slices* yields exactly the corresponding slice of the full-graph result —
+    the invariant the streaming replay's chunked view relies on.
+
+    The tuple order matches the ``_ReplayArrays`` fields and the kernel
+    argument order: dur, mem, core_busy0, rep_core_busy, completion_spare,
+    core_busy_nospare, completion_nospare, overhead_rep, restore_dur,
+    restore_dur_vote.
+    """
+    checkpoint = costs.checkpoint_latency_s + input_bytes / costs.checkpoint_bandwidth_Bps
+    restore = costs.restore_latency_s + input_bytes / costs.checkpoint_bandwidth_Bps
+    compare = costs.compare_latency_s + output_bytes / costs.compare_bandwidth_Bps
+    vote = costs.compare_latency_s + output_bytes / costs.vote_bandwidth_Bps
+    if contention:
+        dur = np.maximum(durations, mem_bytes / machine.memory_bandwidth_Bps)
+    else:
+        dur = durations
+    decision_s = costs.decision_s
+    creation_s = costs.replica_creation_s
+    core_busy0 = decision_s + dur
+    rep_core_busy = core_busy0 + creation_s
+    replica_path = (checkpoint + dur) + compare
+    replica_tail = creation_s + replica_path
+    core_busy_nospare = rep_core_busy + replica_path
+    return tuple(
+        np.ascontiguousarray(a, dtype=np.float64)
+        for a in (
+            dur,
+            mem_bytes,
+            core_busy0,
+            rep_core_busy,
+            np.maximum(rep_core_busy, replica_tail),
+            core_busy_nospare,
+            np.maximum(core_busy_nospare, replica_tail),
+            (decision_s + creation_s) + (checkpoint + compare),
+            restore + dur,
+            (restore + dur) + vote,
+        )
+    )
 
 
 class SimGraphCache:
@@ -234,41 +315,14 @@ class SimGraphCache:
         key = (costs, bool(contention), machine.memory_bandwidth_Bps)
         cached = self._replay_np.get(key)
         if cached is None:
-            checkpoint = (
-                costs.checkpoint_latency_s + self.input_bytes / costs.checkpoint_bandwidth_Bps
-            )
-            restore = (
-                costs.restore_latency_s + self.input_bytes / costs.checkpoint_bandwidth_Bps
-            )
-            compare = (
-                costs.compare_latency_s + self.output_bytes / costs.compare_bandwidth_Bps
-            )
-            vote = costs.compare_latency_s + self.output_bytes / costs.vote_bandwidth_Bps
-            if contention:
-                dur = np.maximum(self.durations, self.mem_bytes / machine.memory_bandwidth_Bps)
-            else:
-                dur = self.durations
-            decision_s = costs.decision_s
-            creation_s = costs.replica_creation_s
-            core_busy0 = decision_s + dur
-            rep_core_busy = core_busy0 + creation_s
-            replica_path = (checkpoint + dur) + compare
-            replica_tail = creation_s + replica_path
-            core_busy_nospare = rep_core_busy + replica_path
-            cached = tuple(
-                np.ascontiguousarray(a, dtype=np.float64)
-                for a in (
-                    dur,
-                    self.mem_bytes,
-                    core_busy0,
-                    rep_core_busy,
-                    np.maximum(rep_core_busy, replica_tail),
-                    core_busy_nospare,
-                    np.maximum(core_busy_nospare, replica_tail),
-                    (decision_s + creation_s) + (checkpoint + compare),
-                    restore + dur,
-                    (restore + dur) + vote,
-                )
+            cached = _replay_terms(
+                self.durations,
+                self.mem_bytes,
+                self.input_bytes,
+                self.output_bytes,
+                machine,
+                costs,
+                contention,
             )
             self._replay_np[key] = cached
         return cached
@@ -351,6 +405,9 @@ def _simulate_python(
     cache: SimGraphCache, machine: MachineSpec, config: SimulationConfig
 ) -> SimulationResult:
     """The pure-Python scalar replay (the reference the kernels must match)."""
+    chunk = sim_chunk_tasks()
+    if 0 < chunk < cache.n and not config.collect_records and machine.n_nodes >= 1:
+        return _replay_stream(cache, machine, config, chunk)
     arrays = cache.replay_arrays(machine, config.costs, config.model_memory_contention)
     is_replicated = _replicated_flags(cache, config)
     if machine.n_nodes == 1:
@@ -1044,6 +1101,303 @@ def _replay_multi_node(
         max(node_mem) if node_mem else 0.0,
         (total_work, total_overhead, total_recovery, crashes, sdcs, replicated_count),
         record_arrays,
+    )
+
+
+class _ChunkedReplay:
+    """Bounded-memory view of the replay terms: per-chunk slices on demand.
+
+    ``row(i)`` returns the ten replay terms of task ``i`` as Python floats,
+    computing (and LRU-caching) one chunk-sized slice of :func:`_replay_terms`
+    at a time directly off the compiled graph's (memory-mapped) arrays.  Since
+    every term expression is element-wise, each chunk is bit-identical to the
+    corresponding slice of the full-graph arrays — so the streaming loop reads
+    exactly the floats the in-core loops would.
+    """
+
+    #: Resident chunk budget.  The event-loop frontier visits tasks roughly in
+    #: topological (= dense-index) order, so a handful of chunks absorbs the
+    #: straddle between the started window and its completing predecessors.
+    _CAPACITY = 4
+
+    def __init__(
+        self,
+        cache: SimGraphCache,
+        machine: MachineSpec,
+        config: SimulationConfig,
+        chunk: int,
+    ) -> None:
+        self._compiled = cache.compiled
+        self._machine = machine
+        self._costs = config.costs
+        self._contention = bool(config.model_memory_contention)
+        self._chunk = int(chunk)
+        self._n = cache.n
+        self._chunks: "OrderedDict[int, Tuple[np.ndarray, ...]]" = OrderedDict()
+
+    def row(self, i: int) -> Tuple[float, ...]:
+        """The ten replay terms of task ``i`` (``_ReplayArrays`` field order)."""
+        base, off = divmod(i, self._chunk)
+        terms = self._chunks.get(base)
+        if terms is None:
+            lo = base * self._chunk
+            hi = min(lo + self._chunk, self._n)
+            c = self._compiled
+            terms = _replay_terms(
+                np.asarray(c.durations[lo:hi]),
+                np.asarray(c.mem_bytes[lo:hi]),
+                np.asarray(c.input_bytes[lo:hi]),
+                np.asarray(c.output_bytes[lo:hi]),
+                self._machine,
+                self._costs,
+                self._contention,
+            )
+            while len(self._chunks) >= self._CAPACITY:
+                self._chunks.popitem(last=False)
+            self._chunks[base] = terms
+        else:
+            self._chunks.move_to_end(base)
+        return tuple(float(a[off]) for a in terms)
+
+
+def _replay_stream(
+    cache: SimGraphCache,
+    machine: MachineSpec,
+    config: SimulationConfig,
+    chunk: int,
+) -> SimulationResult:
+    """Out-of-core replay: the general event loop over chunked replay terms.
+
+    Bit-identical to the in-core scalar loops (the general multi-node loop
+    degenerates to the single-node one at ``n_nodes == 1`` — same heap tuples,
+    same draw sequence, same accumulation order), but holds no O(n) Python
+    state: per-task numeric state lives in flat NumPy arrays (pending counts,
+    earliest-start times, node map, replication flags), successor rows are
+    sliced per completion straight off the compiled graph's memory-mapped CSR,
+    and the ten replay-term arrays are materialised one chunk at a time
+    through :class:`_ChunkedReplay`.  Peak resident memory is therefore
+    O(n) * a few numeric words + O(chunk), instead of O(n) Python floats
+    times ten term lists.  Per-task records are not supported here — the
+    dispatcher only selects this loop when ``collect_records`` is off.
+    """
+    n = cache.n
+    n_nodes = machine.n_nodes
+    compiled = cache.compiled
+    terms = _ChunkedReplay(cache, machine, config, chunk)
+    succ_ptr = compiled.succ_indptr
+    succ_idx = compiled.succ_indices
+    succ_ebs = compiled.edge_bytes
+    node_of = cache.node_map_np(n_nodes)
+    flags = cache.replicated_flags_np(config)
+    decision_s = config.costs.decision_s
+    contention = config.model_memory_contention
+    net_latency = machine.network_latency_s
+    net_bandwidth = machine.network_bandwidth_Bps
+
+    p_crash = config.crash_probability
+    p_sdc = config.sdc_probability
+    crash_mid = 0.0 < p_crash < 1.0
+    crash_hi = p_crash >= 1.0
+    sdc_mid = 0.0 < p_sdc < 1.0
+    sdc_hi = p_sdc >= 1.0
+    rand = np.random.default_rng(np.random.SeedSequence(config.seed)).random
+    dbuf: List[float] = []
+    dlen = 0
+    dpos = 0
+
+    free_cores = [machine.cores_per_node] * n_nodes
+    free_spares = [machine.spare_cores_per_node] * n_nodes
+    node_ready: List[List[int]] = [[] for _ in range(n_nodes)]
+    node_mem = [0.0] * n_nodes
+    pending = compiled.in_degrees()
+    earliest = np.zeros(n, dtype=np.float64)
+
+    crashes = 0
+    sdcs = 0
+    total_overhead = 0.0
+    total_recovery = 0.0
+    total_work = 0.0
+    replicated_count = 0
+    n_started = 0
+    makespan = 0.0
+
+    heap: List[Tuple[float, int, int, int]] = []
+    seq = 0
+    for i in np.flatnonzero(pending == 0).tolist():
+        heap.append((0.0, seq, _READY, i))
+        seq += 1
+
+    with trace_span(active_tracer(), "sim.stream", tasks=n, chunk=chunk):
+        while heap:
+            now, _, kind, i = heappop(heap)
+            nid = int(node_of[i])
+            if kind == _READY:
+                heappush(node_ready[nid], i)
+            elif kind == _FREE:
+                free_cores[nid] += 1
+            elif kind == _SPARE_FREE:
+                free_spares[nid] += 1
+                continue
+            else:  # _COMPLETE
+                elo = int(succ_ptr[i])
+                ehi = int(succ_ptr[i + 1])
+                if ehi > elo:
+                    srow = succ_idx[elo:ehi].tolist()
+                    ebrow = succ_ebs[elo:ehi].tolist()
+                    for k, s in enumerate(srow):
+                        delay = 0.0
+                        if int(node_of[s]) != nid:
+                            delay = net_latency + ebrow[k] / net_bandwidth
+                        arrival = now + delay
+                        if arrival > earliest[s]:
+                            earliest[s] = arrival
+                        pending[s] -= 1
+                        if pending[s] == 0:
+                            e = float(earliest[s])
+                            at = now if now > e else e
+                            heappush(heap, (at, seq, _READY, s))
+                            seq += 1
+
+            # try_start(nid): drain the node's ready heap while cores are free.
+            ready = node_ready[nid]
+            while free_cores[nid] > 0 and ready:
+                i = heappop(ready)
+                free_cores[nid] -= 1
+                (
+                    dur_i,
+                    mem_i,
+                    core_busy0_i,
+                    rep_core_busy_i,
+                    completion_spare_i,
+                    core_busy_nospare_i,
+                    completion_nospare_i,
+                    overhead_rep_i,
+                    restore_dur_i,
+                    restore_dur_vote_i,
+                ) = terms.row(i)
+                if flags[i]:
+                    replicated_count += 1
+                    if free_spares[nid] > 0:
+                        free_spares[nid] -= 1
+                        use_spare = True
+                        core_busy = rep_core_busy_i
+                        completion = completion_spare_i
+                    else:
+                        use_spare = False
+                        core_busy = core_busy_nospare_i
+                        completion = completion_nospare_i
+                    if crash_mid:
+                        if dpos >= dlen:
+                            dbuf = rand(_DRAW_CHUNK).tolist()
+                            dlen = _DRAW_CHUNK
+                            dpos = 0
+                        crash0 = dbuf[dpos] < p_crash
+                        dpos += 1
+                        if dpos >= dlen:
+                            dbuf = rand(_DRAW_CHUNK).tolist()
+                            dlen = _DRAW_CHUNK
+                            dpos = 0
+                        crash1 = dbuf[dpos] < p_crash
+                        dpos += 1
+                    else:
+                        crash0 = crash1 = crash_hi
+                    if sdc_mid:
+                        if crash0:
+                            sdc0 = False
+                        else:
+                            if dpos >= dlen:
+                                dbuf = rand(_DRAW_CHUNK).tolist()
+                                dlen = _DRAW_CHUNK
+                                dpos = 0
+                            sdc0 = dbuf[dpos] < p_sdc
+                            dpos += 1
+                        if crash1:
+                            sdc1 = False
+                        else:
+                            if dpos >= dlen:
+                                dbuf = rand(_DRAW_CHUNK).tolist()
+                                dlen = _DRAW_CHUNK
+                                dpos = 0
+                            sdc1 = dbuf[dpos] < p_sdc
+                            dpos += 1
+                    else:
+                        sdc0 = (not crash0) and sdc_hi
+                        sdc1 = (not crash1) and sdc_hi
+                    crashes += crash0 + crash1
+                    sdcs += sdc0 + sdc1
+                    if crash0 and crash1:
+                        recovery = restore_dur_i
+                        completion += recovery
+                        total_recovery += recovery
+                    elif (sdc0 != sdc1) and not (crash0 or crash1):
+                        recovery = restore_dur_vote_i
+                        completion += recovery
+                        total_recovery += recovery
+                    else:
+                        recovery = 0.0
+                    overhead = overhead_rep_i
+                else:
+                    use_spare = False
+                    if crash_mid:
+                        if dpos >= dlen:
+                            dbuf = rand(_DRAW_CHUNK).tolist()
+                            dlen = _DRAW_CHUNK
+                            dpos = 0
+                        crash0 = dbuf[dpos] < p_crash
+                        dpos += 1
+                    else:
+                        crash0 = crash_hi
+                    if sdc_mid:
+                        if crash0:
+                            sdc0 = False
+                        else:
+                            if dpos >= dlen:
+                                dbuf = rand(_DRAW_CHUNK).tolist()
+                                dlen = _DRAW_CHUNK
+                                dpos = 0
+                            sdc0 = dbuf[dpos] < p_sdc
+                            dpos += 1
+                    else:
+                        sdc0 = (not crash0) and sdc_hi
+                    crashes += crash0
+                    sdcs += sdc0
+                    if crash0:
+                        recovery = dur_i
+                        core_busy = core_busy0_i + recovery
+                        total_recovery += recovery
+                    else:
+                        recovery = 0.0
+                        core_busy = core_busy0_i
+                    completion = core_busy
+                    overhead = decision_s
+
+                total_overhead += overhead
+                total_work += dur_i
+                if contention:
+                    node_mem[nid] += mem_i
+                finish = now + completion
+                if finish > makespan:
+                    makespan = finish
+                n_started += 1
+                if use_spare:
+                    heappush(heap, (now + core_busy, seq, _SPARE_FREE, i))
+                    seq += 1
+                heappush(heap, (now + core_busy, seq, _FREE, i))
+                seq += 1
+                heappush(heap, (finish, seq, _COMPLETE, i))
+                seq += 1
+
+    return _finish(
+        cache,
+        machine,
+        config,
+        [],
+        [],
+        n_started,
+        makespan,
+        max(node_mem) if node_mem else 0.0,
+        (total_work, total_overhead, total_recovery, crashes, sdcs, replicated_count),
+        None,
     )
 
 

@@ -12,6 +12,7 @@ task graphs.  The CLI front end is ``repro workloads ls|describe|gen`` and
 """
 
 from repro.workloads.benchmark import WorkloadBenchmark, create_workload_benchmark
+from repro.workloads.direct import generate_compiled, generate_compiled_to_store
 from repro.workloads.generators import build_workload, expected_task_count
 from repro.workloads.spec import (
     FAMILIES,
@@ -42,6 +43,8 @@ __all__ = [
     "expected_task_count",
     "export_trace",
     "family_names",
+    "generate_compiled",
+    "generate_compiled_to_store",
     "graph_to_trace_doc",
     "is_workload_name",
     "load_trace",

@@ -1,0 +1,410 @@
+"""Direct ``WorkloadSpec -> CompiledGraph`` generation — no object graph.
+
+The object path builds a workload in three stages: the family builder submits
+``TaskDescriptor``/``DataRegion`` objects into a
+:class:`~repro.runtime.runtime.TaskRuntime`, the dependency tracker infers
+edges, and :func:`~repro.runtime.compiled.compile_graph` lowers the result to
+structure-of-arrays form.  At 10^6–10^7 tasks the intermediate Python objects
+(descriptors, arguments, regions, per-task sets) exhaust memory long before
+the simulator — which consumes memory-mapped arrays — becomes the bottleneck.
+
+This module removes the detour for workload benchmarks: each synthetic family
+(and the trace importer) emits the CSR index arrays and the per-task
+duration/byte arrays *incrementally* through a :class:`GraphEmitter`, going
+straight to the :class:`~repro.runtime.compiled.CompiledGraph` the store
+persists.  Peak memory is the output arrays plus an O(edges) scratch buffer
+— roughly 50 bytes per task+edge instead of the several kilobytes of object
+overhead per task.
+
+**Byte-equality contract.**  For every spec and scale,
+``generate_compiled(spec, scale)`` is bit-identical — every float, every
+index — to ``compile_graph(WorkloadBenchmark(spec, scale).build_graph())``
+(pinned by ``tests/test_direct.py`` and ``tools/check_biggraph_smoke.py``).
+The ingredients:
+
+* **Draw order** — per task: structure draws, then the block-size draw, then
+  the duration draw, from one :class:`~repro.util.rng.RngStream` — exactly
+  the documented generator contract.  The direct builders share the object
+  builders' draw helpers (``_Draws``, :func:`erdos_pred_indices`) so the
+  sequences cannot diverge.
+* **Byte sums** — ``compile_graph`` accumulates argument bytes left-to-right
+  over the ``in_`` arguments then the output region, starting at ``0.0``;
+  :meth:`GraphEmitter.add_task` performs the same adds in the same order.
+* **CSR layout** — rows are sorted by task id.  Task ids are assigned by the
+  runtime's submission counter (``0..n-1``), so dense index == task id;
+  builders declare predecessors in ascending order and edges are discovered
+  in ascending-target order, so a stable sort by source yields successor
+  rows in ascending-target order — exactly ``sorted(succ_map[tid])``.
+* **Edge payloads** — a workload edge's communication payload is the overlap
+  of the predecessor's whole output region with the successor's read of that
+  same region: the predecessor's drawn block size (accumulated once per
+  duplicate read, matching the reference overlap scan).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.compiled import CompiledGraph, CompiledGraphStore
+from repro.util.rng import RngStream
+from repro.workloads.generators import _Draws, erdos_pred_indices
+from repro.workloads.spec import WorkloadSpec
+
+
+class GraphEmitter:
+    """Incremental structure-of-arrays accumulator for one workload graph.
+
+    One :meth:`add_task` call per task, in submission order, predecessors in
+    the order the object builder would pass them to ``runtime.submit`` —
+    :meth:`finish` then assembles the :class:`CompiledGraph` with one stable
+    sort over the edge list.  All per-task state lives in preallocated NumPy
+    arrays; the only growable buffer is the flat predecessor list.
+    """
+
+    def __init__(self, n_tasks: int) -> None:
+        n = int(n_tasks)
+        self.n = n
+        self._i = 0
+        self._durations = np.empty(n, dtype=np.float64)
+        self._mem_bytes = np.empty(n, dtype=np.float64)
+        self._input_bytes = np.empty(n, dtype=np.float64)
+        self._output_bytes = np.empty(n, dtype=np.float64)
+        self._arg_bytes = np.empty(n, dtype=np.float64)
+        self._pred_indptr = np.empty(n + 1, dtype=np.int64)
+        self._pred_indptr[0] = 0
+        # Flat predecessor indices (doubling growth; edge count is unknown
+        # until generation finishes for the stochastic families).
+        self._pred_flat = np.empty(max(16, 2 * n), dtype=np.int64)
+        self._n_edges = 0
+        # Per-edge payload overrides (trace duplicates only; None = every
+        # payload is simply the source's output block).
+        self._payload_flat: Optional[np.ndarray] = None
+
+    # -- incremental emission -------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        """Grow the flat edge buffers to hold ``extra`` more entries."""
+        need = self._n_edges + extra
+        cap = self._pred_flat.shape[0]
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        self._pred_flat = np.resize(self._pred_flat, cap)
+        if self._payload_flat is not None:
+            self._payload_flat = np.resize(self._payload_flat, cap)
+
+    def add_task(
+        self, duration_s: float, block_bytes: float, preds: Sequence[int]
+    ) -> int:
+        """Emit one task; returns its dense index (== its task id).
+
+        ``preds`` are dense indices of earlier tasks, **strictly ascending
+        and unique** — the order every synthetic builder submits them in
+        (use :meth:`add_task_args` for the general trace case).  The byte
+        sums run left-to-right exactly like ``compile_graph``'s argument
+        loop: ``in_b`` over the predecessors' blocks, then the task's own
+        block appended for ``arg_bytes``/``mem_bytes``.
+        """
+        i = self._i
+        k = len(preds)
+        self._reserve(k)
+        flat = self._pred_flat
+        e = self._n_edges
+        out = self._output_bytes
+        in_b = 0.0
+        for p in preds:
+            in_b += out[p]
+            flat[e] = p
+            e += 1
+        if self._payload_flat is not None:
+            self._payload_flat[self._n_edges : e] = out[flat[self._n_edges : e]]
+        self._n_edges = e
+        all_b = in_b + block_bytes
+        self._durations[i] = duration_s
+        self._output_bytes[i] = block_bytes
+        self._input_bytes[i] = in_b
+        self._arg_bytes[i] = all_b
+        self._mem_bytes[i] = all_b
+        self._pred_indptr[i + 1] = e
+        self._i = i + 1
+        return i
+
+    def add_task_args(
+        self, duration_s: float, block_bytes: float, arg_preds: Sequence[int]
+    ) -> int:
+        """Emit one task whose argument list may repeat or disorder preds.
+
+        Trace deps arrive in file order and may contain duplicates; the
+        reference path keeps each occurrence as a separate ``in_`` argument
+        (so byte sums count it again) but collapses the dependency into one
+        CSR edge whose payload accumulates once per occurrence — the overlap
+        scan visits every read argument.  The dedup preserves first-seen
+        order and the unique predecessors are sorted ascending, matching
+        ``sorted(pred_map[tid])``.
+        """
+        if self._payload_flat is None:
+            buf = np.empty(self._pred_flat.shape[0], dtype=np.float64)
+            if self._n_edges:
+                buf[: self._n_edges] = self._output_bytes[
+                    self._pred_flat[: self._n_edges]
+                ]
+            self._payload_flat = buf
+        i = self._i
+        out = self._output_bytes
+        in_b = 0.0
+        counts: Dict[int, int] = {}
+        for p in arg_preds:
+            in_b += out[p]
+            counts[p] = counts.get(p, 0) + 1
+        uniq = sorted(counts)
+        self._reserve(len(uniq))
+        flat = self._pred_flat
+        payload = self._payload_flat
+        e = self._n_edges
+        for p in uniq:
+            # One overlap term per read occurrence, accumulated like the
+            # reference scan (repeated adds, never a multiply).
+            total = 0.0
+            size = out[p]
+            for _ in range(counts[p]):
+                total += size
+            flat[e] = p
+            payload[e] = total
+            e += 1
+        self._n_edges = e
+        all_b = in_b + block_bytes
+        self._durations[i] = duration_s
+        self._output_bytes[i] = block_bytes
+        self._input_bytes[i] = in_b
+        self._arg_bytes[i] = all_b
+        self._mem_bytes[i] = all_b
+        self._pred_indptr[i + 1] = e
+        self._i = i + 1
+        return i
+
+    # -- assembly -------------------------------------------------------------
+
+    def finish(self) -> CompiledGraph:
+        """Assemble the :class:`CompiledGraph` (one stable sort over edges)."""
+        n = self.n
+        if self._i != n:
+            raise ValueError(
+                f"emitter received {self._i} tasks but was sized for {n}"
+            )
+        ne = self._n_edges
+        pred_indices = np.ascontiguousarray(self._pred_flat[:ne])
+        pred_indptr = self._pred_indptr
+        in_deg = np.diff(pred_indptr)
+        # Edge (src -> dst): sources are the flat predecessor list, targets
+        # repeat each task over its in-degree.  Discovery order is ascending
+        # target, so a *stable* sort by source groups rows whose targets stay
+        # ascending — the sorted-by-id successor order the reference uses.
+        dst = np.repeat(np.arange(n, dtype=np.int64), in_deg)
+        order = np.argsort(pred_indices, kind="stable")
+        succ_indices = dst[order]
+        out_deg = np.bincount(pred_indices, minlength=n)
+        succ_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(out_deg, out=succ_indptr[1:])
+        if self._payload_flat is None:
+            edge_bytes = self._output_bytes[pred_indices[order]]
+        else:
+            edge_bytes = np.ascontiguousarray(self._payload_flat[:ne])[order]
+        return CompiledGraph(
+            task_ids=np.arange(n, dtype=np.int64),
+            durations=self._durations,
+            mem_bytes=self._mem_bytes,
+            input_bytes=self._input_bytes,
+            output_bytes=self._output_bytes,
+            arg_bytes=self._arg_bytes,
+            node_attr=np.full(n, -1, dtype=np.int64),
+            succ_indptr=succ_indptr,
+            succ_indices=np.ascontiguousarray(succ_indices),
+            pred_indptr=pred_indptr,
+            pred_indices=pred_indices,
+            edge_bytes=np.ascontiguousarray(edge_bytes, dtype=np.float64),
+        )
+
+
+# ---------------------------------------------------------------------------------
+# family emitters (draw order mirrors repro.workloads.generators exactly)
+# ---------------------------------------------------------------------------------
+
+
+def _emit(em: GraphEmitter, draws: _Draws, preds: Sequence[int]) -> int:
+    """Emit one task with the shared block-then-duration draw order."""
+    block = draws.block_bytes()
+    return em.add_task(draws.duration_s(), block, preds)
+
+
+def emit_layered(spec: WorkloadSpec, scale: float) -> GraphEmitter:
+    """Layered random DAG (see :func:`~repro.workloads.generators.build_layered`)."""
+    p = spec.effective_params(scale)
+    rng = RngStream(int(p["seed"]))
+    gen = rng.generator
+    depth, width, fanin = int(p["depth"]), int(p["width"]), int(p["fanin"])
+    draws = _Draws(rng, p)
+    em = GraphEmitter(depth * width)
+    for layer in range(depth):
+        base = (layer - 1) * width
+        for _ in range(width):
+            if layer == 0:
+                preds: List[int] = []
+            else:
+                k = min(int(gen.integers(1, fanin + 1)), width)
+                idx = sorted(int(j) for j in gen.choice(width, size=k, replace=False))
+                preds = [base + j for j in idx]
+            _emit(em, draws, preds)
+    return em
+
+
+def emit_erdos(spec: WorkloadSpec, scale: float) -> GraphEmitter:
+    """Erdos-Renyi DAG (see :func:`~repro.workloads.generators.build_erdos`)."""
+    p = spec.effective_params(scale)
+    rng = RngStream(int(p["seed"]))
+    gen = rng.generator
+    n, prob = int(p["tasks"]), float(p["p"])
+    sampling = str(p["sampling"])
+    draws = _Draws(rng, p)
+    em = GraphEmitter(n)
+    for j in range(n):
+        _emit(em, draws, erdos_pred_indices(gen, j, prob, sampling))
+    return em
+
+
+def emit_forkjoin(spec: WorkloadSpec, scale: float) -> GraphEmitter:
+    """Chained fork-join stages (see ``build_forkjoin``)."""
+    p = spec.effective_params(scale)
+    rng = RngStream(int(p["seed"]))
+    stages, width = int(p["stages"]), int(p["width"])
+    draws = _Draws(rng, p)
+    em = GraphEmitter(stages * (width + 2))
+    carry: List[int] = []
+    for _ in range(stages):
+        fork = _emit(em, draws, carry)
+        workers = [_emit(em, draws, [fork]) for _ in range(width)]
+        carry = [_emit(em, draws, workers)]
+    return em
+
+
+def emit_pipeline(spec: WorkloadSpec, scale: float) -> GraphEmitter:
+    """Software pipeline (see ``build_pipeline``)."""
+    p = spec.effective_params(scale)
+    rng = RngStream(int(p["seed"]))
+    stages, items = int(p["stages"]), int(p["items"])
+    draws = _Draws(rng, p)
+    em = GraphEmitter(stages * items)
+    for s in range(stages):
+        for i in range(items):
+            preds: List[int] = []
+            if s > 0:
+                preds.append((s - 1) * items + i)
+            if i > 0:
+                preds.append(s * items + i - 1)
+            _emit(em, draws, preds)
+    return em
+
+
+def emit_wavefront(spec: WorkloadSpec, scale: float) -> GraphEmitter:
+    """Wavefront sweep (see ``build_wavefront``)."""
+    p = spec.effective_params(scale)
+    rng = RngStream(int(p["seed"]))
+    rows, cols = int(p["rows"]), int(p["cols"])
+    draws = _Draws(rng, p)
+    em = GraphEmitter(rows * cols)
+    for i in range(rows):
+        for j in range(cols):
+            preds: List[int] = []
+            if i > 0 and j > 0:
+                preds.append((i - 1) * cols + j - 1)
+            if i > 0:
+                preds.append((i - 1) * cols + j)
+            if j > 0:
+                preds.append(i * cols + j - 1)
+            _emit(em, draws, preds)
+    return em
+
+
+def emit_mapreduce(spec: WorkloadSpec, scale: float) -> GraphEmitter:
+    """Mapreduce rounds (see ``build_mapreduce``)."""
+    p = spec.effective_params(scale)
+    rng = RngStream(int(p["seed"]))
+    maps, reduces, rounds = int(p["maps"]), int(p["reduces"]), int(p["rounds"])
+    draws = _Draws(rng, p)
+    em = GraphEmitter(rounds * (maps + reduces))
+    prev_reduces: List[int] = []
+    for rnd in range(rounds):
+        map_ids = [
+            _emit(em, draws, [prev_reduces[i % reduces]] if prev_reduces else [])
+            for i in range(maps)
+        ]
+        prev_reduces = [_emit(em, draws, map_ids) for _ in range(reduces)]
+    return em
+
+
+def emit_trace(spec: WorkloadSpec, scale: float) -> GraphEmitter:
+    """Imported JSON trace (scale is ignored — the trace is fixed).
+
+    Trace ids are arbitrary; the runtime assigns submission-order ids
+    ``0..n-1``, so the dense index of a dep is its position in the file.
+    Deps keep their file order for the byte sums (argument order) and may
+    repeat — :meth:`GraphEmitter.add_task_args` reproduces the reference
+    multiplicity handling.
+    """
+    from repro.workloads.trace import load_trace
+
+    trace = load_trace(str(spec.param("file")))
+    em = GraphEmitter(len(trace.tasks))
+    dense: Dict[int, int] = {}
+    for task in trace.tasks:
+        idx = em.add_task_args(
+            task.duration_s, task.output_bytes, [dense[d] for d in task.deps]
+        )
+        dense[task.task_id] = idx
+    return em
+
+
+#: Emitter dispatch table (mirrors ``generators.BUILDERS``).
+EMITTERS = {
+    "layered": emit_layered,
+    "erdos": emit_erdos,
+    "forkjoin": emit_forkjoin,
+    "pipeline": emit_pipeline,
+    "wavefront": emit_wavefront,
+    "mapreduce": emit_mapreduce,
+    "trace": emit_trace,
+}
+
+
+def generate_compiled(spec: WorkloadSpec, scale: float = 1.0) -> CompiledGraph:
+    """The compiled form of a workload spec, generated without an object graph.
+
+    Bit-identical to ``compile_graph(WorkloadBenchmark(spec, scale)
+    .build_graph())`` — see the module docstring for why — at a small
+    fraction of the memory (and, for ``erdos`` with ``sampling=skip``, the
+    time) the object path needs.
+    """
+    emitter = EMITTERS[spec.family](spec, float(scale))
+    return emitter.finish()
+
+
+def generate_compiled_to_store(
+    spec: WorkloadSpec,
+    scale: float,
+    store: CompiledGraphStore,
+    n_nodes: Optional[int] = None,
+    elapsed_s: Optional[float] = None,
+) -> str:
+    """Generate a workload directly into the compiled-graph store.
+
+    Returns the content-addressed store key.  The benchmark name is the
+    spec's canonical string — the same key :func:`compile_graph` entries use
+    — so direct and lowered generation are interchangeable cache citizens
+    (and byte-equality makes the ``.npz`` files themselves identical).
+    """
+    compiled = generate_compiled(spec, scale)
+    return store.save(
+        spec.canonical, float(scale), compiled, n_nodes, elapsed_s=elapsed_s
+    )

@@ -21,7 +21,10 @@ order is a topological order — the invariant the compiled-graph CSR layout
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List
+
+import numpy as np
 
 from repro.runtime.runtime import TaskRuntime
 from repro.runtime.task import DataRegion
@@ -101,20 +104,60 @@ def build_layered(spec: WorkloadSpec, runtime: TaskRuntime, scale: float) -> Non
         prev = current
 
 
+def erdos_pred_indices(
+    gen: np.random.Generator, j: int, p: float, sampling: str
+) -> List[int]:
+    """Predecessor indices of Erdos-Renyi node ``j``, drawing from ``gen``.
+
+    This is the single implementation both graph paths use — the object
+    builder (:func:`build_erdos`) and the direct array emitter
+    (:mod:`repro.workloads.direct`) — so their draw sequences can never
+    diverge.  ``sampling`` selects the algorithm (a spec parameter, so it is
+    part of the cache identity):
+
+    * ``dense`` — one batched uniform per earlier task (``gen.random(j)``),
+      the legacy draw order every pre-existing erdos cache key and golden was
+      generated with.  O(j) per node, O(n^2) per graph: a hard wall at
+      ~10^5 tasks.
+    * ``skip`` — geometric inter-arrival sampling: one uniform per *edge*
+      (plus one terminating draw per node), so the cost is O(edges).  The
+      gap ``floor(log(1 - u) / log(1 - p))`` is the standard inverse-CDF
+      geometric skip; ``1 - u`` maps ``random()``'s ``[0, 1)`` onto
+      ``(0, 1]`` so the logarithm is always finite.
+    """
+    if j == 0:
+        return []
+    if sampling == "dense":
+        mask = gen.random(j) < p
+        return [i for i in range(j) if mask[i]]
+    if sampling != "skip":  # pragma: no cover - spec validation rejects earlier
+        raise ValueError(f"unknown erdos sampling {sampling!r}")
+    if p <= 0.0:
+        return []
+    if p >= 1.0:
+        return list(range(j))
+    log_q = math.log1p(-p)
+    preds: List[int] = []
+    i = -1
+    while True:
+        u = 1.0 - gen.random()
+        i += 1 + int(math.log(u) / log_q)
+        if i >= j:
+            return preds
+        preds.append(i)
+
+
 def build_erdos(spec: WorkloadSpec, runtime: TaskRuntime, scale: float) -> None:
     """Erdos-Renyi DAG: forward edge ``i -> j`` (i < j) with probability ``p``."""
     params = spec.effective_params(scale)
     rng = RngStream(int(params["seed"]))
     gen = rng.generator
     n, p = int(params["tasks"]), float(params["p"])
+    sampling = str(params["sampling"])
     draws = _Draws(rng, params)
     regions: List[DataRegion] = []
     for j in range(n):
-        if j == 0:
-            preds: List[DataRegion] = []
-        else:
-            mask = gen.random(j) < p
-            preds = [regions[i] for i in range(j) if mask[i]]
+        preds = [regions[i] for i in erdos_pred_indices(gen, j, p, sampling)]
         regions.append(_submit(runtime, draws, "erdos", f"T{j}", preds))
 
 

@@ -52,6 +52,8 @@ class Param:
     scaled: bool = False
     #: Floor applied after scaling (and validation floor for int/float params).
     minimum: Optional[ParamValue] = None
+    #: Closed vocabulary for string parameters (``None`` = free-form).
+    choices: Optional[Tuple[str, ...]] = None
 
     def validate(self, value: ParamValue) -> ParamValue:
         """Coerce and range-check one parsed value; raises ``ValueError``."""
@@ -64,6 +66,11 @@ class Param:
         if self.minimum is not None and self.kind is not str and value < self.minimum:
             raise ValueError(
                 f"parameter {self.name}={value!r} must be >= {self.minimum}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ValueError(
+                f"parameter {self.name}={value!r} must be one of "
+                f"{', '.join(self.choices)}"
             )
         return value
 
@@ -126,6 +133,15 @@ FAMILIES: Dict[str, Family] = {
             (
                 Param("tasks", int, 160, "number of tasks", scaled=True, minimum=4),
                 Param("p", float, 0.05, "forward edge probability", minimum=0.0),
+                Param(
+                    "sampling",
+                    str,
+                    "dense",
+                    "edge sampling: dense (one uniform per earlier task, the "
+                    "legacy draw order) or skip (geometric inter-arrival, "
+                    "O(edges) — required beyond ~10^5 tasks)",
+                    choices=("dense", "skip"),
+                ),
             )
             + _COMMON,
             promises=("acyclic",),

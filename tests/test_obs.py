@@ -501,3 +501,122 @@ def test_metrics_endpoint_404_when_disabled(tmp_path, monkeypatch):
         assert b"REPRO_METRICS" in raw
     finally:
         server.stop()
+
+
+# ---------------------------------------------------------------------------------
+# trace journal rotation + obs maintenance (ISSUE-10 satellite)
+# ---------------------------------------------------------------------------------
+
+
+def test_trace_journal_rotates_at_size_cap(tmp_path, monkeypatch):
+    """Appends past REPRO_TRACE_MAX_BYTES rename the journal to a segment."""
+    from repro.obs.maintenance import obs_stats, rotated_trace_segments
+    from repro.obs.trace import trace_max_bytes
+
+    monkeypatch.setenv("REPRO_TRACE_MAX_BYTES", "600")
+    assert trace_max_bytes() == 600
+    tracer = Tracer("full", str(tmp_path))
+    for i in range(40):
+        tracer.mark("cell.retry", key=f"k{i:04d}", attempt=i)
+    segments = rotated_trace_segments(str(tmp_path))
+    assert segments, "the cap must force at least one rotation"
+    # No segment (and not the live journal) exceeds cap + one record.
+    for path in segments + [trace_path(str(tmp_path))]:
+        assert os.path.getsize(path) <= 600 + 200
+    # Every record survives, split across journal + segments, all valid JSON.
+    lines = []
+    for path in segments + [trace_path(str(tmp_path))]:
+        with open(path, encoding="utf-8") as fh:
+            lines += [json.loads(l) for l in fh if l.strip()]
+    assert {doc["key"] for doc in lines} == {f"k{i:04d}" for i in range(40)}
+    stats = obs_stats(str(tmp_path))
+    assert stats["rotated_segments"] == len(segments)
+    assert stats["rotated_bytes"] > 0 and stats["trace_bytes"] >= 0
+
+
+def test_trace_rotation_disabled_and_bad_value(tmp_path, monkeypatch):
+    from repro.obs.maintenance import rotated_trace_segments
+    from repro.obs.trace import trace_max_bytes
+
+    monkeypatch.setenv("REPRO_TRACE_MAX_BYTES", "0")
+    tracer = Tracer("full", str(tmp_path))
+    for i in range(50):
+        tracer.mark("cell.retry", key=f"k{i}")
+    assert rotated_trace_segments(str(tmp_path)) == []
+    monkeypatch.setenv("REPRO_TRACE_MAX_BYTES", "big")
+    with pytest.raises(ValueError, match="REPRO_TRACE_MAX_BYTES"):
+        trace_max_bytes()
+
+
+def test_obs_gc_sweeps_segments_and_stale_snapshots(tmp_path, monkeypatch):
+    from repro.obs.maintenance import metrics_snapshots, obs_gc, obs_stats
+
+    monkeypatch.setenv("REPRO_TRACE_MAX_BYTES", "400")
+    tracer = Tracer("full", str(tmp_path))
+    for i in range(30):
+        tracer.mark("cell.retry", key=f"k{i}")
+    metrics_dir = tmp_path / "obs" / "metrics"
+    metrics_dir.mkdir(parents=True)
+    stale = metrics_dir / "dead-worker.json"
+    fresh = metrics_dir / "live-worker.json"
+    stale.write_text("{}")
+    fresh.write_text("{}")
+    old = time.time() - 7200
+    os.utime(stale, (old, old))
+
+    removed = obs_gc(str(tmp_path), max_age_s=3600)
+    assert removed["rotated_segments"] >= 1
+    assert removed["metrics_snapshots"] == 1
+    assert metrics_snapshots(str(tmp_path)) == [str(fresh)]
+    # Live journal untouched; rotated history gone.
+    after = obs_stats(str(tmp_path))
+    assert after["rotated_segments"] == 0 and after["trace_bytes"] > 0
+    # Without a max age no snapshot can be called stale.
+    assert obs_gc(str(tmp_path), max_age_s=None)["metrics_snapshots"] == 0
+
+
+def test_obs_clear_removes_everything(tmp_path, monkeypatch):
+    from repro.obs.maintenance import obs_clear, obs_stats
+
+    monkeypatch.setenv("REPRO_TRACE_MAX_BYTES", "400")
+    tracer = Tracer("full", str(tmp_path))
+    for i in range(30):
+        tracer.mark("cell.retry", key=f"k{i}")
+    metrics_dir = tmp_path / "obs" / "metrics"
+    metrics_dir.mkdir(parents=True)
+    (metrics_dir / "w.json").write_text("{}")
+
+    removed = obs_clear(str(tmp_path))
+    assert removed["trace"] == 1
+    assert removed["rotated_segments"] >= 1
+    assert removed["metrics_snapshots"] == 1
+    stats = obs_stats(str(tmp_path))
+    assert stats == {
+        "trace_bytes": 0, "rotated_segments": 0, "rotated_bytes": 0,
+        "metrics_snapshots": 0, "metrics_bytes": 0,
+    }
+
+
+def test_cache_cli_surfaces_and_sweeps_obs(tmp_path, monkeypatch, capsys):
+    """`repro cache stats|gc|clear` now cover the obs/ namespace."""
+    monkeypatch.setenv("REPRO_TRACE_MAX_BYTES", "400")
+    tracer = Tracer("full", str(tmp_path))
+    for i in range(30):
+        tracer.mark("cell.retry", key=f"k{i}")
+
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "obs trace" in out and "rotated segment(s)" in out
+    assert "obs metrics" in out
+
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "rotated trace segment(s)" in out
+    from repro.obs.maintenance import rotated_trace_segments
+
+    assert rotated_trace_segments(str(tmp_path)) == []
+
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace" in out
+    assert not os.path.exists(trace_path(str(tmp_path)))

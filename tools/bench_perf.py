@@ -18,10 +18,17 @@ in-process ``ReproServer`` with one local worker, timing a cold fig5 submit
 same sweep (zero computed cells, artifacts straight from the shared store)
 into ``BENCH_serve.json``.
 
+The pseudo-target ``biggraph`` measures the out-of-core path: a layered
+graph of ``10^6 * scale`` tasks generated directly into a compiled-graph
+store, then replayed with the streaming python backend in a subprocess
+whose own peak RSS is recorded — ``BENCH_biggraph.json``'s
+``peak_rss_bytes`` is the memory-bound acceptance number.
+
 Usage::
 
     python tools/bench_perf.py fig5 fig6 --scale 0.2 --repeats 3
     python tools/bench_perf.py serve --scale 0.2 --repeats 3
+    python tools/bench_perf.py biggraph --scale 1.0 --repeats 3
     python tools/bench_perf.py fig5 --baseline '{"label": "PR 2", "median_s": 4.06}'
 
 An existing ``BENCH_<target>.json`` has its ``baseline`` carried forward
@@ -188,6 +195,94 @@ def bench_serve(scale: float, repeats: int) -> dict:
     }
 
 
+#: One subprocess body for the ``biggraph`` pseudo-target: direct generation
+#: into a compiled-graph store, then repeated out-of-core streaming replays
+#: over the warm store.  Reports its own peak RSS so the measurement is not
+#: polluted by other targets run from the same harness process.
+_BIGGRAPH_CHILD = r"""
+import json, resource, shutil, sys, tempfile, time
+
+n_tasks, repeats = int(sys.argv[1]), int(sys.argv[2])
+width = max(int(round(n_tasks ** 0.5)), 1)
+depth = max((n_tasks + width - 1) // width, 1)
+
+from repro.workloads import parse_workload
+from repro.workloads.direct import generate_compiled_to_store
+from repro.runtime.compiled import CompiledGraphStore
+from repro.simulator.execution import SimulationConfig
+from repro.simulator.fastpath import SimGraphCache, simulate_compiled_batch
+from repro.simulator.machine import MachineSpec
+
+root = tempfile.mkdtemp(prefix="repro-bench-biggraph-")
+try:
+    spec = parse_workload(f"layered:depth={depth},width={width},seed=1")
+    t0 = time.perf_counter()
+    generate_compiled_to_store(spec, 1.0, CompiledGraphStore(root))
+    gen_s = time.perf_counter() - t0
+    cache = SimGraphCache.from_compiled(
+        CompiledGraphStore(root).load(spec.canonical, 1.0, None)
+    )
+    sims = []
+    for _ in range(repeats):
+        t1 = time.perf_counter()
+        simulate_compiled_batch(
+            cache,
+            MachineSpec(n_nodes=4, cores_per_node=64),
+            SimulationConfig(crash_probability=0.001, collect_records=False),
+            seeds=(0,),
+            backend="python",
+        )
+        sims.append(time.perf_counter() - t1)
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_bytes = int(peak) if sys.platform == "darwin" else int(peak) * 1024
+    print(json.dumps({
+        "n_tasks": cache.n,
+        "gen_s": gen_s,
+        "sim_s": sims,
+        "peak_rss_bytes": peak_bytes,
+    }))
+finally:
+    shutil.rmtree(root, ignore_errors=True)
+"""
+
+
+def bench_biggraph(scale: float, repeats: int) -> dict:
+    """Measure the out-of-core path: direct generation + streaming replay.
+
+    ``scale`` multiplies the nominal 10^6-task layered graph (the default
+    harness scale 0.2 measures a 2*10^5-task graph; ``--scale 1.0`` is the
+    ISSUE-10 acceptance size).  ``peak_rss_bytes`` here is the child's own
+    high-water mark — the number the memory-bound acceptance caps.
+    """
+    n_tasks = max(int(round(1_000_000 * scale)), 1_000)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _BIGGRAPH_CHILD, str(n_tasks), str(repeats)],
+        check=True,
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    stats = json.loads(proc.stdout.strip().splitlines()[-1])
+    return {
+        "target": "biggraph",
+        "scale": scale,
+        "n_tasks": stats["n_tasks"],
+        "fully_cold_s": round(stats["gen_s"] + stats["sim_s"][0], 4),
+        "generate_to_store_s": round(stats["gen_s"], 4),
+        "stream_sim_s": [round(t, 4) for t in stats["sim_s"]],
+        "median_s": round(statistics.median(stats["sim_s"]), 4),
+        "peak_rss_bytes": stats["peak_rss_bytes"],
+        "sim_backend": "python",
+        "python": sys.version.split()[0],
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
 #: Top-level measurement fields snapshotted into ``history`` on re-record
 #: (everything except ``baseline`` and ``history`` themselves).
 _HISTORY_KEYS = (
@@ -196,6 +291,9 @@ _HISTORY_KEYS = (
     "fully_cold_s",
     "cold_results_warm_graphs_s",
     "warm_resubmit_s",
+    "n_tasks",
+    "generate_to_store_s",
+    "stream_sim_s",
     "median_s",
     "peak_rss_bytes",
     "sim_backend",
@@ -226,6 +324,8 @@ def main(argv=None) -> int:
     for target in args.targets:
         if target == "serve":
             doc = bench_serve(args.scale, args.repeats)
+        elif target == "biggraph":
+            doc = bench_biggraph(args.scale, args.repeats)
         else:
             doc = bench_target(target, args.scale, args.repeats)
         doc["code_version"] = __version__
